@@ -1,0 +1,443 @@
+// Benchmarks, one group per experiment in EXPERIMENTS.md. They are the
+// testing.B counterparts of cmd/threadsbench: E1–E10 each get a micro- or
+// macro-benchmark whose custom metrics reproduce the paper's claims (for
+// example, sim-instructions/op for E1, fastpath fraction for E2).
+package threads_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"threads"
+	"threads/internal/baselines"
+	"threads/internal/bench"
+	"threads/internal/checker"
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/spec"
+	"threads/internal/trace"
+	"threads/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — uncontended fast path.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE1_AcquireRelease(b *testing.B) {
+	var m threads.Mutex
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Acquire()
+		m.Release()
+	}
+	reportSimPair(b, "mutex")
+}
+
+func BenchmarkE1_PV(b *testing.B) {
+	var s threads.Semaphore
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.P()
+		s.V()
+	}
+	reportSimPair(b, "sem")
+}
+
+func BenchmarkE1_GoSyncMutexBaseline(b *testing.B) {
+	var m sync.Mutex
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+}
+
+// reportSimPair attaches the simulated-Firefly instruction count of the
+// uncontended pair as a custom metric (the paper's 5 instructions / 10 µs).
+func reportSimPair(b *testing.B, kind string) {
+	w, k := simthreads.NewWorld(sim.Config{Procs: 1})
+	var pair uint64
+	k.Spawn("solo", func(e *sim.Env) {
+		var enter, leave func(*sim.Env)
+		if kind == "mutex" {
+			m := w.NewMutex()
+			enter, leave = m.Acquire, m.Release
+		} else {
+			s := w.NewSemaphore()
+			enter, leave = s.P, s.V
+		}
+		before := e.Instret()
+		enter(e)
+		leave(e)
+		pair = e.Instret() - before
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(pair), "sim-instr/pair")
+	b.ReportMetric(float64(pair)*sim.MicroVAXII().MicrosPerInstr, "sim-µs/pair")
+}
+
+// ---------------------------------------------------------------------------
+// E2 — fast-path rate under contention.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE2_ContendedAcquireRelease(b *testing.B) {
+	defer threads.EnableStats(threads.EnableStats(true))
+	threads.ResetStats()
+	var m threads.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Acquire()
+			m.Release()
+		}
+	})
+	s := threads.SnapshotStats()
+	total := s.AcquireFast + s.AcquireNub
+	if total > 0 {
+		b.ReportMetric(float64(s.AcquireFast)/float64(total), "fastpath-frac")
+		b.ReportMetric(float64(s.AcquirePark)/float64(total), "parks/op")
+	}
+}
+
+func BenchmarkE2_SimContentionSweep(b *testing.B) {
+	// One simulated contended run per iteration; the metric of record is
+	// the fast-path rate at 8 threads on 5 processors.
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := workload.SimMutexContention(workload.SimContentionConfig{
+			Procs: 5, Threads: 8, Iters: 50, CSWork: 20, Think: 200, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.FastPathRate()
+	}
+	b.ReportMetric(rate, "fastpath-frac")
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Signal with racing waiters.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE3_SignalRacingWaiters(b *testing.B) {
+	multi := 0
+	for i := 0; i < b.N; i++ {
+		w, k := simthreads.NewWorld(sim.Config{
+			Procs: 4, Seed: int64(i), Policy: sim.PolicyRandom, MaxSteps: 3_000_000,
+		})
+		m := w.NewMutex()
+		c := w.NewCondition()
+		var ready, done sim.Word
+		const waiters = 4
+		for j := 0; j < waiters; j++ {
+			k.Spawn("w", func(e *sim.Env) {
+				m.Acquire(e)
+				for e.Load(&ready) == 0 {
+					c.Wait(e, m)
+				}
+				m.Release(e)
+				e.Add(&done, 1)
+			})
+		}
+		signals := 0
+		k.Spawn("d", func(e *sim.Env) {
+			e.Work(50)
+			m.Acquire(e)
+			e.Store(&ready, 1)
+			m.Release(e)
+			for e.Load(&done) != waiters {
+				c.Signal(e)
+				signals++
+				e.Work(100)
+			}
+		})
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if signals < waiters {
+			multi++
+		}
+	}
+	b.ReportMetric(float64(multi)/float64(b.N), "multi-unblock-frac")
+}
+
+// ---------------------------------------------------------------------------
+// E4 — wakeup-waiting race.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE4_EventcountHandshake(b *testing.B) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		if workload.RunLostWakeupTrial(workload.LostWakeupTrial{
+			Seed: int64(i), Procs: 2, Waiters: 2, UseEventcount: true,
+		}) {
+			lost++
+		}
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "lost-wakeup-frac")
+}
+
+func BenchmarkE4_NaiveHandshake(b *testing.B) {
+	lost := 0
+	for i := 0; i < b.N; i++ {
+		if workload.RunLostWakeupTrial(workload.LostWakeupTrial{
+			Seed: int64(i), Procs: 2, Waiters: 2, UseEventcount: false,
+		}) {
+			lost++
+		}
+	}
+	b.ReportMetric(float64(lost)/float64(b.N), "lost-wakeup-frac")
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Broadcast.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE5_BroadcastNWaiters(b *testing.B) {
+	const waiters = 8
+	var (
+		m    threads.Mutex
+		c    threads.Condition
+		gen  int
+		wg   sync.WaitGroup
+		stop bool
+	)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		threads.Fork(func() {
+			defer wg.Done()
+			m.Acquire()
+			last := gen
+			for !stop {
+				for gen == last && !stop {
+					c.Wait(&m)
+				}
+				last = gen
+			}
+			m.Release()
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Acquire()
+		gen++
+		m.Release()
+		c.Broadcast()
+	}
+	b.StopTimer()
+	m.Acquire()
+	stop = true
+	m.Release()
+	c.Broadcast()
+	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Mesa vs Hoare producer-consumer.
+// ---------------------------------------------------------------------------
+
+func benchPC(b *testing.B, mk func() baselines.Monitor) {
+	b.ReportAllocs()
+	var spurious float64
+	for i := 0; i < b.N; i++ {
+		res := workload.ProducerConsumer(mk(), workload.PCConfig{
+			Producers: 2, Consumers: 2, ItemsPerProducer: 500, Capacity: 4, Work: 30,
+		})
+		spurious = res.SpuriousRate()
+	}
+	b.ReportMetric(spurious, "spurious-frac")
+	b.ReportMetric(1000, "items/op") // fixed items per iteration, for ns/item math
+}
+
+func BenchmarkE6_ProdCons_Threads(b *testing.B) {
+	benchPC(b, func() baselines.Monitor { return baselines.NewThreadsMonitor() })
+}
+
+func BenchmarkE6_ProdCons_Hoare(b *testing.B) {
+	benchPC(b, func() baselines.Monitor { return baselines.NewHoareMonitor() })
+}
+
+func BenchmarkE6_ProdCons_GoSync(b *testing.B) {
+	benchPC(b, func() baselines.Monitor { return baselines.NewNativeMonitor() })
+}
+
+// ---------------------------------------------------------------------------
+// E7 — model checking.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE7_ModelCheckAlertWait(b *testing.B) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		res := checker.Run(checker.SignalAbsorbedByDepartedThread(spec.VariantFinal))
+		if res.Violation != nil {
+			b.Fatal("final variant violated")
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states/run")
+}
+
+// ---------------------------------------------------------------------------
+// E8 — Signal/Alert race.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE8_SignalAlertRace(b *testing.B) {
+	alerted := 0
+	for i := 0; i < b.N; i++ {
+		var (
+			m threads.Mutex
+			c threads.Condition
+		)
+		errCh := make(chan error, 1)
+		th := threads.Fork(func() {
+			m.Acquire()
+			err := c.AlertWait(&m)
+			m.Release()
+			errCh <- err
+		})
+		for c.Waiters() == 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		// Alternate the launch order: the runtime runs the most recent
+		// goroutine first, and the implementation may resolve the
+		// overlap either way.
+		ops := []func(){func() { c.Signal() }, func() { threads.Alert(th) }}
+		if i%2 == 0 {
+			ops[0], ops[1] = ops[1], ops[0]
+		}
+		for _, op := range ops {
+			op := op
+			go func() { defer wg.Done(); op() }()
+		}
+		wg.Wait()
+		if <-errCh != nil {
+			alerted++
+		}
+		threads.Join(th)
+	}
+	b.ReportMetric(float64(alerted)/float64(b.N), "alerted-frac")
+}
+
+// ---------------------------------------------------------------------------
+// E9 — trace conformance throughput.
+// ---------------------------------------------------------------------------
+
+func BenchmarkE9_TraceConformance(b *testing.B) {
+	// Record one traced producer-consumer run, then measure replay cost.
+	var events []trace.Event
+	cfg := sim.Config{
+		Procs: 4, Seed: 7, Policy: sim.PolicyRandom, MaxSteps: 5_000_000,
+		Trace: func(ev sim.Event) {
+			if a, ok := ev.Payload.(spec.Action); ok {
+				events = append(events, trace.Event{Seq: ev.Seq, Action: a})
+			}
+		},
+	}
+	w, k := simthreads.NewWorld(cfg)
+	m := w.NewMutex()
+	c := w.NewCondition()
+	var queue, consumed sim.Word
+	const total = 60
+	for i := 0; i < 2; i++ {
+		k.Spawn("p", func(e *sim.Env) {
+			for n := 0; n < total/2; n++ {
+				m.Acquire(e)
+				e.Add(&queue, 1)
+				m.Release(e)
+				c.Signal(e)
+			}
+		})
+		k.Spawn("c", func(e *sim.Env) {
+			for {
+				m.Acquire(e)
+				for e.Load(&queue) == 0 {
+					if e.Load(&consumed) >= total {
+						m.Release(e)
+						c.Broadcast(e)
+						return
+					}
+					c.Wait(e, m)
+				}
+				e.Add(&queue, ^uint64(0))
+				n := e.Add(&consumed, 1)
+				m.Release(e)
+				if n >= total {
+					c.Broadcast(e)
+					return
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.CheckAll(events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events/replay")
+}
+
+// ---------------------------------------------------------------------------
+// E10 — throughput vs baselines.
+// ---------------------------------------------------------------------------
+
+func benchContention(b *testing.B, mk func() baselines.Monitor, thr int) {
+	for i := 0; i < b.N; i++ {
+		workload.MutexContention(mk(), workload.ContentionConfig{
+			Threads: thr, Iters: 2000 / thr, CSWork: 20, Think: 100,
+		})
+	}
+	b.ReportMetric(2000, "lockops/op")
+}
+
+func BenchmarkE10_Contention4_Threads(b *testing.B) {
+	benchContention(b, func() baselines.Monitor { return baselines.NewThreadsMonitor() }, 4)
+}
+
+func BenchmarkE10_Contention4_Hoare(b *testing.B) {
+	benchContention(b, func() baselines.Monitor { return baselines.NewHoareMonitor() }, 4)
+}
+
+func BenchmarkE10_Contention4_GoSync(b *testing.B) {
+	benchContention(b, func() baselines.Monitor { return baselines.NewNativeMonitor() }, 4)
+}
+
+func BenchmarkE10_SimProdConsScaling(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		r1, err := workload.SimProducerConsumer(workload.SimPCConfig{
+			Procs: 1, Producers: 4, Consumers: 4, ItemsPerProducer: 15,
+			Capacity: 8, Work: 400, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := workload.SimProducerConsumer(workload.SimPCConfig{
+			Procs: 4, Producers: 4, Consumers: 4, ItemsPerProducer: 15,
+			Capacity: 8, Work: 400, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = r1.Micros / r4.Micros
+	}
+	b.ReportMetric(speedup, "speedup-4proc")
+}
+
+// BenchmarkExperimentTables runs the full quick experiment suite once per
+// iteration — a one-stop regeneration of every table (used with -benchtime
+// 1x in CI and by the committed bench_output.txt).
+func BenchmarkExperimentTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, e := range bench.All() {
+			e.Run(bench.Options{Quick: true})
+		}
+	}
+}

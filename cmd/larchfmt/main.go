@@ -1,0 +1,65 @@
+// Command larchfmt parses and pretty-prints specifications written in the
+// paper's extended-Larch notation, and can print the embedded specification
+// of the Threads interface.
+//
+// Usage:
+//
+//	larchfmt -spec              # print the paper's Threads specification
+//	larchfmt file.larch         # parse and reformat a file
+//	larchfmt -check file.larch  # parse + typecheck only; exit non-zero on error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threads/internal/larch"
+)
+
+func main() {
+	var (
+		printSpec = flag.Bool("spec", false, "print the embedded Threads specification")
+		checkOnly = flag.Bool("check", false, "parse only, reporting errors")
+	)
+	flag.Parse()
+
+	if *printSpec {
+		emit(larch.Spec())
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: larchfmt [-check] file.larch | larchfmt -spec")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "larchfmt:", err)
+		os.Exit(1)
+	}
+	doc, err := larch.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "larchfmt:", err)
+		os.Exit(1)
+	}
+	if errs := larch.Check(doc); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "larchfmt:", e)
+		}
+		os.Exit(1)
+	}
+	if *checkOnly {
+		fmt.Printf("%s: %d declarations OK\n", flag.Arg(0), len(doc.Decls))
+		return
+	}
+	emit(doc)
+}
+
+func emit(doc *larch.Document) {
+	for i, d := range doc.Decls {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(d)
+	}
+}

@@ -1,0 +1,71 @@
+// Command threadsbench regenerates every experiment in EXPERIMENTS.md: the
+// reproductions of the paper's quantitative and behavioral claims (E1–E10).
+//
+// Usage:
+//
+//	threadsbench                 # run everything, full-size sweeps
+//	threadsbench -quick          # small sweeps (seconds, CI-friendly)
+//	threadsbench -exp e1,e7      # a subset
+//	threadsbench -list           # list experiments
+//	threadsbench -csv dir        # also write each table as dir/<id>.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"threads/internal/bench"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "run reduced sweeps")
+		exp    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+	)
+	flag.Parse()
+
+	exps := bench.All()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *exp != "" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	opts := bench.Options{Quick: *quick}
+	ran := 0
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tables := e.Run(opts)
+		for _, t := range tables {
+			fmt.Println(t)
+			if *csvDir != "" {
+				name := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
+				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("  (%s completed in %v)\n\n", strings.ToUpper(e.ID), time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "threadsbench: no experiment matched %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,112 @@
+// Command threadscheck model-checks the formal specification: it explores
+// every interleaving of the litmus scenarios against a chosen historical
+// variant of the AlertWait specification and reports violations with their
+// shortest counterexample traces.
+//
+// Usage:
+//
+//	threadscheck                     # check all scenarios × all variants
+//	threadscheck -variant no-m-nil   # one variant
+//	threadscheck -bug mnil           # just the E7a scenario
+//	threadscheck -bug unchangedc     # just the E7b scenario
+//	threadscheck -mutex 3,2          # mutual-exclusion litmus: 3 threads × 2 CS
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"threads/internal/checker"
+	"threads/internal/spec"
+)
+
+func main() {
+	var (
+		variantFlag = flag.String("variant", "", "spec variant: final, no-m-nil, unchanged-c (default: all)")
+		bug         = flag.String("bug", "", "scenario: mnil (E7a), unchangedc (E7b) (default: both)")
+		mutex       = flag.String("mutex", "", "run the mutual-exclusion litmus: THREADS,ITERS")
+	)
+	flag.Parse()
+
+	if *mutex != "" {
+		parts := strings.Split(*mutex, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "threadscheck: -mutex wants THREADS,ITERS")
+			os.Exit(2)
+		}
+		n, err1 := strconv.Atoi(parts[0])
+		iters, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || n < 1 || iters < 1 {
+			fmt.Fprintln(os.Stderr, "threadscheck: bad -mutex arguments")
+			os.Exit(2)
+		}
+		report(fmt.Sprintf("mutual exclusion, %d threads × %d critical sections", n, iters),
+			checker.Run(checker.MutualExclusion(n, iters)))
+		return
+	}
+
+	variants := []spec.Variant{spec.VariantNoMNil, spec.VariantUnchangedC, spec.VariantFinal}
+	if *variantFlag != "" {
+		v, err := parseVariant(*variantFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadscheck:", err)
+			os.Exit(2)
+		}
+		variants = []spec.Variant{v}
+	}
+	runMNil := *bug == "" || *bug == "mnil"
+	runUnchanged := *bug == "" || *bug == "unchangedc"
+	if !runMNil && !runUnchanged {
+		fmt.Fprintf(os.Stderr, "threadscheck: unknown -bug %q (want mnil or unchangedc)\n", *bug)
+		os.Exit(2)
+	}
+	bad := false
+	for _, v := range variants {
+		if runMNil {
+			res := checker.Run(checker.AlertSeizesHeldMutex(v))
+			report(fmt.Sprintf("E7a mutual exclusion under AlertWait [variant %s]", v), res)
+			bad = bad || (v == spec.VariantFinal && res.Violation != nil)
+		}
+		if runUnchanged {
+			res := checker.Run(checker.SignalAbsorbedByDepartedThread(v))
+			report(fmt.Sprintf("E7b absorbed signal [variant %s]", v), res)
+			bad = bad || (v == spec.VariantFinal && res.Violation != nil)
+		}
+	}
+	if bad {
+		// The final specification must be clean; anything else is a
+		// regression in this repository.
+		os.Exit(1)
+	}
+}
+
+func parseVariant(s string) (spec.Variant, error) {
+	switch s {
+	case "final":
+		return spec.VariantFinal, nil
+	case "no-m-nil", "nomnil", "mnil":
+		return spec.VariantNoMNil, nil
+	case "unchanged-c", "unchangedc":
+		return spec.VariantUnchangedC, nil
+	default:
+		return 0, fmt.Errorf("unknown variant %q (want final, no-m-nil, unchanged-c)", s)
+	}
+}
+
+func report(title string, res checker.Result) {
+	fmt.Printf("== %s\n", title)
+	fmt.Printf("   states %d, transitions %d, terminal %d\n", res.States, res.Transitions, res.Terminal)
+	if res.Violation == nil {
+		fmt.Printf("   property holds over the full state space\n\n")
+		return
+	}
+	fmt.Printf("   %s VIOLATION: %s\n", strings.ToUpper(res.Violation.Kind), res.Violation.Msg)
+	fmt.Printf("   shortest counterexample (%d steps):\n", len(res.Violation.Trace))
+	for i, step := range res.Violation.Trace {
+		fmt.Printf("     %2d. %s\n", i+1, step)
+	}
+	fmt.Println()
+}

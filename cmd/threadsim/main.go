@@ -1,0 +1,201 @@
+// Command threadsim runs workloads on the simulated Firefly multiprocessor
+// and prints instruction-level statistics: makespan, fast-path rates, Nub
+// entries, parks, signal behavior. It is the interactive companion to the
+// E2/E10 sweeps in threadsbench.
+//
+// Usage:
+//
+//	threadsim -workload contention -procs 5 -threads 8 -iters 500
+//	threadsim -workload prodcons -procs 5 -producers 4 -consumers 4
+//	threadsim -workload contention -trace   # check the trace against the spec
+//	threadsim -trace -record run.jsonl      # also save the trace (JSON Lines)
+//	threadsim -replay run.jsonl             # re-check a recorded trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/spec"
+	"threads/internal/trace"
+	"threads/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "contention", "contention or prodcons")
+		procs     = flag.Int("procs", 5, "simulated processors (the Firefly had 5)")
+		threads   = flag.Int("threads", 8, "threads (contention workload)")
+		iters     = flag.Int("iters", 500, "critical sections per thread")
+		csWork    = flag.Int("cswork", 20, "instructions inside the critical section")
+		think     = flag.Int("think", 200, "instructions outside")
+		producers = flag.Int("producers", 4, "producers (prodcons workload)")
+		consumers = flag.Int("consumers", 4, "consumers (prodcons workload)")
+		items     = flag.Int("items", 200, "items per producer")
+		capacity  = flag.Int("capacity", 8, "buffer capacity")
+		seed      = flag.Int64("seed", 1, "scheduling seed")
+		traced    = flag.Bool("trace", false, "record the action trace and check it against the formal specification")
+		record    = flag.String("record", "", "with -trace: also write the trace to this file (JSON Lines)")
+		replay    = flag.String("replay", "", "check a previously recorded trace file and exit")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		events, err := trace.Read(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		n, err := trace.CheckAll(events)
+		if err != nil {
+			fmt.Printf("CONFORMANCE VIOLATION after %d events:\n  %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: all %d actions conform to the formal specification\n", *replay, n)
+		return
+	}
+
+	if *traced {
+		runTraced(*seed, *procs, *record)
+		return
+	}
+
+	switch *wl {
+	case "contention":
+		res, err := workload.SimMutexContention(workload.SimContentionConfig{
+			Procs: *procs, Threads: *threads, Iters: *iters,
+			CSWork: *csWork, Think: *think, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		ops := float64((*threads) * (*iters))
+		fmt.Printf("contention: %d procs, %d threads, %d iterations each\n", *procs, *threads, *iters)
+		fmt.Printf("  makespan          %d instructions (%.0f µs MicroVAX II)\n", res.Makespan, res.Micros)
+		fmt.Printf("  per operation     %.2f µs\n", res.Micros/ops)
+		fmt.Printf("  fast-path rate    %.1f%%\n", res.FastPathRate()*100)
+		fmt.Printf("  acquire fast/nub  %d / %d (parks %d)\n",
+			res.Stats.AcquireFast, res.Stats.AcquireNub, res.Stats.AcquirePark)
+		fmt.Printf("  release fast/nub  %d / %d\n", res.Stats.ReleaseFast, res.Stats.ReleaseNub)
+		fmt.Printf("  processor util    %s\n", formatUtil(res.Utilization))
+	case "prodcons":
+		res, err := workload.SimProducerConsumer(workload.SimPCConfig{
+			Procs: *procs, Producers: *producers, Consumers: *consumers,
+			ItemsPerProducer: *items, Capacity: *capacity, Work: *think, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("prodcons: %d procs, %d producers, %d consumers, %d items\n",
+			*procs, *producers, *consumers, res.Items)
+		fmt.Printf("  makespan        %d instructions (%.0f µs MicroVAX II)\n", res.Makespan, res.Micros)
+		fmt.Printf("  throughput      %.0f items per simulated second\n", res.ItemsPerSecond())
+		fmt.Printf("  waits parked    %d, elided %d\n", res.Stats.WaitPark, res.Stats.WaitElided)
+		fmt.Printf("  signals         fast %d, nub %d, woke %d\n",
+			res.Stats.SignalFast, res.Stats.SignalNub, res.Stats.SignalWoke)
+		fmt.Printf("  broadcasts      fast %d, nub %d, woke %d\n",
+			res.Stats.BcastFast, res.Stats.BcastNub, res.Stats.BcastWoke)
+	default:
+		fmt.Fprintf(os.Stderr, "threadsim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+}
+
+// formatUtil renders per-processor utilizations compactly.
+func formatUtil(u []float64) string {
+	parts := make([]string, len(u))
+	for i, v := range u {
+		parts[i] = fmt.Sprintf("p%d %.0f%%", i, v*100)
+	}
+	return strings.Join(parts, "  ")
+}
+
+// runTraced runs a mixed workload with tracing and replays the actions
+// through the specification, optionally recording them to a file.
+func runTraced(seed int64, procs int, record string) {
+	var events []trace.Event
+	cfg := sim.Config{
+		Procs: procs, Seed: seed, Policy: sim.PolicyRandom, MaxSteps: 10_000_000,
+		Trace: func(ev sim.Event) {
+			if a, ok := ev.Payload.(spec.Action); ok {
+				events = append(events, trace.Event{Seq: ev.Seq, Thread: ev.Thread.Name(), Action: a})
+			}
+		},
+	}
+	w, k := simthreads.NewWorld(cfg)
+	m := w.NewMutex()
+	c := w.NewCondition()
+	var queue, consumed sim.Word
+	const total = 60
+	for i := 0; i < 3; i++ {
+		k.Spawn("producer", func(e *sim.Env) {
+			for n := 0; n < total/3; n++ {
+				m.Acquire(e)
+				e.Add(&queue, 1)
+				m.Release(e)
+				c.Signal(e)
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		k.Spawn("consumer", func(e *sim.Env) {
+			for {
+				m.Acquire(e)
+				for e.Load(&queue) == 0 {
+					if e.Load(&consumed) >= total {
+						m.Release(e)
+						c.Broadcast(e)
+						return
+					}
+					c.Wait(e, m)
+				}
+				e.Add(&queue, ^uint64(0))
+				n := e.Add(&consumed, 1)
+				m.Release(e)
+				if n >= total {
+					c.Broadcast(e)
+					return
+				}
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "threadsim:", err)
+		os.Exit(1)
+	}
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		if err := trace.Write(f, events); err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", record)
+	}
+	n, err := trace.CheckAll(events)
+	fmt.Printf("traced run: %d linearized actions recorded\n", len(events))
+	if err != nil {
+		fmt.Printf("CONFORMANCE VIOLATION after %d events:\n  %v\n", n, err)
+		os.Exit(1)
+	}
+	fmt.Printf("all %d actions conform to the formal specification\n", n)
+}

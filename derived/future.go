@@ -1,0 +1,71 @@
+package derived
+
+import "threads"
+
+// Future is a single-assignment result cell: Get blocks until Set delivers
+// the value. Waiting is alertable, so futures compose with the timeout
+// pattern (alert the waiting thread; Get returns threads.Alerted).
+type Future[T any] struct {
+	mu    threads.Mutex
+	set   threads.Condition
+	done  bool
+	value T
+}
+
+// NewFuture returns an unset future.
+func NewFuture[T any]() *Future[T] { return &Future[T]{} }
+
+// Set delivers the value; every waiter may proceed, so Broadcast. Set
+// panics on a second call: futures are single-assignment.
+func (f *Future[T]) Set(v T) {
+	f.mu.Acquire()
+	if f.done {
+		f.mu.Release()
+		panic("derived: Future set twice")
+	}
+	f.value = v
+	f.done = true
+	f.mu.Release()
+	f.set.Broadcast()
+}
+
+// Get blocks until the value is set.
+func (f *Future[T]) Get() T {
+	f.mu.Acquire()
+	for !f.done {
+		f.set.Wait(&f.mu)
+	}
+	v := f.value
+	f.mu.Release()
+	return v
+}
+
+// AlertGet is Get, except a pending or arriving Alert interrupts the wait
+// with threads.Alerted.
+func (f *Future[T]) AlertGet() (T, error) {
+	f.mu.Acquire()
+	for !f.done {
+		if err := f.set.AlertWait(&f.mu); err != nil {
+			var zero T
+			f.mu.Release()
+			return zero, err
+		}
+	}
+	v := f.value
+	f.mu.Release()
+	return v, nil
+}
+
+// TryGet returns the value if set.
+func (f *Future[T]) TryGet() (T, bool) {
+	f.mu.Acquire()
+	defer f.mu.Release()
+	return f.value, f.done
+}
+
+// Done reports whether the future has been set (advisory).
+func (f *Future[T]) Done() bool {
+	f.mu.Acquire()
+	defer f.mu.Release()
+	return f.done
+}

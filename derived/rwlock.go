@@ -1,0 +1,88 @@
+package derived
+
+import "threads"
+
+// RWLock is a writers-preferring readers-writer lock — the paper's
+// motivating example for Broadcast: "releasing a 'writer' lock on a file
+// might permit all 'readers' to resume." Readers and writers wait on the
+// same condition variable for different predicates, so Signal would be
+// incorrect; every state change that could enable anyone uses Broadcast.
+type RWLock struct {
+	mu             threads.Mutex
+	changed        threads.Condition
+	readers        int
+	writing        bool
+	waitingWriters int
+}
+
+// NewRWLock returns an open lock.
+func NewRWLock() *RWLock { return &RWLock{} }
+
+// RLock acquires shared access; waiting writers take priority over new
+// readers so writers cannot starve.
+func (l *RWLock) RLock() {
+	l.mu.Acquire()
+	for l.writing || l.waitingWriters > 0 {
+		l.changed.Wait(&l.mu)
+	}
+	l.readers++
+	l.mu.Release()
+}
+
+// TryRLock acquires shared access without blocking.
+func (l *RWLock) TryRLock() bool {
+	l.mu.Acquire()
+	ok := !l.writing && l.waitingWriters == 0
+	if ok {
+		l.readers++
+	}
+	l.mu.Release()
+	return ok
+}
+
+// RUnlock releases shared access.
+func (l *RWLock) RUnlock() {
+	l.mu.Acquire()
+	if l.readers == 0 {
+		l.mu.Release()
+		panic("derived: RUnlock without RLock")
+	}
+	l.readers--
+	last := l.readers == 0
+	l.mu.Release()
+	if last {
+		l.changed.Broadcast()
+	}
+}
+
+// Lock acquires exclusive access.
+func (l *RWLock) Lock() {
+	l.mu.Acquire()
+	l.waitingWriters++
+	for l.writing || l.readers > 0 {
+		l.changed.Wait(&l.mu)
+	}
+	l.waitingWriters--
+	l.writing = true
+	l.mu.Release()
+}
+
+// Unlock releases exclusive access; all readers (or one writer) may
+// resume, so Broadcast is necessary for correctness.
+func (l *RWLock) Unlock() {
+	l.mu.Acquire()
+	if !l.writing {
+		l.mu.Release()
+		panic("derived: Unlock without Lock")
+	}
+	l.writing = false
+	l.mu.Release()
+	l.changed.Broadcast()
+}
+
+// Readers reports the current shared holders (advisory).
+func (l *RWLock) Readers() int {
+	l.mu.Acquire()
+	defer l.mu.Release()
+	return l.readers
+}

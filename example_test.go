@@ -1,0 +1,133 @@
+package threads_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"threads"
+)
+
+// The basic monitor pattern: a mutex-protected predicate, a condition
+// variable, and the re-check loop (return from Wait is only a hint).
+func Example() {
+	var (
+		mu    threads.Mutex
+		ready threads.Condition
+		value string
+		done  bool
+	)
+	worker := threads.Fork(func() {
+		mu.Acquire()
+		for !done {
+			ready.Wait(&mu)
+		}
+		fmt.Println("worker saw:", value)
+		mu.Release()
+	})
+	threads.Lock(&mu, func() {
+		value = "hello"
+		done = true
+	})
+	ready.Signal()
+	threads.Join(worker)
+	// Output: worker saw: hello
+}
+
+// Lock is the Modula-2+ LOCK m DO ... END construct: Release always runs,
+// even on panic.
+func ExampleLock() {
+	var mu threads.Mutex
+	func() {
+		defer func() { recover() }()
+		threads.Lock(&mu, func() {
+			panic("exception inside the critical section")
+		})
+	}()
+	// The mutex was released by Lock's FINALLY semantics:
+	fmt.Println("held after panic:", mu.Held())
+	// Output: held after panic: false
+}
+
+// Semaphores need no holder and no textual pairing of P and V: one thread
+// waits, another (here standing in for an interrupt routine) posts.
+func ExampleSemaphore() {
+	var sem threads.Semaphore
+	sem.P() // drain the initial availability; the next P waits
+	done := make(chan struct{})
+	handler := threads.Fork(func() {
+		sem.P() // waits for the "interrupt"
+		fmt.Println("interrupt handled")
+		close(done)
+	})
+	sem.V() // the interrupt routine: never blocks
+	<-done
+	threads.Join(handler)
+	// Output: interrupt handled
+}
+
+// Alert implements timeouts politely: the timer holds only the thread
+// handle and need not know which condition the thread is blocked on.
+func ExampleAlert() {
+	var (
+		mu    threads.Mutex
+		reply threads.Condition
+	)
+	worker := threads.Fork(func() {
+		mu.Acquire()
+		err := reply.AlertWait(&mu) // nothing will ever signal this
+		mu.Release()
+		if errors.Is(err, threads.Alerted) {
+			fmt.Println("timed out")
+		}
+	})
+	time.Sleep(5 * time.Millisecond)
+	threads.Alert(worker) // the timeout fires
+	threads.Join(worker)
+	// Output: timed out
+}
+
+// TestAlert polls for a pending alert at a cancellation point.
+func ExampleTestAlert() {
+	worker := threads.Fork(func() {
+		for i := 0; ; i++ {
+			if threads.TestAlert() {
+				fmt.Println("aborted politely")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	time.Sleep(5 * time.Millisecond)
+	threads.Alert(worker)
+	threads.Join(worker)
+	// Output: aborted politely
+}
+
+// Broadcast releases every waiter — required when waiters wait for
+// different predicates, as when releasing a writer lock frees all readers.
+func ExampleCondition_Broadcast() {
+	var (
+		mu      threads.Mutex
+		cond    threads.Condition
+		writing = true
+	)
+	readers := make([]*threads.Thread, 3)
+	for i := range readers {
+		readers[i] = threads.Fork(func() {
+			mu.Acquire()
+			for writing {
+				cond.Wait(&mu)
+			}
+			mu.Release()
+		})
+	}
+	time.Sleep(5 * time.Millisecond)
+	threads.Lock(&mu, func() { writing = false })
+	cond.Broadcast()
+	for _, r := range readers {
+		threads.Join(r)
+	}
+	fmt.Println("all readers resumed")
+	// Output: all readers resumed
+}

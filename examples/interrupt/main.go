@@ -1,0 +1,83 @@
+// Synchronizing with interrupt routines via semaphores — the one use the
+// paper says requires semaphores: "an interrupt routine cannot protect
+// shared data with a mutex — because the interrupt might have pre-empted a
+// thread in a critical section protected by that mutex — and using Wait and
+// Signal to synchronize requires use of an associated mutex. Instead, a
+// thread waits for an interrupt routine action by calling P(sem), and the
+// interrupt routine unblocks it by calling V(sem)."
+//
+// The "device" here is a raw goroutine that delivers interrupts on a timer;
+// like a real interrupt routine it never blocks and touches only V and a
+// lock-free ring buffer.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"threads"
+)
+
+const ringSize = 16
+
+// device is a simulated input device: the interrupt routine writes bytes
+// into a single-producer/single-consumer ring and Vs the semaphore.
+type device struct {
+	ring [ringSize]byte
+	head atomic.Uint64 // written by the interrupt routine
+	tail atomic.Uint64 // written by the handler thread
+	sem  threads.Semaphore
+}
+
+// interrupt is the interrupt routine: non-blocking, no mutexes.
+func (d *device) interrupt(b byte) {
+	h := d.head.Load()
+	if h-d.tail.Load() == ringSize {
+		return // overrun: drop, as real devices do
+	}
+	d.ring[h%ringSize] = b
+	d.head.Store(h + 1)
+	d.sem.V() // unblock the handler; V never blocks
+}
+
+// read blocks the calling thread until the device has data.
+func (d *device) read() byte {
+	for {
+		t := d.tail.Load()
+		if d.head.Load() != t {
+			b := d.ring[t%ringSize]
+			d.tail.Store(t + 1)
+			return b
+		}
+		d.sem.P() // wait for an interrupt-routine action
+	}
+}
+
+func main() {
+	d := &device{}
+	d.sem.P() // drain the initial availability: P now waits for V
+
+	message := []byte("firefly")
+	received := make([]byte, 0, len(message))
+
+	handler := threads.ForkNamed("interrupt-handler", func() {
+		for len(received) < len(message) {
+			received = append(received, d.read())
+		}
+	})
+
+	// The interrupt source: a timer-driven goroutine standing in for the
+	// hardware. It may fire while the handler is anywhere — including
+	// inside critical sections of other mutexes — which is exactly why it
+	// may only use V.
+	go func() {
+		for _, b := range message {
+			time.Sleep(2 * time.Millisecond)
+			d.interrupt(b)
+		}
+	}()
+
+	threads.Join(handler)
+	fmt.Printf("handler received %q via %d interrupts\n", received, len(received))
+}

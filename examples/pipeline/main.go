@@ -1,0 +1,106 @@
+// A three-stage image-processing-style pipeline built from the derived
+// synchronization objects: a buffer Pool (the paper's canonical Signal
+// example — "freeing a buffer back into a pool"), bounded hand-off queues,
+// a Barrier between batches, and a Future for the final result.
+package main
+
+import (
+	"fmt"
+
+	"threads"
+	"threads/derived"
+)
+
+// queue is a tiny bounded hand-off built straight on the primitives.
+type queue struct {
+	mu       threads.Mutex
+	nonEmpty threads.Condition
+	nonFull  threads.Condition
+	items    []int
+	capacity int
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{capacity: capacity}
+}
+
+func (q *queue) put(v int) {
+	q.mu.Acquire()
+	for len(q.items) == q.capacity {
+		q.nonFull.Wait(&q.mu)
+	}
+	q.items = append(q.items, v)
+	q.mu.Release()
+	q.nonEmpty.Signal()
+}
+
+func (q *queue) get() int {
+	q.mu.Acquire()
+	for len(q.items) == 0 {
+		q.nonEmpty.Wait(&q.mu)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Release()
+	q.nonFull.Signal()
+	return v
+}
+
+func main() {
+	const (
+		batches   = 4
+		batchSize = 100
+	)
+	// A pool of 4 reusable "frame buffers" shared by the whole pipeline;
+	// stages must recycle them or the source stalls — backpressure via
+	// Signal, exactly the paper's pool idiom.
+	buffers := derived.NewPool(0, 1, 2, 3)
+
+	stage1 := newQueue(2) // source → square
+	stage2 := newQueue(2) // square → accumulate
+	barrier := derived.NewBarrier(3)
+	result := derived.NewFuture[int]()
+
+	// Source: claims a frame buffer per item (backpressure: with all four
+	// buffers in flight the source stalls until a stage recycles one).
+	threads.ForkNamed("source", func() {
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batchSize; i++ {
+				buf := buffers.Get()
+				stage1.put(b*batchSize + i)
+				buffers.Put(buf)
+			}
+			barrier.Await()
+		}
+	})
+
+	// Transform stage.
+	threads.ForkNamed("square", func() {
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batchSize; i++ {
+				v := stage1.get()
+				stage2.put(v * v)
+			}
+			barrier.Await()
+		}
+	})
+
+	// Sink: accumulates and publishes the final checksum.
+	threads.ForkNamed("sink", func() {
+		sum := 0
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batchSize; i++ {
+				sum += stage2.get()
+			}
+			fmt.Printf("batch %d complete\n", b+1)
+			barrier.Await()
+		}
+		result.Set(sum)
+	})
+
+	// The main goroutine (an adopted thread) waits on the future.
+	sum := result.Get()
+	n := batches * batchSize
+	want := (n - 1) * n * (2*n - 1) / 6 // sum of squares 0..n-1
+	fmt.Printf("checksum %d (want %d, match=%v)\n", sum, want, sum == want)
+}

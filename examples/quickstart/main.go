@@ -1,0 +1,45 @@
+// Quickstart: the canonical monitor pattern with the Threads primitives —
+// a mutex-protected queue, a condition variable, and the predicate loop
+// ("return from Wait is only a hint").
+package main
+
+import (
+	"fmt"
+
+	"threads"
+)
+
+func main() {
+	var (
+		mu    threads.Mutex
+		ready threads.Condition
+		queue []string
+	)
+
+	// A consumer thread: enter the critical section, wait until the
+	// predicate (non-empty queue) holds, take an item.
+	consumer := threads.Fork(func() {
+		for received := 0; received < 3; received++ {
+			mu.Acquire()
+			for len(queue) == 0 { // re-evaluate: the return is a hint
+				ready.Wait(&mu)
+			}
+			item := queue[0]
+			queue = queue[1:]
+			mu.Release()
+			fmt.Println("consumed:", item)
+		}
+	})
+
+	// The producer uses the LOCK m DO ... END sugar; Signal after leaving
+	// the critical section is the recommended pattern.
+	for _, item := range []string{"first", "second", "third"} {
+		threads.Lock(&mu, func() {
+			queue = append(queue, item)
+		})
+		ready.Signal()
+	}
+
+	threads.Join(consumer)
+	fmt.Println("done")
+}

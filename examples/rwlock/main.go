@@ -1,0 +1,112 @@
+// Readers-writer lock built from a Mutex and one Condition — the paper's
+// motivating example for Broadcast: "Broadcast is necessary (for
+// correctness) if multiple threads should resume (for example, when
+// releasing a 'writer' lock on a file might permit all 'readers' to
+// resume)." Because readers and writers wait for different predicates on
+// the same condition variable, Signal would be incorrect here.
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"threads"
+)
+
+// RWLock is a writers-preferring readers-writer lock.
+type RWLock struct {
+	mu             threads.Mutex
+	changed        threads.Condition
+	readers        int
+	writing        bool
+	waitingWriters int
+}
+
+// RLock acquires shared access.
+func (l *RWLock) RLock() {
+	l.mu.Acquire()
+	for l.writing || l.waitingWriters > 0 {
+		l.changed.Wait(&l.mu)
+	}
+	l.readers++
+	l.mu.Release()
+}
+
+// RUnlock releases shared access.
+func (l *RWLock) RUnlock() {
+	l.mu.Acquire()
+	l.readers--
+	last := l.readers == 0
+	l.mu.Release()
+	if last {
+		// The last reader leaving may allow one writer to proceed —
+		// different waiters wait for different predicates, so Broadcast.
+		l.changed.Broadcast()
+	}
+}
+
+// Lock acquires exclusive access.
+func (l *RWLock) Lock() {
+	l.mu.Acquire()
+	l.waitingWriters++
+	for l.writing || l.readers > 0 {
+		l.changed.Wait(&l.mu)
+	}
+	l.waitingWriters--
+	l.writing = true
+	l.mu.Release()
+}
+
+// Unlock releases exclusive access: all readers may resume.
+func (l *RWLock) Unlock() {
+	l.mu.Acquire()
+	l.writing = false
+	l.mu.Release()
+	l.changed.Broadcast()
+}
+
+func main() {
+	var (
+		lock  RWLock
+		data  [3]int64 // protected: all cells always equal
+		races atomic.Int64
+		reads atomic.Int64
+	)
+	const (
+		readerThreads = 6
+		writerThreads = 2
+		opsPerThread  = 3000
+	)
+	var workers []*threads.Thread
+	for r := 0; r < readerThreads; r++ {
+		workers = append(workers, threads.Fork(func() {
+			for i := 0; i < opsPerThread; i++ {
+				lock.RLock()
+				a, b, c := data[0], data[1], data[2]
+				if a != b || b != c {
+					races.Add(1) // torn read: exclusion broken
+				}
+				lock.RUnlock()
+				reads.Add(1)
+			}
+		}))
+	}
+	for w := 0; w < writerThreads; w++ {
+		workers = append(workers, threads.Fork(func() {
+			for i := 0; i < opsPerThread; i++ {
+				lock.Lock()
+				v := data[0] + 1
+				data[0], data[1], data[2] = v, v, v
+				lock.Unlock()
+			}
+		}))
+	}
+	for _, w := range workers {
+		threads.Join(w)
+	}
+	fmt.Printf("reads: %d, torn reads: %d, final value: %d (want %d)\n",
+		reads.Load(), races.Load(), data[0], writerThreads*opsPerThread)
+	if races.Load() == 0 && data[0] == writerThreads*opsPerThread {
+		fmt.Println("readers-writer lock behaved correctly")
+	}
+}

@@ -1,0 +1,98 @@
+// Timeouts and aborts via alerting — the facility's intended use: "Alerting
+// provides a polite form of interrupt ... typically to implement things
+// such as timeouts and aborts. It allows a thread to request that another
+// thread desist from a computation," at a higher abstraction level than the
+// one in which the thread is blocked.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"threads"
+)
+
+// rpc models a remote call that may never complete: the reply arrives via
+// a condition variable that, in the failure case, is never signalled.
+type rpc struct {
+	mu    threads.Mutex
+	reply threads.Condition
+	done  bool
+	value string
+}
+
+// await blocks until the reply arrives or the caller is alerted; it uses
+// AlertWait because this is exactly the point at which the thread should
+// respond to an Alert.
+func (r *rpc) await() (string, error) {
+	r.mu.Acquire()
+	defer r.mu.Release()
+	for !r.done {
+		if err := r.reply.AlertWait(&r.mu); err != nil {
+			return "", err // Alerted: the timeout fired
+		}
+	}
+	return r.value, nil
+}
+
+func (r *rpc) complete(v string) {
+	threads.Lock(&r.mu, func() {
+		r.done = true
+		r.value = v
+	})
+	r.reply.Signal()
+}
+
+// withTimeout runs call in a worker thread and alerts it if the deadline
+// passes — the timer knows nothing about the condition variable the worker
+// is blocked on; it only holds the thread handle.
+func withTimeout(d time.Duration, call func() (string, error)) (string, error) {
+	type outcome struct {
+		v   string
+		err error
+	}
+	results := make(chan outcome, 1)
+	worker := threads.ForkNamed("rpc-worker", func() {
+		v, err := call()
+		results <- outcome{v, err}
+	})
+	timer := time.AfterFunc(d, func() { threads.Alert(worker) })
+	defer timer.Stop()
+	threads.Join(worker)
+	res := <-results
+	return res.v, res.err
+}
+
+func main() {
+	// Case 1: the reply arrives in time.
+	fast := &rpc{}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		fast.complete("pong")
+	}()
+	v, err := withTimeout(5*time.Second, fast.await)
+	fmt.Printf("fast call: value=%q err=%v\n", v, err)
+
+	// Case 2: the reply never arrives; the timeout alert unblocks the
+	// worker, which returns threads.Alerted.
+	slow := &rpc{}
+	v, err = withTimeout(30*time.Millisecond, slow.await)
+	fmt.Printf("slow call: value=%q err=%v (timed out=%v)\n",
+		v, err, errors.Is(err, threads.Alerted))
+
+	// Case 3: an abort requested while the worker is computing, observed
+	// via TestAlert at a cancellation point.
+	worker := threads.ForkNamed("cruncher", func() {
+		for i := 0; ; i++ {
+			if threads.TestAlert() {
+				fmt.Printf("cruncher aborted politely at iteration %d\n", i)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	time.Sleep(20 * time.Millisecond)
+	threads.Alert(worker)
+	threads.Join(worker)
+}

@@ -1,0 +1,3 @@
+module threads
+
+go 1.22

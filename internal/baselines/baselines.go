@@ -1,0 +1,130 @@
+// Package baselines implements the alternative designs the paper compares
+// against or warns about, so the benchmarks can reproduce each comparison:
+//
+//   - Hoare-style monitors (Hoare 74): Signal hands the monitor directly to
+//     one waiter, so the waiter's predicate is guaranteed on resume — the
+//     stronger semantics the paper's Mesa-style "return from Wait is only a
+//     hint" deliberately weakens for efficiency (experiment E6).
+//
+//   - Semaphore-based condition variables: Wait(m, c) = Release(m); P(c);
+//     Acquire(m), Signal(c) = V(c). The paper notes this is a correct
+//     implementation of Wait and Signal ("the one bit in the semaphore c
+//     would cover the wakeup-waiting race") but that it "does not
+//     generalize to Broadcast": arbitrarily many threads can be racing at
+//     the semicolon and a binary semaphore cannot release them all
+//     (experiment E5).
+//
+//   - Native Go sync.Mutex/sync.Cond monitors, as the modern-runtime
+//     reference point for the throughput comparisons (experiment E10).
+//
+// All three expose the same Monitor interface so the workload generators in
+// internal/workload can drive any of them interchangeably.
+package baselines
+
+import (
+	"sync"
+
+	"threads/internal/core"
+)
+
+// Monitor is the common shape of a mutex plus condition-variable factory.
+type Monitor interface {
+	// Acquire enters the monitor; Release leaves it.
+	Acquire()
+	Release()
+	// NewCond creates a condition variable tied to this monitor.
+	NewCond() Cond
+	// Name identifies the implementation in benchmark tables.
+	Name() string
+}
+
+// Cond is a condition variable bound to its Monitor's lock.
+//
+// Signal and Broadcast must be called while holding the monitor: every
+// implementation permits that, and Hoare signalling requires it (the
+// hand-off transfers the caller's ownership to the waiter). The Threads and
+// native implementations additionally allow signalling after Release — the
+// optimization the paper mentions — but portable workload code signals
+// while holding.
+type Cond interface {
+	// Wait suspends the caller (which must hold the monitor) until a
+	// Signal or Broadcast; on return the caller holds the monitor again.
+	// Guaranteed reports whether the implementation guarantees the
+	// signalled predicate still holds on return (Hoare) or only hints it
+	// (Mesa/Threads).
+	Wait()
+	Signal()
+	Broadcast()
+	Guaranteed() bool
+}
+
+// ---------------------------------------------------------------------------
+// Threads (the paper's primitives, package core) as a Monitor.
+// ---------------------------------------------------------------------------
+
+// ThreadsMonitor adapts core.Mutex/core.Condition to the Monitor interface.
+type ThreadsMonitor struct {
+	mu core.Mutex
+}
+
+// NewThreadsMonitor returns a monitor over the paper's primitives.
+func NewThreadsMonitor() *ThreadsMonitor { return &ThreadsMonitor{} }
+
+// Acquire enters the monitor.
+func (m *ThreadsMonitor) Acquire() { m.mu.Acquire() }
+
+// Release leaves the monitor.
+func (m *ThreadsMonitor) Release() { m.mu.Release() }
+
+// Name identifies the implementation.
+func (m *ThreadsMonitor) Name() string { return "threads" }
+
+// NewCond creates a Mesa-style condition variable.
+func (m *ThreadsMonitor) NewCond() Cond {
+	return &threadsCond{m: m, c: &core.Condition{}}
+}
+
+type threadsCond struct {
+	m *ThreadsMonitor
+	c *core.Condition
+}
+
+func (c *threadsCond) Wait()            { c.c.Wait(&c.m.mu) }
+func (c *threadsCond) Signal()          { c.c.Signal() }
+func (c *threadsCond) Broadcast()       { c.c.Broadcast() }
+func (c *threadsCond) Guaranteed() bool { return false }
+
+// ---------------------------------------------------------------------------
+// Native Go sync as a Monitor.
+// ---------------------------------------------------------------------------
+
+// NativeMonitor adapts sync.Mutex/sync.Cond.
+type NativeMonitor struct {
+	mu sync.Mutex
+}
+
+// NewNativeMonitor returns a monitor over the Go runtime's primitives.
+func NewNativeMonitor() *NativeMonitor { return &NativeMonitor{} }
+
+// Acquire enters the monitor.
+func (m *NativeMonitor) Acquire() { m.mu.Lock() }
+
+// Release leaves the monitor.
+func (m *NativeMonitor) Release() { m.mu.Unlock() }
+
+// Name identifies the implementation.
+func (m *NativeMonitor) Name() string { return "go-sync" }
+
+// NewCond creates a sync.Cond (Mesa-style, like the paper's).
+func (m *NativeMonitor) NewCond() Cond {
+	return &nativeCond{c: sync.NewCond(&m.mu)}
+}
+
+type nativeCond struct {
+	c *sync.Cond
+}
+
+func (c *nativeCond) Wait()            { c.c.Wait() }
+func (c *nativeCond) Signal()          { c.c.Signal() }
+func (c *nativeCond) Broadcast()       { c.c.Broadcast() }
+func (c *nativeCond) Guaranteed() bool { return false }

@@ -1,0 +1,267 @@
+package baselines
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"threads/internal/core"
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+func monitors() []Monitor {
+	return []Monitor{NewThreadsMonitor(), NewHoareMonitor(), NewNativeMonitor(), NewSemCondMonitor()}
+}
+
+// TestMonitorsMutualExclusion: every Monitor implementation serializes its
+// critical sections.
+func TestMonitorsMutualExclusion(t *testing.T) {
+	for _, m := range monitors() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			var counter int
+			var wg sync.WaitGroup
+			wg.Add(4)
+			for i := 0; i < 4; i++ {
+				go func() {
+					defer wg.Done()
+					for j := 0; j < 2000; j++ {
+						m.Acquire()
+						counter++
+						m.Release()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != 8000 {
+				t.Fatalf("counter = %d, want 8000", counter)
+			}
+		})
+	}
+}
+
+// TestMonitorsProducerConsumer: the common bounded-buffer protocol works on
+// every implementation (SemCondMonitor included — Signal-only use is the
+// case the paper says is fine).
+func TestMonitorsProducerConsumer(t *testing.T) {
+	for _, m := range monitors() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			nonEmpty := m.NewCond()
+			nonFull := m.NewCond()
+			const total, capacity = 500, 4
+			queue := 0
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < total; i++ {
+					m.Acquire()
+					for queue == capacity {
+						nonFull.Wait()
+					}
+					queue++
+					nonEmpty.Signal() // while holding: required for Hoare
+					m.Release()
+				}
+			}()
+			consumed := 0
+			for consumed < total {
+				m.Acquire()
+				for queue == 0 {
+					nonEmpty.Wait()
+				}
+				queue--
+				consumed++
+				nonFull.Signal()
+				m.Release()
+			}
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("producer never finished")
+			}
+		})
+	}
+}
+
+// TestHoarePredicateGuaranteed: with Hoare signalling, a waiter observes
+// the predicate exactly as the signaller left it — a barging thread cannot
+// invalidate it first. We hammer the handoff and verify the waiter never
+// needs to re-check.
+func TestHoarePredicateGuaranteed(t *testing.T) {
+	m := NewHoareMonitor()
+	c := m.NewCond()
+	if !c.Guaranteed() {
+		t.Fatal("Hoare cond must report guaranteed semantics")
+	}
+	var tokens int
+	var violations int32
+	const rounds = 2000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Waiter: predicate must hold on EVERY return from Wait, no loop.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m.Acquire()
+			if tokens == 0 {
+				c.Wait()
+			}
+			if tokens == 0 {
+				atomic.AddInt32(&violations, 1)
+			} else {
+				tokens--
+			}
+			m.Release()
+		}
+	}()
+	// A thief that constantly tries to steal tokens — under Hoare
+	// handoff it can never slip between Signal and the waiter's resume.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Acquire()
+			if tokens > 0 {
+				tokens--
+				// Put it back so the count works out; the point is the
+				// acquire attempt itself.
+				tokens++
+			}
+			m.Release()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			m.Acquire()
+			tokens++
+			c.Signal() // hands the monitor straight to the waiter
+			m.Release()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if violations != 0 {
+		t.Fatalf("predicate false on %d of %d Hoare wakeups", violations, rounds)
+	}
+}
+
+// TestSemCondSignalCoversWakeupRace: the single semaphore bit covers the
+// release-to-P window for one waiter, as the paper says.
+func TestSemCondSignalCoversWakeupRace(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		var mu core.Mutex
+		sc := NewSemCond(&mu)
+		ready := false
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			mu.Acquire()
+			for !ready {
+				sc.Wait()
+			}
+			mu.Release()
+		}()
+		mu.Acquire()
+		ready = true
+		mu.Release()
+		sc.Signal()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: signal lost (the one-bit memory failed?)", round)
+		}
+	}
+}
+
+// TestSemCondBroadcastStrandsWaiters is E5's core observation: Broadcast
+// over a binary semaphore cannot release all racing waiters.
+func TestSemCondBroadcastStrandsWaiters(t *testing.T) {
+	var stranded int
+	const waiters = 8
+	for round := 0; round < 30; round++ {
+		var mu core.Mutex
+		sc := NewSemCond(&mu)
+		var resumed int32
+		gate := false
+		var wg sync.WaitGroup
+		wg.Add(waiters)
+		for i := 0; i < waiters; i++ {
+			go func() {
+				defer wg.Done()
+				mu.Acquire()
+				for !gate {
+					sc.Wait()
+					if gate {
+						break
+					}
+				}
+				atomic.AddInt32(&resumed, 1)
+				mu.Release()
+			}()
+		}
+		// Let them block, flip the predicate, then Broadcast once.
+		time.Sleep(20 * time.Millisecond)
+		mu.Acquire()
+		gate = true
+		mu.Release()
+		sc.Broadcast()
+		time.Sleep(50 * time.Millisecond)
+		got := int(atomic.LoadInt32(&resumed))
+		stranded += waiters - got
+		// Rescue the stranded threads so goroutines don't leak: repeated
+		// singles always work.
+		for int(atomic.LoadInt32(&resumed)) < waiters {
+			sc.Signal()
+			time.Sleep(time.Millisecond)
+		}
+		wg.Wait()
+	}
+	if stranded == 0 {
+		t.Fatal("semaphore Broadcast stranded no waiters in 30 rounds; expected the paper's failure mode")
+	}
+	t.Logf("semaphore-based Broadcast stranded %d waiters across 30 rounds of %d", stranded, waiters)
+}
+
+// TestNaiveSimCondLosesWakeups is E4: across seeds, the no-eventcount
+// condition variable loses signals (deadlock), while the paper's
+// implementation on identical schedules never does.
+func TestNaiveSimCondLosesWakeups(t *testing.T) {
+	lost := 0
+	const seeds = 150
+	for seed := int64(0); seed < seeds; seed++ {
+		w, kk := simthreads.NewWorld(sim.Config{
+			Procs: 2, Seed: seed, Policy: sim.PolicyRandom, MaxSteps: 200_000,
+		})
+		m := w.NewMutex()
+		c := NewNaiveSimCond()
+		var ready sim.Word
+		kk.Spawn("waiter", func(e *sim.Env) {
+			m.Acquire(e)
+			for e.Load(&ready) == 0 {
+				c.Wait(e, m)
+			}
+			m.Release(e)
+		})
+		kk.Spawn("signaller", func(e *sim.Env) {
+			m.Acquire(e)
+			e.Store(&ready, 1)
+			m.Release(e)
+			c.Signal(e)
+		})
+		if err := kk.Run(); err != nil {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatalf("naive condvar lost no wakeups in %d seeds; the race should bite", seeds)
+	}
+	t.Logf("naive condvar lost wakeups on %d/%d seeds", lost, seeds)
+}

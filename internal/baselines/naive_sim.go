@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+// NaiveSimCond is the condition variable with the wakeup-waiting race — the
+// design the paper's specification of Wait's atomic Enqueue action rules
+// out. Its Wait releases the mutex and then, as a separate step, queues and
+// suspends the caller; its Signal wakes a queued thread or does nothing.
+//
+// The incorrect sequence the paper describes (§Informal Description) is
+// then possible: "one thread leaves its critical section; then another
+// thread enters a critical section, modifies the shared variables, and
+// calls Signal (which finds nothing to be unblocked); and then the first
+// thread suspends execution." The signal is lost and the waiter sleeps
+// forever — the "wakeup-waiting race" (Saltzer 66).
+//
+// It runs on the simulator so experiment E4 can count, over seeded
+// schedules, how often the race actually bites, against the eventcount
+// implementation's zero.
+type NaiveSimCond struct {
+	lock sim.Word // private spin lock guarding q
+	q    []*sim.T
+}
+
+// NewNaiveSimCond returns an empty condition variable.
+func NewNaiveSimCond() *NaiveSimCond { return &NaiveSimCond{} }
+
+func (c *NaiveSimCond) spinLock(e *sim.Env) {
+	for e.TAS(&c.lock) != 0 {
+	}
+	e.SetPreemptible(false)
+}
+
+func (c *NaiveSimCond) spinUnlock(e *sim.Env) {
+	e.SetPreemptible(true)
+	e.Store(&c.lock, 0)
+}
+
+// Wait releases m, then — fatally, in a separate step — enqueues and
+// suspends the caller, then reacquires m.
+func (c *NaiveSimCond) Wait(e *sim.Env, m *simthreads.Mutex) {
+	m.Release(e)
+	// The race window is here: a Signal between the Release above and
+	// the enqueue below finds nothing to unblock.
+	c.spinLock(e)
+	c.q = append(c.q, e.Self())
+	c.spinUnlock(e)
+	e.Deschedule("naive Wait")
+	m.Acquire(e)
+}
+
+// Signal wakes the first queued thread, if any; a signal with no queued
+// thread is forgotten.
+func (c *NaiveSimCond) Signal(e *sim.Env) {
+	c.spinLock(e)
+	var t *sim.T
+	if len(c.q) > 0 {
+		t = c.q[0]
+		c.q = c.q[1:]
+	}
+	c.spinUnlock(e)
+	if t != nil {
+		e.MakeReady(t)
+	}
+}
+
+// Broadcast wakes every queued thread (it shares Signal's race: threads in
+// the window are missed).
+func (c *NaiveSimCond) Broadcast(e *sim.Env) {
+	c.spinLock(e)
+	ts := c.q
+	c.q = nil
+	c.spinUnlock(e)
+	for _, t := range ts {
+		e.MakeReady(t)
+	}
+}

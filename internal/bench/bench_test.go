@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "E0",
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"col", "value"},
+	}
+	tbl.Add("a", 1)
+	tbl.Add("bbbb", 2.5)
+	out := tbl.String()
+	for _, want := range []string{"E0 — demo", "a note", "col", "bbbb", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 11 {
+		t.Fatalf("registered %d experiments, want 11", len(exps))
+	}
+	for i, e := range exps {
+		if e.ID == "" || e.Name == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+}
+
+// The following run each experiment in Quick mode and assert the *shape* of
+// the paper's result, not absolute numbers.
+
+func TestE1Shape(t *testing.T) {
+	tables := E1(Options{Quick: true})
+	tbl := tables[0]
+	if tbl.Rows[0][1] != "5" {
+		t.Fatalf("E1 mutex pair = %s instructions, want 5", tbl.Rows[0][1])
+	}
+	if tbl.Rows[0][2] != "10.0" {
+		t.Fatalf("E1 mutex pair = %s µs, want 10.0", tbl.Rows[0][2])
+	}
+	if tbl.Rows[1][1] != "5" {
+		t.Fatalf("E1 semaphore pair = %s instructions, want 5", tbl.Rows[1][1])
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl := E2(Options{Quick: true})[0]
+	// First row is 1 proc / 1 thread: 100% fast path. High-contention rows
+	// must be strictly lower.
+	if tbl.Rows[0][2] != "100.0%" {
+		t.Fatalf("uncontended fast-path rate = %s, want 100.0%%", tbl.Rows[0][2])
+	}
+	last := tbl.Rows[len(tbl.Rows)-1][2]
+	if last == "100.0%" {
+		t.Fatalf("high-contention fast-path rate = %s; expected degradation", last)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl := E3(Options{Quick: true})[0]
+	sawMulti := false
+	for _, row := range tbl.Rows {
+		if row[2] != "0" {
+			sawMulti = true
+		}
+	}
+	if !sawMulti {
+		t.Fatal("E3 observed no multi-unblock Signal in any configuration")
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl := E4(Options{Quick: true})[0]
+	naiveLost, ecLost := 0, 0
+	for _, row := range tbl.Rows {
+		if row[0] == "naive" && row[4] != "0" {
+			naiveLost++
+		}
+		if row[0] == "eventcount" && row[4] != "0" {
+			ecLost++
+		}
+	}
+	if ecLost != 0 {
+		t.Fatal("eventcount implementation lost wakeups")
+	}
+	if naiveLost == 0 {
+		t.Fatal("naive implementation lost no wakeups anywhere")
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl := E5(Options{Quick: true})[0]
+	semStranded, threadsStranded := 0, 0
+	for _, row := range tbl.Rows {
+		if row[0] == "semcond" && row[3] != "0" {
+			semStranded++
+		}
+		if row[0] == "threads" && row[3] != "0" {
+			threadsStranded++
+		}
+	}
+	if threadsStranded != 0 {
+		t.Fatal("Threads Broadcast stranded waiters")
+	}
+	if semStranded == 0 {
+		t.Fatal("semaphore Broadcast stranded nobody; expected the paper's failure")
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl := E6(Options{Quick: true})[0]
+	for _, row := range tbl.Rows {
+		if row[0] == "hoare" && row[4] != "0.0%" {
+			t.Fatalf("Hoare spurious rate = %s, want 0.0%%", row[4])
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := E7(Options{})[0]
+	verdicts := map[[2]string]string{}
+	for _, row := range tbl.Rows {
+		verdicts[[2]string{row[0], row[1]}] = row[2]
+	}
+	if !strings.HasPrefix(verdicts[[2]string{"no-m-nil", "mutual exclusion"}], "VIOLATED") {
+		t.Fatal("no-m-nil variant should violate mutual exclusion")
+	}
+	if verdicts[[2]string{"final", "mutual exclusion"}] != "holds" {
+		t.Fatal("final variant should preserve mutual exclusion")
+	}
+	if !strings.HasPrefix(verdicts[[2]string{"unchanged-c", "no absorbed signal"}], "VIOLATED") {
+		t.Fatal("unchanged-c variant should exhibit the absorbed signal")
+	}
+	if verdicts[[2]string{"final", "no absorbed signal"}] != "holds" {
+		t.Fatal("final variant should never absorb a signal")
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl := E8(Options{Quick: true})[0]
+	// The checker row must show both outcomes reachable.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[2] != "1" || last[3] != "1" {
+		t.Fatalf("checker overlap row = %v; both outcomes must be reachable", last)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tbl := E9(Options{Quick: true})[0]
+	for _, row := range tbl.Rows {
+		if row[3] != "0" {
+			t.Fatalf("conformance violations in %s: %s", row[0], row[3])
+		}
+		if row[2] == "0" {
+			t.Fatalf("no events checked for %s", row[0])
+		}
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tables := E10(Options{Quick: true})
+	if len(tables) != 2 {
+		t.Fatalf("E10 produced %d tables, want 2", len(tables))
+	}
+	simT := tables[1]
+	// More processors must not slow the simulated workload down
+	// (monotone non-increasing makespan up to scheduling noise; check the
+	// 4-proc row beats 1-proc).
+	if len(simT.Rows) < 3 {
+		t.Fatal("sim scaling table too small")
+	}
+	var speedup4 string
+	for _, row := range simT.Rows {
+		if row[0] == "4" {
+			speedup4 = row[4]
+		}
+	}
+	if speedup4 == "" || speedup4 == "1.00" {
+		t.Fatalf("4-proc speedup = %q; expected > 1", speedup4)
+	}
+}
+
+func TestEAShape(t *testing.T) {
+	tbl := EA(Options{Quick: true})[0]
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("EA rows = %d, want 4", len(tbl.Rows))
+	}
+	if tbl.Rows[0][1] != "5" {
+		t.Fatalf("paper configuration pair = %s, want 5", tbl.Rows[0][1])
+	}
+	if tbl.Rows[1][1] == "5" {
+		t.Fatal("removing the user fast path should cost more than 5 instructions")
+	}
+	if tbl.Rows[2][2] == tbl.Rows[0][2] {
+		t.Fatal("removing the Signal fast path should cost on empty Signals")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "E0",
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.Add("plain", 1)
+	tbl.Add(`with "quotes", and commas`, 2)
+	csv := tbl.CSV()
+	want := "name,value\nplain,1\n\"with \"\"quotes\"\", and commas\",2\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

@@ -1,0 +1,290 @@
+// Package checker is an explicit-state model checker for the formal
+// specification: it explores every interleaving of small "litmus" programs
+// whose steps are the specification's atomic actions, checking invariants,
+// transition properties and deadlock-freedom.
+//
+// This mechanizes the way the paper's specification was actually debugged.
+// Both published specification errors were found by people reasoning
+// operationally about short scenarios — "suppose a thread t raises Alerted,
+// then a thread invokes Signal, which chooses to remove t from c ..." — and
+// the checker runs exactly such scenarios against the three historical
+// AlertWait variants (experiment E7):
+//
+//   - With spec.VariantNoMNil, mutual exclusion is violated (an alerted
+//     thread seizes a held mutex);
+//   - with spec.VariantUnchangedC, a Signal can be absorbed by a departed
+//     thread while a live waiter stays blocked;
+//   - with spec.VariantFinal, both properties hold over the full state
+//     space.
+//
+// The checker is breadth-first, so reported counterexamples are shortest.
+package checker
+
+import (
+	"fmt"
+	"strings"
+
+	"threads/internal/spec"
+)
+
+// Step is one program point of a litmus thread: a set of alternative atomic
+// actions (usually one; two for procedures like AlertResume that may either
+// RETURN or RAISE). The thread advances past the step when any enabled
+// alternative fires.
+type Step struct {
+	Alternatives []spec.Action
+	// Label annotates the step for invariants ("cs" marks a critical
+	// section region, for example); see Snapshot.InRegion.
+	Label string
+}
+
+// Do makes a single-action step.
+func Do(a spec.Action) Step { return Step{Alternatives: []spec.Action{a}} }
+
+// DoLabeled makes a single-action step with a label.
+func DoLabeled(label string, a spec.Action) Step {
+	return Step{Alternatives: []spec.Action{a}, Label: label}
+}
+
+// Choose makes a step that fires whichever alternative is enabled (both may
+// be; the checker branches on each).
+func Choose(as ...spec.Action) Step { return Step{Alternatives: as} }
+
+// Thread is one litmus thread: an identity and a straight-line sequence of
+// steps.
+type Thread struct {
+	ID    spec.ThreadID
+	Name  string
+	Steps []Step
+}
+
+// Program is a set of litmus threads sharing the specification state.
+type Program struct {
+	Name    string
+	Threads []Thread
+}
+
+// Snapshot is a point in an execution: the abstract state plus every
+// thread's program counter.
+type Snapshot struct {
+	State *spec.State
+	PC    []int // program counter per thread, len(Threads) entries
+	prog  *Program
+}
+
+// Done reports whether thread i has finished its program.
+func (s Snapshot) Done(i int) bool { return s.PC[i] >= len(s.prog.Threads[i].Steps) }
+
+// InRegion reports whether thread i's *previous* step (the one it has
+// completed and not yet followed) carries the given label — i.e. the thread
+// is "inside" the region the label opens. A thread that has completed a
+// step labeled "cs" and not yet executed the next step is inside its
+// critical section.
+func (s Snapshot) InRegion(i int, label string) bool {
+	pc := s.PC[i]
+	if pc == 0 || pc > len(s.prog.Threads[i].Steps) {
+		return false
+	}
+	return s.prog.Threads[i].Steps[pc-1].Label == label
+}
+
+// Transition is one fired action between two snapshots.
+type Transition struct {
+	Pre, Post Snapshot
+	Action    spec.Action
+	Thread    int // index into Program.Threads
+}
+
+// Violation is a property failure with its shortest counterexample.
+type Violation struct {
+	Kind  string // "invariant", "transition", "requires", "deadlock"
+	Msg   string
+	Trace []string // action strings from the initial state
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violation: %s\n  trace:\n    %s",
+		v.Kind, v.Msg, strings.Join(v.Trace, "\n    "))
+}
+
+// Config parameterizes a check.
+type Config struct {
+	Program Program
+	// Initial seeds the abstract state (nil = the initial state of every
+	// variable).
+	Initial *spec.State
+	// Invariant, if non-nil, is checked at every reachable snapshot.
+	Invariant func(Snapshot) error
+	// TransitionCheck, if non-nil, is checked at every fired transition.
+	TransitionCheck func(Transition) error
+	// RequireProgress treats a reachable global deadlock (no enabled
+	// action, some thread unfinished) as a violation. Because the
+	// specification makes no liveness guarantees, use this only with
+	// programs whose environment actions (Signals, Alerts) have been
+	// restricted to resolutions that model "the implementation does
+	// something" — see the litmus builders.
+	RequireProgress bool
+	// MaxStates bounds exploration (0 = 1<<20).
+	MaxStates int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States      int // distinct (state, pcs) nodes visited
+	Transitions int // transitions fired
+	Terminal    int // nodes where every thread had finished
+	Violation   *Violation
+}
+
+// node is an element of the BFS frontier.
+type node struct {
+	state  *spec.State
+	pcs    []int
+	parent int // index into nodes; -1 for root
+	action string
+}
+
+// Run explores the program's full interleaving space (up to MaxStates) and
+// returns the first (shortest-trace) violation, if any.
+func Run(cfg Config) Result {
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	init := cfg.Initial
+	if init == nil {
+		init = spec.NewState()
+	}
+	prog := &cfg.Program
+	res := Result{}
+
+	root := node{state: init.Clone(), pcs: make([]int, len(prog.Threads)), parent: -1}
+	nodes := []node{root}
+	seen := map[string]bool{key(root.state, root.pcs): true}
+
+	snapshotOf := func(n *node) Snapshot {
+		return Snapshot{State: n.state, PC: n.pcs, prog: prog}
+	}
+
+	if cfg.Invariant != nil {
+		if err := cfg.Invariant(snapshotOf(&root)); err != nil {
+			res.Violation = &Violation{Kind: "invariant", Msg: err.Error(), Trace: nil}
+			res.States = 1
+			return res
+		}
+	}
+
+	for head := 0; head < len(nodes); head++ {
+		cur := nodes[head]
+		res.States++
+		if res.States > maxStates {
+			break
+		}
+		snap := snapshotOf(&cur)
+
+		fired := false
+		allDone := true
+		for ti := range prog.Threads {
+			if snap.Done(ti) {
+				continue
+			}
+			allDone = false
+			step := prog.Threads[ti].Steps[cur.pcs[ti]]
+			for _, act := range step.Alternatives {
+				if err := act.Requires(cur.state); err != nil {
+					res.Violation = &Violation{
+						Kind:  "requires",
+						Msg:   fmt.Sprintf("%s: %v", act, err),
+						Trace: append(trace(nodes, head), act.String()),
+					}
+					return res
+				}
+				outs := act.Outcomes(cur.state)
+				for _, post := range outs {
+					fired = true
+					res.Transitions++
+					npcs := append([]int(nil), cur.pcs...)
+					npcs[ti]++
+					child := node{state: post, pcs: npcs, parent: head, action: act.String()}
+					csnap := snapshotOf(&child)
+					if cfg.TransitionCheck != nil {
+						tr := Transition{Pre: snap, Post: csnap, Action: act, Thread: ti}
+						if err := cfg.TransitionCheck(tr); err != nil {
+							res.Violation = &Violation{
+								Kind:  "transition",
+								Msg:   err.Error(),
+								Trace: append(trace(nodes, head), act.String()),
+							}
+							return res
+						}
+					}
+					if cfg.Invariant != nil {
+						if err := cfg.Invariant(csnap); err != nil {
+							res.Violation = &Violation{
+								Kind:  "invariant",
+								Msg:   err.Error(),
+								Trace: append(trace(nodes, head), act.String()),
+							}
+							return res
+						}
+					}
+					k := key(post, npcs)
+					if !seen[k] {
+						seen[k] = true
+						nodes = append(nodes, child)
+					}
+				}
+			}
+		}
+		if allDone {
+			res.Terminal++
+			continue
+		}
+		if !fired && cfg.RequireProgress {
+			res.Violation = &Violation{
+				Kind:  "deadlock",
+				Msg:   deadlockMsg(snap),
+				Trace: trace(nodes, head),
+			}
+			return res
+		}
+	}
+	return res
+}
+
+func deadlockMsg(snap Snapshot) string {
+	var stuck []string
+	for i, th := range snap.prog.Threads {
+		if !snap.Done(i) {
+			step := th.Steps[snap.PC[i]]
+			var alts []string
+			for _, a := range step.Alternatives {
+				alts = append(alts, a.String())
+			}
+			stuck = append(stuck, fmt.Sprintf("%s blocked at %s", th.Name, strings.Join(alts, " | ")))
+		}
+	}
+	return fmt.Sprintf("no enabled action in state %s: %s", snap.State, strings.Join(stuck, "; "))
+}
+
+func key(s *spec.State, pcs []int) string {
+	var b strings.Builder
+	b.WriteString(s.Key())
+	b.WriteByte('#')
+	for _, pc := range pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	return b.String()
+}
+
+func trace(nodes []node, at int) []string {
+	var out []string
+	for i := at; i > 0; i = nodes[i].parent {
+		out = append(out, nodes[i].action)
+	}
+	// reverse
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

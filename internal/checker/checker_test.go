@@ -1,0 +1,253 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"threads/internal/spec"
+)
+
+func TestMutualExclusionHolds(t *testing.T) {
+	res := Run(MutualExclusion(3, 2))
+	if res.Violation != nil {
+		t.Fatalf("mutual exclusion violated by the final spec: %v", res.Violation)
+	}
+	if res.States < 10 {
+		t.Fatalf("suspiciously small exploration: %d states", res.States)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("no terminal state reached")
+	}
+}
+
+func TestMutualExclusionDetectsSeededViolation(t *testing.T) {
+	// Sanity-check the invariant machinery itself: start from a corrupted
+	// state where the mutex is free but a thread is marked as holding it.
+	cfg := MutualExclusion(2, 1)
+	// Replace the program with one whose first thread releases a mutex it
+	// does not hold — a REQUIRES violation the checker must flag.
+	cfg.Program.Threads[0].Steps = []Step{Do(spec.Release{T: 1, M: 1})}
+	res := Run(cfg)
+	if res.Violation == nil || res.Violation.Kind != "requires" {
+		t.Fatalf("REQUIRES violation not detected: %+v", res.Violation)
+	}
+}
+
+func TestSemaphoreHandshakeAlwaysCompletes(t *testing.T) {
+	res := Run(SemaphoreHandshake())
+	if res.Violation != nil {
+		t.Fatalf("P/V handshake deadlocked: %v", res.Violation)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("handshake never completed")
+	}
+}
+
+func TestSemaphoreHandshakeWithoutVDeadlocks(t *testing.T) {
+	// Drop the V: the checker must report the deadlock (P blocked forever).
+	cfg := SemaphoreHandshake()
+	cfg.Program.Threads = cfg.Program.Threads[:1]
+	res := Run(cfg)
+	if res.Violation == nil || res.Violation.Kind != "deadlock" {
+		t.Fatalf("missing V not reported as deadlock: %+v", res.Violation)
+	}
+	if !strings.Contains(res.Violation.Msg, "waiter") {
+		t.Fatalf("deadlock message does not name the stuck thread: %s", res.Violation.Msg)
+	}
+}
+
+// TestE7aMissingMNil reproduces the first published spec bug: without
+// "m = NIL &" in AlertResume's RAISES clause, mutual exclusion fails.
+func TestE7aMissingMNil(t *testing.T) {
+	res := Run(AlertSeizesHeldMutex(spec.VariantNoMNil))
+	if res.Violation == nil {
+		t.Fatal("no-m-nil variant: mutual-exclusion violation not found")
+	}
+	if res.Violation.Kind != "invariant" {
+		t.Fatalf("violation kind = %s, want invariant", res.Violation.Kind)
+	}
+	if !strings.Contains(res.Violation.Msg, "mutual exclusion") {
+		t.Fatalf("unexpected violation: %s", res.Violation.Msg)
+	}
+	// The counterexample must actually include the buggy raise.
+	found := false
+	for _, step := range res.Violation.Trace {
+		if strings.Contains(step, "AlertResume.Raise[no-m-nil]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counterexample does not exercise the buggy clause:\n%v", res.Violation.Trace)
+	}
+}
+
+// TestE7aFinalVariantSafe: with the corrected guard the same scenario is
+// exclusion-safe across the whole state space.
+func TestE7aFinalVariantSafe(t *testing.T) {
+	res := Run(AlertSeizesHeldMutex(spec.VariantFinal))
+	if res.Violation != nil {
+		t.Fatalf("final variant violated exclusion: %v", res.Violation)
+	}
+}
+
+// TestE7aUnchangedCVariantStillExclusionSafe: the year-long bug did NOT
+// break mutual exclusion — which is part of why it went unnoticed.
+func TestE7aUnchangedCVariantStillExclusionSafe(t *testing.T) {
+	res := Run(AlertSeizesHeldMutex(spec.VariantUnchangedC))
+	if res.Violation != nil {
+		t.Fatalf("unchanged-c variant violated exclusion (unexpectedly): %v", res.Violation)
+	}
+}
+
+// TestE7bUnchangedC reproduces Greg Nelson's scenario: under the
+// UNCHANGED [c] specification a Signal can be absorbed by a thread that
+// already raised Alerted, waking nobody while a live waiter stays blocked.
+func TestE7bUnchangedC(t *testing.T) {
+	res := Run(SignalAbsorbedByDepartedThread(spec.VariantUnchangedC))
+	if res.Violation == nil {
+		t.Fatal("unchanged-c variant: absorbed-signal scenario not found")
+	}
+	if res.Violation.Kind != "transition" {
+		t.Fatalf("violation kind = %s, want transition", res.Violation.Kind)
+	}
+	if !strings.Contains(res.Violation.Msg, "absorbed by departed thread") {
+		t.Fatalf("unexpected violation: %s", res.Violation.Msg)
+	}
+	// The shortest counterexample should follow Nelson's operational
+	// argument: an alert, the Alerted raise, then the wasted signal.
+	joined := strings.Join(res.Violation.Trace, " → ")
+	for _, needle := range []string{"Alert(", "AlertResume.Raise[unchanged-c]", "SignalOne"} {
+		if !strings.Contains(joined, needle) {
+			t.Fatalf("counterexample missing %q:\n%s", needle, joined)
+		}
+	}
+	t.Logf("E7b counterexample (%d states explored):\n  %s", res.States, joined)
+}
+
+// TestE7bFinalVariantSafe: with c' = delete(c, SELF) the absorbed-signal
+// transition is unreachable.
+func TestE7bFinalVariantSafe(t *testing.T) {
+	res := Run(SignalAbsorbedByDepartedThread(spec.VariantFinal))
+	if res.Violation != nil {
+		t.Fatalf("final variant: absorbed signal reported (should be unreachable): %v", res.Violation)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("scenario never completed under the final variant")
+	}
+}
+
+// TestE8AlertPOverlapNonDeterminism: with both WHEN clauses enabled the
+// checker reaches both the RETURNS and the RAISES outcome.
+func TestE8AlertPOverlapNonDeterminism(t *testing.T) {
+	cfg, outcomes := AlertPOverlap()
+	res := Run(cfg)
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if !(*outcomes)["AlertP.Return"] || !(*outcomes)["AlertP.Raise"] {
+		t.Fatalf("both outcomes should be reachable, got %v", *outcomes)
+	}
+}
+
+// TestSignalMayUnblockManyIsAdmitted (E3, spec side): the specification
+// admits a Signal emptying the whole waiting set, so no implementation that
+// occasionally unblocks several threads can be rejected.
+func TestSignalMayUnblockManyIsAdmitted(t *testing.T) {
+	s := spec.NewState()
+	s.Cond(1).Insert(1)
+	s.Cond(1).Insert(2)
+	s.Cond(1).Insert(3)
+	outs := (spec.Signal{T: 9, C: 1}).Outcomes(s)
+	emptied := false
+	for _, post := range outs {
+		if post.Cond(1).Empty() {
+			emptied = true
+		}
+	}
+	if !emptied {
+		t.Fatal("spec's Signal must admit c' = {} (unblocking all racers)")
+	}
+}
+
+func TestBFSCounterexampleIsShortest(t *testing.T) {
+	// In the no-m-nil litmus the shortest path to a violation needs
+	// t1: Acquire,Enqueue + t2: Acquire + t3: Alert + t1: Raise = 5 steps.
+	res := Run(AlertSeizesHeldMutex(spec.VariantNoMNil))
+	if res.Violation == nil {
+		t.Fatal("no violation")
+	}
+	if got := len(res.Violation.Trace); got != 5 {
+		t.Fatalf("counterexample length = %d, want 5 (BFS should minimize):\n%v",
+			got, res.Violation.Trace)
+	}
+}
+
+func TestMaxStatesBounds(t *testing.T) {
+	cfg := MutualExclusion(3, 3)
+	cfg.MaxStates = 10
+	res := Run(cfg)
+	if res.States > 11 {
+		t.Fatalf("explored %d states with MaxStates=10", res.States)
+	}
+}
+
+func TestStateSpaceIsDeduplicated(t *testing.T) {
+	// Two independent threads, 2 steps each: naive tree has up to
+	// 4!/2!2! interleavings but only 3*3 = 9 (pc1,pc2) nodes.
+	const m1, m2 = spec.MutexID(1), spec.MutexID(2)
+	prog := Program{Name: "dedup", Threads: []Thread{
+		{ID: 1, Name: "a", Steps: []Step{Do(spec.Acquire{T: 1, M: m1}), Do(spec.Release{T: 1, M: m1})}},
+		{ID: 2, Name: "b", Steps: []Step{Do(spec.Acquire{T: 2, M: m2}), Do(spec.Release{T: 2, M: m2})}},
+	}}
+	res := Run(Config{Program: prog, RequireProgress: true})
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	if res.States > 9 {
+		t.Fatalf("states = %d, want ≤ 9 (memoization broken)", res.States)
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	res := Run(SemaphoreMutualExclusion(3, 2))
+	if res.Violation != nil {
+		t.Fatalf("P/V critical sections violated exclusion: %v", res.Violation)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("no terminal state")
+	}
+}
+
+func TestSemaphoreExclusionDetectsMissingP(t *testing.T) {
+	// A thread that enters the region without P must trip the invariant.
+	cfg := SemaphoreMutualExclusion(2, 1)
+	cfg.Program.Threads[0].Steps = []Step{
+		DoLabeled("cs", spec.TestAlert{T: 1, Result: false}), // barges in
+		Do(spec.V{T: 1, S: 1}),
+	}
+	res := Run(cfg)
+	if res.Violation == nil {
+		t.Fatal("barging thread not detected")
+	}
+}
+
+func TestPrivateSemaphoreChain(t *testing.T) {
+	res := Run(PrivateSemaphoreChain(4))
+	if res.Violation != nil {
+		t.Fatalf("private-semaphore chain failed: %v", res.Violation)
+	}
+	if res.Terminal == 0 {
+		t.Fatal("chain never completed")
+	}
+}
+
+func TestPrivateSemaphoreChainDetectsBrokenOrder(t *testing.T) {
+	// Pre-post the middle semaphore: stage 3 can now run early, breaking
+	// the pipeline order.
+	cfg := PrivateSemaphoreChain(3)
+	cfg.Initial.SetSemAvailable(3, true)
+	res := Run(cfg)
+	if res.Violation == nil || res.Violation.Kind != "invariant" {
+		t.Fatalf("broken ordering not detected: %+v", res.Violation)
+	}
+}

@@ -1,0 +1,359 @@
+package checker
+
+import (
+	"fmt"
+
+	"threads/internal/spec"
+)
+
+// SignalOne refines spec.Signal to what the implementation's Signal does
+// with a fully-blocked waiter set: remove exactly one member of c (any one
+// — the specification does not say which), or nothing when c is empty. The
+// refinement is sound — every outcome satisfies (c' = {}) | (c' ⊆ c) — and
+// it is the resolution under which the paper's operational argument for the
+// AlertWait bug ("Signal ... chooses to remove t from c") plays out.
+type SignalOne struct {
+	T spec.ThreadID
+	C spec.CondID
+}
+
+func (a SignalOne) Kind() string               { return "SignalOne" }
+func (a SignalOne) Self() spec.ThreadID        { return a.T }
+func (a SignalOne) Requires(*spec.State) error { return nil }
+func (a SignalOne) When(*spec.State) bool      { return true }
+func (a SignalOne) Apply(s *spec.State) {
+	// Deterministic replay removes the smallest member; exploration uses
+	// Outcomes.
+	members := s.Cond(a.C).Members()
+	if len(members) > 0 {
+		s.Cond(a.C).Delete(members[0])
+	}
+}
+func (a SignalOne) Outcomes(s *spec.State) []*spec.State {
+	members := s.Conds[a.C].Members()
+	if len(members) == 0 {
+		return []*spec.State{s.Clone()}
+	}
+	var out []*spec.State
+	for _, t := range members {
+		post := s.Clone()
+		post.Cond(a.C).Delete(t)
+		out = append(out, post)
+	}
+	return out
+}
+func (a SignalOne) String() string { return fmt.Sprintf("SignalOne(t%d, c%d)", a.T, a.C) }
+
+// ---------------------------------------------------------------------------
+// Litmus builders
+// ---------------------------------------------------------------------------
+
+// MutualExclusion builds n threads each performing iters critical sections
+// on one mutex, with the "cs" region label, plus the invariant that at most
+// one thread is inside a critical section and that the abstract holder
+// agrees.
+func MutualExclusion(n, iters int) Config {
+	const m = spec.MutexID(1)
+	prog := Program{Name: fmt.Sprintf("mutex-%dx%d", n, iters)}
+	for i := 0; i < n; i++ {
+		tid := spec.ThreadID(i + 1)
+		th := Thread{ID: tid, Name: fmt.Sprintf("t%d", tid)}
+		for j := 0; j < iters; j++ {
+			th.Steps = append(th.Steps,
+				DoLabeled("cs", spec.Acquire{T: tid, M: m}),
+				Do(spec.Release{T: tid, M: m}),
+			)
+		}
+		prog.Threads = append(prog.Threads, th)
+	}
+	return Config{
+		Program:         prog,
+		Invariant:       ExclusionInvariant("cs", m),
+		RequireProgress: true, // Acquire's WHEN guarantees someone can always proceed
+	}
+}
+
+// ExclusionInvariant returns an invariant: at most one thread occupies the
+// labeled region, and it is exactly the abstract holder of m.
+func ExclusionInvariant(label string, m spec.MutexID) func(Snapshot) error {
+	return func(s Snapshot) error {
+		inside := -1
+		for i := range s.PC {
+			if s.InRegion(i, label) {
+				if inside >= 0 {
+					return fmt.Errorf("threads %s and %s are both inside %q (mutual exclusion violated; m%d = %d)",
+						s.prog.Threads[inside].Name, s.prog.Threads[i].Name, label, m, s.State.Mutex(m))
+				}
+				inside = i
+			}
+		}
+		if inside >= 0 {
+			if h := s.State.Mutex(m); h != s.prog.Threads[inside].ID {
+				return fmt.Errorf("thread %s in %q but m%d = %d", s.prog.Threads[inside].Name, label, m, h)
+			}
+		}
+		return nil
+	}
+}
+
+// SemaphoreHandshake builds the always-completing P/V handshake: the
+// semaphore starts unavailable; t1 blocks in P, t2 performs V. The
+// wakeup-waiting race is covered by the semaphore bit, so RequireProgress
+// holds in every interleaving.
+func SemaphoreHandshake() Config {
+	const s0 = spec.SemID(1)
+	init := spec.NewState()
+	init.SetSemAvailable(s0, false)
+	prog := Program{
+		Name: "sem-handshake",
+		Threads: []Thread{
+			{ID: 1, Name: "waiter", Steps: []Step{Do(spec.P{T: 1, S: s0})}},
+			{ID: 2, Name: "poster", Steps: []Step{Do(spec.V{T: 2, S: s0})}},
+		},
+	}
+	return Config{Program: prog, Initial: init, RequireProgress: true}
+}
+
+// AlertSeizesHeldMutex is the E7a litmus: under spec.VariantNoMNil, an
+// alerted AlertWait may "resume" while another thread holds the mutex,
+// violating mutual exclusion. t1 performs AlertWait(m, c); t2 takes a plain
+// critical section on m; t3 alerts t1.
+func AlertSeizesHeldMutex(v spec.Variant) Config {
+	const (
+		m = spec.MutexID(1)
+		c = spec.CondID(1)
+	)
+	prog := Program{
+		Name: "alertwait-m-nil-" + v.String(),
+		Threads: []Thread{
+			{ID: 1, Name: "alertee", Steps: []Step{
+				Do(spec.Acquire{T: 1, M: m}),
+				Do(spec.Enqueue{T: 1, M: m, C: c}),
+				Step{Label: "cs", Alternatives: []spec.Action{
+					spec.AlertResumeReturn{T: 1, M: m, C: c},
+					spec.AlertResumeRaise{T: 1, M: m, C: c, Variant: v},
+				}},
+				Do(spec.Release{T: 1, M: m}),
+			}},
+			{ID: 2, Name: "worker", Steps: []Step{
+				DoLabeled("cs", spec.Acquire{T: 2, M: m}),
+				Do(spec.Release{T: 2, M: m}),
+			}},
+			{ID: 3, Name: "alerter", Steps: []Step{
+				Do(spec.Alert{T: 3, Target: 1}),
+			}},
+		},
+	}
+	return Config{
+		Program:   prog,
+		Invariant: ExclusionInvariant("cs", m),
+	}
+}
+
+// SignalAbsorbedByDepartedThread is the E7b litmus — Greg Nelson's
+// scenario. t1 performs AlertWait and is alerted; t2 performs a plain Wait;
+// t3 alerts t1; t4 signals once. The transition property fails if a Signal
+// removes a thread that has already departed its wait (a "ghost") while a
+// live waiter remains blocked in c — that Signal wakes nobody.
+//
+// Under spec.VariantUnchangedC the Alerted path leaves t1 in c, so the bad
+// transition is reachable; under spec.VariantFinal it never is.
+func SignalAbsorbedByDepartedThread(v spec.Variant) Config {
+	const (
+		m = spec.MutexID(1)
+		c = spec.CondID(1)
+	)
+	prog := Program{
+		Name: "alertwait-unchanged-c-" + v.String(),
+		Threads: []Thread{
+			{ID: 1, Name: "alertee", Steps: []Step{
+				Do(spec.Acquire{T: 1, M: m}),
+				Do(spec.Enqueue{T: 1, M: m, C: c}),
+				Choose(
+					spec.AlertResumeReturn{T: 1, M: m, C: c},
+					spec.AlertResumeRaise{T: 1, M: m, C: c, Variant: v},
+				),
+				Do(spec.Release{T: 1, M: m}),
+			}},
+			{ID: 2, Name: "waiter", Steps: []Step{
+				Do(spec.Acquire{T: 2, M: m}),
+				Do(spec.Enqueue{T: 2, M: m, C: c}),
+				Do(spec.Resume{T: 2, M: m, C: c}),
+				Do(spec.Release{T: 2, M: m}),
+			}},
+			{ID: 3, Name: "alerter", Steps: []Step{
+				Do(spec.Alert{T: 3, Target: 1}),
+			}},
+			{ID: 4, Name: "signaller", Steps: []Step{
+				Do(SignalOne{T: 4, C: c}),
+			}},
+		},
+	}
+	// Thread i is "blocked in its wait on c" when its next step is the
+	// Resume/AlertResume (pc == 2 for both waiter threads here).
+	blockedInWait := func(s Snapshot, i int) bool { return s.PC[i] == 2 }
+	return Config{
+		Program: prog,
+		TransitionCheck: func(tr Transition) error {
+			sig, ok := tr.Action.(SignalOne)
+			if !ok {
+				return nil
+			}
+			// Which member did this outcome remove?
+			var removed spec.ThreadID
+			for _, t := range tr.Pre.State.Cond(sig.C).Members() {
+				if !tr.Post.State.CondHas(sig.C, t) {
+					removed = t
+				}
+			}
+			if removed == 0 {
+				return nil // empty c: nothing absorbed
+			}
+			// Find the program thread with that ID and ask if it is
+			// still blocked in its wait.
+			removedLive := false
+			liveWaiterRemains := false
+			for i, th := range tr.Pre.prog.Threads {
+				if th.ID == removed && blockedInWait(tr.Pre, i) {
+					removedLive = true
+				}
+				if th.ID != removed && blockedInWait(tr.Pre, i) && tr.Post.State.CondHas(sig.C, th.ID) {
+					liveWaiterRemains = true
+				}
+			}
+			if !removedLive && liveWaiterRemains {
+				return fmt.Errorf(
+					"Signal absorbed by departed thread t%d while a live waiter remains blocked on c%d (the Signal woke nobody)",
+					removed, sig.C)
+			}
+			return nil
+		},
+	}
+}
+
+// AlertPOverlap explores AlertP with both WHEN clauses enabled (semaphore
+// available and alert pending) and records which outcomes were reachable,
+// demonstrating the specification's deliberate non-determinism (E8).
+// It returns the config plus a pointer to the outcome set that Run fills.
+func AlertPOverlap() (Config, *map[string]bool) {
+	const s0 = spec.SemID(1)
+	outcomes := map[string]bool{}
+	init := spec.NewState()
+	init.Alerts.Insert(1)
+	prog := Program{
+		Name: "alertp-overlap",
+		Threads: []Thread{
+			{ID: 1, Name: "caller", Steps: []Step{
+				Choose(
+					spec.AlertPReturn{T: 1, S: s0},
+					spec.AlertPRaise{T: 1, S: s0},
+				),
+			}},
+		},
+	}
+	cfg := Config{
+		Program: prog,
+		Initial: init,
+		TransitionCheck: func(tr Transition) error {
+			outcomes[tr.Action.Kind()] = true
+			return nil
+		},
+	}
+	return cfg, &outcomes
+}
+
+// SemaphoreMutualExclusion builds n threads each performing iters critical
+// sections guarded by P/V on one binary semaphore, with the exclusion
+// invariant. The paper notes mutexes and semaphores share one mechanism;
+// this litmus shows the *specification* of P/V also provides exclusion —
+// what differs from Mutex is only the absence of Release's REQUIRES.
+func SemaphoreMutualExclusion(n, iters int) Config {
+	const s = spec.SemID(1)
+	prog := Program{Name: fmt.Sprintf("sem-mutex-%dx%d", n, iters)}
+	for i := 0; i < n; i++ {
+		tid := spec.ThreadID(i + 1)
+		th := Thread{ID: tid, Name: fmt.Sprintf("t%d", tid)}
+		for j := 0; j < iters; j++ {
+			th.Steps = append(th.Steps,
+				DoLabeled("cs", spec.P{T: tid, S: s}),
+				Do(spec.V{T: tid, S: s}),
+			)
+		}
+		prog.Threads = append(prog.Threads, th)
+	}
+	return Config{
+		Program: prog,
+		Invariant: func(snap Snapshot) error {
+			inside := -1
+			for i := range snap.PC {
+				if snap.InRegion(i, "cs") {
+					if inside >= 0 {
+						return fmt.Errorf("threads %s and %s both inside the P/V critical section",
+							prog.Threads[inside].Name, prog.Threads[i].Name)
+					}
+					inside = i
+				}
+			}
+			if inside >= 0 && snap.State.SemAvailable(s) {
+				return fmt.Errorf("thread %s inside the critical section while s%d is available",
+					prog.Threads[inside].Name, s)
+			}
+			return nil
+		},
+		RequireProgress: true,
+	}
+}
+
+// PrivateSemaphoreChain builds Dijkstra's "private semaphore" pattern the
+// paper's footnote quotes: each thread blocks on its own semaphore and is
+// released individually by its predecessor, forming a strict pipeline.
+// Every interleaving completes (semaphores remember their V), and the
+// completion order is fully determined.
+func PrivateSemaphoreChain(n int) Config {
+	prog := Program{Name: fmt.Sprintf("private-sem-chain-%d", n)}
+	init := spec.NewState()
+	for i := 0; i < n; i++ {
+		tid := spec.ThreadID(i + 1)
+		mine := spec.SemID(i + 1)
+		th := Thread{ID: tid, Name: fmt.Sprintf("stage%d", i+1)}
+		if i > 0 {
+			// Private semaphores start unavailable; stage 1 runs freely.
+			init.SetSemAvailable(mine, false)
+			th.Steps = append(th.Steps, Do(spec.P{T: tid, S: mine}))
+		}
+		th.Steps = append(th.Steps, Step{Label: "work", Alternatives: []spec.Action{
+			spec.TestAlert{T: tid, Result: false}, // a harmless visible "work" action
+		}})
+		if i+1 < n {
+			th.Steps = append(th.Steps, Do(spec.V{T: tid, S: spec.SemID(i + 2)}))
+		}
+		prog.Threads = append(prog.Threads, th)
+	}
+	return Config{
+		Program:         prog,
+		Initial:         init,
+		RequireProgress: true,
+		// The pipeline must be strictly ordered: stage k may not be in
+		// (or past) its work step before stage k-1 has finished its own.
+		Invariant: func(snap Snapshot) error {
+			for i := 1; i < len(snap.PC); i++ {
+				// Stage i's work step index is 1 (after its P); stage
+				// 0's is 0.
+				prevDone := snap.PC[i-1] > workIndex(i-1)
+				atOrPast := snap.PC[i] > workIndex(i)
+				if atOrPast && !prevDone {
+					return fmt.Errorf("stage%d finished work before stage%d", i+1, i)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// workIndex returns the step index of the "work" step for chain stage i.
+func workIndex(i int) int {
+	if i == 0 {
+		return 0
+	}
+	return 1
+}

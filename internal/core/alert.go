@@ -1,0 +1,75 @@
+package core
+
+import "errors"
+
+// Alerted is the exception of the alerting facility. AlertWait and AlertP
+// return it (RAISES Alerted) when they take the alerted path.
+//
+// Specification:
+//
+//	VAR alerts: SET OF Thread INITIALLY {}
+//	EXCEPTION Alerted
+var Alerted = errors.New("threads: alerted")
+
+// Alert requests that thread t raise the exception Alerted. Alerting is a
+// polite form of interrupt, used with both semaphores and condition
+// variables, typically for timeouts and aborts: the decision to interrupt
+// is made at a higher abstraction level than the one in which the thread is
+// blocked, where the relevant condition variable or semaphore is not
+// readily accessible.
+//
+//	ATOMIC PROCEDURE Alert(t: Thread)
+//	  MODIFIES AT MOST [alerts]   ENSURES alerts' = insert(alerts, t)
+//
+// Alert never blocks. If t is currently blocked in AlertWait or AlertP,
+// Alert also makes it ready; if not, the alert stays pending until t calls
+// TestAlert, AlertWait or AlertP. Alerting a thread blocked in plain Wait,
+// P or Acquire does not disturb it — only the alertable operations respond.
+func Alert(t *Thread) {
+	statInc(&stats.alerts)
+	t.alerted.Store(true)
+	t.alertLock.Lock()
+	w := t.alertW
+	if w != nil && w.claim(reasonAlert) {
+		t.alertLock.Unlock()
+		w.wake()
+		statInc(&stats.alertWakes)
+		return
+	}
+	t.alertLock.Unlock()
+}
+
+// TestAlert reports whether there is a pending request for the calling
+// thread to raise Alerted, consuming it.
+//
+//	ATOMIC PROCEDURE TestAlert() RETURNS (b: bool)
+//	  MODIFIES AT MOST [alerts]
+//	  ENSURES (b = (SELF IN alerts)) & (alerts' = delete(alerts, SELF))
+func TestAlert() bool {
+	t := Self()
+	b := t.alerted.Swap(false)
+	if b {
+		statInc(&stats.testAlertTrue)
+	}
+	return b
+}
+
+// AlertPending reports whether t has an undelivered alert, without
+// consuming it (advisory; an extension used by monitoring code and tests).
+func AlertPending(t *Thread) bool { return t.alerted.Load() }
+
+// setAlertWaiter publishes w as the waiter Alert should wake. It is set
+// before the alerted flag is tested in the blocking paths, and Alert sets
+// the flag before reading the registration, so at least one side always
+// observes the other: no alert can slip between the test and the park.
+func (t *Thread) setAlertWaiter(w *waiter) {
+	t.alertLock.Lock()
+	t.alertW = w
+	t.alertLock.Unlock()
+}
+
+func (t *Thread) clearAlertWaiter() {
+	t.alertLock.Lock()
+	t.alertW = nil
+	t.alertLock.Unlock()
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"threads/internal/eventcount"
+	"threads/internal/queue"
+	"threads/internal/spinlock"
+)
+
+// Condition is a condition variable. In the specification a Condition is a
+// SET OF Thread, INITIALLY {} — the set of threads enqueued and not yet
+// resumed; the zero value of this type is that initial state.
+//
+// Specification (SRC Report 20):
+//
+//	PROCEDURE Wait(VAR m: Mutex; VAR c: Condition) =
+//	  COMPOSITION OF Enqueue; Resume END
+//	  REQUIRES m = SELF
+//	  MODIFIES AT MOST [m, c]
+//	  ATOMIC ACTION Enqueue ENSURES (c' = insert(c, SELF)) & (m' = NIL)
+//	  ATOMIC ACTION Resume WHEN (m = NIL) & NOT (SELF IN c)
+//	    ENSURES (m' = SELF) & UNCHANGED [c]
+//
+//	ATOMIC PROCEDURE Signal(VAR c: Condition)
+//	  MODIFIES AT MOST [c]   ENSURES (c' = {}) | (c' <= c)
+//
+//	ATOMIC PROCEDURE Broadcast(VAR c: Condition)
+//	  MODIFIES AT MOST [c]   ENSURES c' = {}
+//
+// Signal's postcondition cannot be strengthened to "removes exactly one":
+// when several threads race between Enqueue's release of the mutex and the
+// Nub's Block, one Signal unblocks all of them (experiment E3). Return from
+// Wait is therefore only a hint; callers re-evaluate their predicate and
+// Wait again if it does not hold.
+//
+// Representation, per the paper: a pair (Eventcount, Queue). Wait reads the
+// eventcount, releases the mutex, and calls the Nub's Block(c, i); Block
+// compares i with the current count under the spin lock and either
+// deschedules the caller or — if a Signal or Broadcast intervened — returns
+// immediately. Signal and Broadcast increment the eventcount and then move
+// one (respectively all) queued threads to the ready pool. The eventcount
+// is what lets Broadcast release arbitrarily many racing threads, which a
+// semaphore-based implementation cannot do (experiment E5).
+type Condition struct {
+	nub spinlock.Lock
+	ec  eventcount.Count
+	q   queue.FIFO[*waiter]
+	// committed counts threads that have entered the Wait protocol (read
+	// the eventcount) and not yet left it. The user code for Signal and
+	// Broadcast avoids calling the Nub when it is zero. It is incremented
+	// before the eventcount is read, so any Signal issued after a thread
+	// commits to waiting either sees the commitment or advances the
+	// eventcount that the thread's Block will re-check — no wakeup is
+	// lost in the window (the "wakeup-waiting race", experiment E4).
+	committed atomic.Int32
+}
+
+// Wait atomically ends the caller's critical section on m and suspends the
+// calling thread on c (the Enqueue action); once the thread has been
+// removed from c by Signal or Broadcast and the mutex is free, it
+// re-enters a new critical section (the Resume action) and Wait returns.
+//
+// REQUIRES m = SELF. Return is a hint: the associated predicate must be
+// re-evaluated, and Wait called again if it does not hold.
+func (c *Condition) Wait(m *Mutex) {
+	statInc(&stats.waitCount)
+	c.committed.Add(1)
+	i := c.ec.Read()
+	m.Release()
+	c.block(i, nil)
+	c.committed.Add(-1)
+	m.Acquire()
+}
+
+// block is the Nub's Block(c, i) subroutine plus the descheduling: under
+// the spin lock it compares i with the current eventcount; if unequal (an
+// intervening Signal or Broadcast) it returns at once, otherwise the
+// calling thread is added to c's queue and descheduled.
+//
+// For alertable waits, w carries the thread so Alert can claim it; block
+// returns the wake reason (reasonWake for signal/broadcast or elided
+// waits, reasonAlert when Alert won).
+func (c *Condition) block(i uint64, t *Thread) uint32 {
+	var w *waiter
+	if t != nil {
+		w = newWaiter(t)
+		t.setAlertWaiter(w)
+		// A pending alert satisfies the RAISES WHEN clause already;
+		// claim it and skip the queue entirely.
+		if t.alerted.Load() && w.claim(reasonAlert) {
+			t.clearAlertWaiter()
+			return reasonAlert
+		}
+	}
+	c.nub.Lock()
+	if c.ec.AdvancedSince(i) {
+		c.nub.Unlock()
+		statInc(&stats.waitElided)
+		if t != nil {
+			t.clearAlertWaiter()
+			if w.reason.Load() == reasonAlert {
+				// Alert claimed us in the window; both outcomes are
+				// specification-conformant, and honoring the alert
+				// keeps delivery prompt.
+				return reasonAlert
+			}
+		}
+		return reasonWake
+	}
+	if w == nil {
+		w = newWaiter(nil)
+	}
+	c.q.Push(&w.node)
+	c.nub.Unlock()
+	statInc(&stats.waitPark)
+	reason := w.park()
+	if t != nil {
+		t.clearAlertWaiter()
+	}
+	if reason == reasonAlert {
+		// Remove ourselves from c — the corrected AlertWait semantics:
+		// c' = delete(c, SELF) on the Alerted path, so a later Signal
+		// is never absorbed by this departed thread. A racing Signal
+		// may have popped us already; Remove is then a no-op and that
+		// Signal has re-popped another waiter.
+		c.nub.Lock()
+		c.q.Remove(&w.node)
+		c.nub.Unlock()
+	}
+	return reason
+}
+
+// Signal unblocks at least one thread waiting on c, if any thread is; it
+// may unblock more (every thread racing in the Enqueue→Block window plus
+// one queued thread). Using Signal rather than Broadcast is an efficiency
+// hint, permissible only when all waiters wait for the same predicate.
+func (c *Condition) Signal() {
+	if c.committed.Load() == 0 {
+		// User-code optimization: no thread is committed to waiting, so
+		// no Nub call. (Any thread that commits later will re-check the
+		// predicate before blocking — under the mutex its change is
+		// visible — so nothing is lost.)
+		statInc(&stats.signalFast)
+		return
+	}
+	statInc(&stats.signalNub)
+	c.nub.Lock()
+	c.ec.Advance()
+	for {
+		n := c.q.Pop()
+		if n == nil {
+			break
+		}
+		w := n.Value
+		if w.claim(reasonWake) {
+			c.nub.Unlock()
+			w.wake()
+			statInc(&stats.signalWoke)
+			return
+		}
+		// This waiter was already claimed by Alert; its wakeup belongs
+		// to another thread.
+		statInc(&stats.signalRepop)
+	}
+	c.nub.Unlock()
+}
+
+// Broadcast unblocks all threads waiting on c. Broadcast is necessary (for
+// correctness) when multiple waiting threads may have different predicates
+// or may all proceed; any implementation satisfying Broadcast's
+// specification also satisfies Signal's.
+func (c *Condition) Broadcast() {
+	if c.committed.Load() == 0 {
+		statInc(&stats.bcastFast)
+		return
+	}
+	statInc(&stats.bcastNub)
+	c.nub.Lock()
+	c.ec.Advance()
+	nodes := c.q.PopAll()
+	c.nub.Unlock()
+	for _, n := range nodes {
+		w := n.Value
+		if w.claim(reasonWake) {
+			w.wake()
+			statInc(&stats.bcastWoke)
+		}
+	}
+}
+
+// AlertWait is Wait, except that it may return Alerted rather than nil.
+// The choice between AlertWait and Wait depends on whether the calling
+// thread is to respond to an Alert at this point.
+//
+// Specification (the corrected version — see experiment E7):
+//
+//	PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition) RAISES {Alerted} =
+//	  COMPOSITION OF Enqueue; AlertResume END
+//	  REQUIRES m = SELF
+//	  MODIFIES AT MOST [m, c, alerts]
+//	  ATOMIC ACTION Enqueue
+//	    ENSURES (c' = insert(c, SELF)) & (m' = NIL) & UNCHANGED [alerts]
+//	  ATOMIC ACTION AlertResume
+//	    RETURNS WHEN (m = NIL) & NOT (SELF IN c)
+//	      ENSURES (m' = SELF) & UNCHANGED [c, alerts]
+//	    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
+//	      ENSURES (m' = SELF) & (c' = delete(c, SELF)) &
+//	              (alerts' = delete(alerts, SELF))
+//
+// On the Alerted path the thread is deleted from c (the original
+// specification's UNCHANGED [c] here was the error found after a year of
+// use) and the mutex is reacquired before the exception is reported, so the
+// caller is in a critical section either way. The RETURNS and RAISES WHEN
+// clauses overlap; when a Signal and an Alert race, either outcome may be
+// observed (experiment E8).
+func (c *Condition) AlertWait(m *Mutex) error {
+	t := Self()
+	statInc(&stats.waitCount)
+	c.committed.Add(1)
+	i := c.ec.Read()
+	m.Release()
+	reason := c.block(i, t)
+	c.committed.Add(-1)
+	m.Acquire()
+	if reason == reasonAlert {
+		t.alerted.Store(false)
+		statInc(&stats.alertedWait)
+		return Alerted
+	}
+	return nil
+}
+
+// Waiters returns the number of threads currently enqueued on c (advisory;
+// threads racing in the Enqueue→Block window are not counted).
+func (c *Condition) Waiters() int {
+	c.nub.Lock()
+	n := c.q.Len()
+	c.nub.Unlock()
+	return n
+}

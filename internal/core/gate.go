@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"threads/internal/queue"
+	"threads/internal/spinlock"
+)
+
+// gate is the shared mechanism behind Mutex and Semaphore. The paper is
+// explicit that "the implementation of semaphores is identical to mutexes:
+// P is the same as Acquire and V is the same as Release"; the two public
+// types differ only in specification (Release has a REQUIRES clause, V does
+// not, and only semaphores have AlertP).
+//
+// Representation, per the paper: a pair (lock bit, queue). The lock bit is
+// 1 iff a thread is inside (mutex held / semaphore unavailable). The queue
+// holds threads blocked awaiting their WHEN condition, and is manipulated
+// only under the Nub spin lock.
+type gate struct {
+	lockBit atomic.Uint32
+	qlen    atomic.Int32 // mirror of q.Len(), readable outside the spin lock
+	nub     spinlock.Lock
+	q       queue.FIFO[*waiter]
+}
+
+// gateStats routes the shared mechanism's counters to the mutex or
+// semaphore columns of Stats.
+type gateStats struct {
+	fast, nubEnter, park *atomic.Uint64
+	relFast, relNub      *atomic.Uint64
+}
+
+var mutexGateStats = gateStats{
+	fast: &stats.acquireFast, nubEnter: &stats.acquireNub, park: &stats.acquirePark,
+	relFast: &stats.releaseFast, relNub: &stats.releaseNub,
+}
+
+var semGateStats = gateStats{
+	fast: &stats.pFast, nubEnter: &stats.pNub, park: &stats.pPark,
+	relFast: &stats.vFast, relNub: &stats.vNub,
+}
+
+// tryAcquire is the user-code fast path: a single test-and-set.
+func (g *gate) tryAcquire() bool {
+	return g.lockBit.CompareAndSwap(0, 1)
+}
+
+// acquire implements Acquire/P. The user code test-and-sets the lock bit
+// and calls the Nub subroutine only if the bit was already set.
+func (g *gate) acquire(st *gateStats) {
+	if g.tryAcquire() {
+		statInc(st.fast)
+		return
+	}
+	g.acquireNub(st)
+}
+
+// acquireNub is the Nub subroutine for Acquire. Under the spin lock it adds
+// the calling thread to the queue and tests the lock bit again. If the bit
+// is still set the thread is descheduled; otherwise it removes itself and
+// the entire Acquire operation — beginning at the test-and-set — is
+// retried. (SRC Report 20, §Implementation: Mutexes and semaphores.)
+func (g *gate) acquireNub(st *gateStats) {
+	statInc(st.nubEnter)
+	for {
+		w := newWaiter(nil)
+		g.nub.Lock()
+		g.q.Push(&w.node)
+		g.qlen.Add(1)
+		if g.lockBit.Load() == 0 {
+			// A Release slipped in before we enqueued; back out and
+			// retry from the test-and-set.
+			g.q.Remove(&w.node)
+			g.qlen.Add(-1)
+			g.nub.Unlock()
+		} else {
+			g.nub.Unlock()
+			statInc(st.park)
+			w.park()
+		}
+		if g.tryAcquire() {
+			return
+		}
+	}
+}
+
+// release implements Release/V. The user code clears the lock bit and calls
+// the Nub subroutine only if the queue is not empty.
+func (g *gate) release(st *gateStats) {
+	g.lockBit.Store(0)
+	if g.qlen.Load() == 0 {
+		statInc(st.relFast)
+		return
+	}
+	g.releaseNub(st)
+}
+
+// releaseNub is the Nub subroutine for Release: take one thread from the
+// queue and make it ready. The woken thread retries its test-and-set and
+// may lose to a barging acquirer; the specification does not say which of
+// the blocked threads runs next, nor when.
+func (g *gate) releaseNub(st *gateStats) {
+	statInc(st.relNub)
+	g.nub.Lock()
+	for {
+		n := g.q.Pop()
+		if n == nil {
+			g.nub.Unlock()
+			return
+		}
+		g.qlen.Add(-1)
+		w := n.Value
+		if w.claim(reasonWake) {
+			g.nub.Unlock()
+			w.wake()
+			return
+		}
+		// The waiter was claimed by Alert after enqueueing; it no
+		// longer needs this wakeup. Give it to the next thread.
+	}
+}
+
+// alertableAcquire implements AlertP's blocking discipline: like acquire,
+// but the wait can be claimed by Alert(t), in which case the thread leaves
+// the queue and reports the alert instead of acquiring.
+func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
+	if g.tryAcquire() {
+		// Both WHEN clauses of AlertP may be enabled at once (s
+		// available and SELF in alerts); the implementation is free to
+		// choose, and the fast path chooses to return normally.
+		statInc(st.fast)
+		return false
+	}
+	statInc(st.nubEnter)
+	for {
+		w := newWaiter(t)
+		t.setAlertWaiter(w)
+		// A pending alert claims the wait immediately: the WHEN clause
+		// of the RAISES case is already true.
+		if t.alerted.Load() && w.claim(reasonAlert) {
+			t.clearAlertWaiter()
+			return true
+		}
+		g.nub.Lock()
+		g.q.Push(&w.node)
+		g.qlen.Add(1)
+		if g.lockBit.Load() == 0 {
+			g.q.Remove(&w.node)
+			g.qlen.Add(-1)
+			g.nub.Unlock()
+			t.clearAlertWaiter()
+			if w.reason.Load() == reasonAlert {
+				// Alert claimed us while we backed out; honor it.
+				return true
+			}
+			if g.tryAcquire() {
+				return false
+			}
+			continue
+		}
+		g.nub.Unlock()
+		statInc(st.park)
+		reason := w.park()
+		t.clearAlertWaiter()
+		if reason == reasonAlert {
+			// Leave the queue before reporting the alert so a later V
+			// is not absorbed by a departed thread.
+			g.nub.Lock()
+			if g.q.Remove(&w.node) {
+				g.qlen.Add(-1)
+			}
+			g.nub.Unlock()
+			return true
+		}
+		if g.tryAcquire() {
+			return false
+		}
+	}
+}
+
+// locked reports the lock bit (true = held/unavailable).
+func (g *gate) locked() bool { return g.lockBit.Load() != 0 }
+
+// waiters returns the current queue length (advisory).
+func (g *gate) waiters() int { return int(g.qlen.Load()) }

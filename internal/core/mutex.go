@@ -1,0 +1,104 @@
+package core
+
+import "sync/atomic"
+
+// Mutex is the basic tool enabling threads to cooperate on access to shared
+// variables. In the specification a Mutex is a Thread-valued variable,
+// INITIALLY NIL; the zero value of this type is that initial state.
+//
+// Specification (SRC Report 20):
+//
+//	ATOMIC PROCEDURE Acquire(VAR m: Mutex)
+//	  MODIFIES AT MOST [m]   WHEN m = NIL   ENSURES m' = SELF
+//
+//	ATOMIC PROCEDURE Release(VAR m: Mutex)
+//	  REQUIRES m = SELF   MODIFIES AT MOST [m]   ENSURES m' = NIL
+//
+// The representation records no holder (lock bit + queue only); the
+// REQUIRES clause of Release is the caller's obligation. SetChecking
+// enables a debugging mode that records holders and panics on violations.
+type Mutex struct {
+	g gate
+	// holder is maintained only in checking mode. 0 means NIL.
+	holder atomic.Uint64
+}
+
+// checking gates the debug holder-tracking mode. It trades the paper's
+// 5-instruction fast path for detection of Release's REQUIRES violations —
+// the check the paper's users wished their debugger could do.
+var checking atomic.Bool
+
+// SetChecking enables or disables holder tracking on all mutexes and
+// returns the previous setting. With checking on, Release panics if the
+// calling thread does not hold the mutex, and Acquire panics on attempted
+// recursive acquisition (which would otherwise deadlock silently).
+func SetChecking(on bool) bool { return checking.Swap(on) }
+
+// Checking reports whether holder tracking is enabled.
+func Checking() bool { return checking.Load() }
+
+// Acquire blocks until the mutex is NIL and then makes the calling thread
+// its holder. The WHEN clause (m = NIL) may impose a delay until another
+// thread's Release makes it true; if several threads are blocked in
+// Acquire, exactly one of them proceeds per Release, because the winner's
+// ENSURES falsifies the others' WHEN clauses.
+func (m *Mutex) Acquire() {
+	if checking.Load() {
+		self := Self()
+		if m.holder.Load() == self.id {
+			panic("threads: recursive Acquire would deadlock: " + self.name + " already holds the mutex")
+		}
+		m.g.acquire(&mutexGateStats)
+		m.holder.Store(self.id)
+		return
+	}
+	m.g.acquire(&mutexGateStats)
+}
+
+// TryAcquire acquires the mutex if it is NIL and reports whether it did.
+// (An extension: the Firefly interface had no TryAcquire, but the fast path
+// makes it free and tests and examples use it.)
+func (m *Mutex) TryAcquire() bool {
+	if !m.g.tryAcquire() {
+		return false
+	}
+	if checking.Load() {
+		m.holder.Store(Self().id)
+	}
+	statInc(&stats.acquireFast)
+	return true
+}
+
+// Release makes the mutex NIL and, if threads are blocked in Acquire, makes
+// one of them ready. The caller must hold the mutex (REQUIRES m = SELF);
+// with checking disabled a violation is not detected, matching the paper's
+// implementation, which keeps no holder.
+func (m *Mutex) Release() {
+	if checking.Load() {
+		self := Self()
+		if h := m.holder.Load(); h != self.id {
+			panic("threads: Release REQUIRES m = SELF violated by " + self.name)
+		}
+		m.holder.Store(0)
+	}
+	m.g.release(&mutexGateStats)
+}
+
+// Held reports whether some thread holds the mutex. Advisory: the answer
+// may be stale immediately.
+func (m *Mutex) Held() bool { return m.g.locked() }
+
+// Waiters returns the number of threads blocked in Acquire (advisory).
+func (m *Mutex) Waiters() int { return m.g.waiters() }
+
+// Lock brackets body with Acquire and Release, the Modula-2+
+//
+//	LOCK m DO statement-sequence END
+//
+// construct: Release runs even if body panics (the TRY ... FINALLY of the
+// expansion), and the bracketing is syntactically enforced.
+func Lock(m *Mutex, body func()) {
+	m.Acquire()
+	defer m.Release()
+	body()
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMutexZeroValueIsNIL(t *testing.T) {
+	var m Mutex
+	if m.Held() {
+		t.Fatal("zero-value Mutex reports held; INITIALLY NIL violated")
+	}
+	m.Acquire()
+	if !m.Held() {
+		t.Fatal("mutex not held after Acquire")
+	}
+	m.Release()
+	if m.Held() {
+		t.Fatal("mutex held after Release")
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	const (
+		threads = 8
+		iters   = 5000
+	)
+	var (
+		m       Mutex
+		counter int
+		wg      sync.WaitGroup
+	)
+	wg.Add(threads)
+	for i := 0; i < threads; i++ {
+		Fork(func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				m.Acquire()
+				counter++
+				m.Release()
+			}
+		})
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Fatalf("critical sections not serialized: counter=%d want %d", counter, threads*iters)
+	}
+}
+
+// TestMutexAtomicActions checks the serialization property directly: the
+// bracketed sections are critical sections (no two threads inside at once).
+func TestMutexAtomicActions(t *testing.T) {
+	var (
+		m      Mutex
+		inside int32
+		bad    int32
+		wg     sync.WaitGroup
+	)
+	wg.Add(6)
+	for i := 0; i < 6; i++ {
+		Fork(func() {
+			defer wg.Done()
+			for j := 0; j < 3000; j++ {
+				m.Acquire()
+				inside++
+				if inside != 1 {
+					bad++
+				}
+				inside--
+				m.Release()
+			}
+		})
+	}
+	wg.Wait()
+	if bad != 0 {
+		t.Fatalf("%d overlapping critical sections observed", bad)
+	}
+}
+
+func TestMutexBlocksUntilRelease(t *testing.T) {
+	var m Mutex
+	m.Acquire()
+	entered := make(chan struct{})
+	Fork(func() {
+		m.Acquire()
+		close(entered)
+		m.Release()
+	})
+	select {
+	case <-entered:
+		t.Fatal("second Acquire succeeded while mutex was held: WHEN m = NIL violated")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Release()
+	waitDone(t, entered, "blocked acquirer after Release")
+}
+
+// TestMutexReleaseWakesExactlyOneWinner: with several blocked acquirers,
+// each Release admits one thread into the critical section.
+func TestMutexReleaseWakesExactlyOneWinner(t *testing.T) {
+	const waiters = 5
+	var m Mutex
+	m.Acquire()
+	var inCS int32
+	var maxIn int32
+	proceed := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		Fork(func() {
+			defer wg.Done()
+			m.Acquire()
+			n := atomicAdd(&inCS, 1)
+			if n > atomicLoad(&maxIn) {
+				atomicStore(&maxIn, n)
+			}
+			<-proceed
+			atomicAdd(&inCS, -1)
+			m.Release()
+		})
+	}
+	// Let the waiters pile up, then open the gate one Release at a time.
+	time.Sleep(50 * time.Millisecond)
+	m.Release()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < waiters; i++ {
+			proceed <- struct{}{}
+		}
+		wg.Wait()
+		close(done)
+	}()
+	waitDone(t, done, "all waiters through the critical section")
+	if maxIn != 1 {
+		t.Fatalf("observed %d threads in the critical section at once", maxIn)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	var m Mutex
+	if !m.TryAcquire() {
+		t.Fatal("TryAcquire on NIL mutex failed")
+	}
+	if m.TryAcquire() {
+		t.Fatal("TryAcquire on held mutex succeeded")
+	}
+	m.Release()
+	if !m.TryAcquire() {
+		t.Fatal("TryAcquire after Release failed")
+	}
+	m.Release()
+}
+
+func TestLockBracketsAndReleasesOnPanic(t *testing.T) {
+	var m Mutex
+	func() {
+		defer func() { recover() }()
+		Lock(&m, func() {
+			if !m.Held() {
+				t.Error("mutex not held inside Lock body")
+			}
+			panic("exception inside LOCK clause")
+		})
+	}()
+	if m.Held() {
+		t.Fatal("Lock did not Release after a panic (TRY...FINALLY semantics violated)")
+	}
+	// And the normal path.
+	ran := false
+	Lock(&m, func() { ran = true })
+	if !ran || m.Held() {
+		t.Fatal("Lock normal path broken")
+	}
+}
+
+func TestWaitersCount(t *testing.T) {
+	var m Mutex
+	m.Acquire()
+	const n = 3
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		Fork(func() {
+			defer wg.Done()
+			m.Acquire()
+			m.Release()
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters = %d, want %d", m.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Release()
+	wg.Wait()
+	if m.Waiters() != 0 {
+		t.Fatalf("Waiters = %d after all released", m.Waiters())
+	}
+}
+
+func TestCheckingModeDetectsBadRelease(t *testing.T) {
+	defer SetChecking(SetChecking(true))
+	var m Mutex
+	m.Acquire()
+	defer m.Release()
+	errs := make(chan interface{}, 1)
+	th := Fork(func() {
+		defer func() { errs <- recover() }()
+		m.Release() // REQUIRES m = SELF violated
+	})
+	Join(th)
+	if <-errs == nil {
+		t.Fatal("checking mode did not detect Release by non-holder")
+	}
+}
+
+func TestCheckingModeDetectsRecursiveAcquire(t *testing.T) {
+	defer SetChecking(SetChecking(true))
+	var m Mutex
+	m.Acquire()
+	defer m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("checking mode did not detect recursive Acquire")
+		}
+	}()
+	m.Acquire()
+}
+
+func TestCheckingModeAllowsCorrectUse(t *testing.T) {
+	defer SetChecking(SetChecking(true))
+	var m Mutex
+	var counter int
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		Fork(func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				Lock(&m, func() { counter++ })
+			}
+		})
+	}
+	wg.Wait()
+	if counter != 800 {
+		t.Fatalf("counter = %d, want 800", counter)
+	}
+}
+
+func TestFastPathStats(t *testing.T) {
+	defer EnableStats(EnableStats(true))
+	ResetStats()
+	var m Mutex
+	for i := 0; i < 100; i++ {
+		m.Acquire()
+		m.Release()
+	}
+	s := SnapshotStats()
+	if s.AcquireFast != 100 || s.AcquireNub != 0 {
+		t.Fatalf("uncontended acquires: fast=%d nub=%d, want 100/0", s.AcquireFast, s.AcquireNub)
+	}
+	if s.ReleaseFast != 100 || s.ReleaseNub != 0 {
+		t.Fatalf("uncontended releases: fast=%d nub=%d, want 100/0", s.ReleaseFast, s.ReleaseNub)
+	}
+}
+
+// Tiny atomic helpers so the tests above read clearly.
+func atomicAdd(p *int32, d int32) int32 { return atomic.AddInt32(p, d) }
+func atomicLoad(p *int32) int32         { return atomic.LoadInt32(p) }
+func atomicStore(p *int32, v int32)     { atomic.StoreInt32(p, v) }

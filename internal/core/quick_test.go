@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickMutexModel property-tests the mutex against its one-bit abstract
+// model under random single-threaded TryAcquire/Release sequences.
+func TestQuickMutexModel(t *testing.T) {
+	check := func(ops []bool) bool {
+		var m Mutex
+		held := false
+		for _, acquire := range ops {
+			if acquire {
+				got := m.TryAcquire()
+				if got == held {
+					// TryAcquire must succeed iff the model says free.
+					return false
+				}
+				if got {
+					held = true
+				}
+			} else if held {
+				m.Release()
+				held = false
+			}
+			if m.Held() != held {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(51))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSemaphoreModel: the binary semaphore against its
+// (available, unavailable) model; V is unconditional and idempotent on an
+// available semaphore.
+func TestQuickSemaphoreModel(t *testing.T) {
+	check := func(ops []uint8) bool {
+		var s Semaphore
+		avail := true
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // TryP
+				got := s.TryP()
+				if got != avail {
+					return false
+				}
+				if got {
+					avail = false
+				}
+			case 1: // V
+				s.V()
+				avail = true
+			case 2: // observe
+				if s.Available() != avail {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(52))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlertFlagModel: Alert/TestAlert as set membership for one
+// thread.
+func TestQuickAlertFlagModel(t *testing.T) {
+	check := func(ops []bool) bool {
+		result := true
+		th := Fork(func() {
+			self := Self()
+			pending := false
+			for _, alert := range ops {
+				if alert {
+					Alert(self)
+					pending = true
+				} else {
+					if TestAlert() != pending {
+						result = false
+						return
+					}
+					pending = false
+				}
+			}
+			if AlertPending(self) != pending {
+				result = false
+			}
+		})
+		Join(th)
+		return result
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Fatal(err)
+	}
+}

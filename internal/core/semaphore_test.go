@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreZeroValueAvailable(t *testing.T) {
+	var s Semaphore
+	if !s.Available() {
+		t.Fatal("zero-value Semaphore not available; INITIALLY available violated")
+	}
+	s.P()
+	if s.Available() {
+		t.Fatal("semaphore available after P")
+	}
+	s.V()
+	if !s.Available() {
+		t.Fatal("semaphore unavailable after V")
+	}
+}
+
+func TestSemaphoreMutualExclusion(t *testing.T) {
+	var (
+		s       Semaphore
+		counter int
+		wg      sync.WaitGroup
+	)
+	const threads, iters = 8, 5000
+	wg.Add(threads)
+	for i := 0; i < threads; i++ {
+		Fork(func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				s.P()
+				counter++
+				s.V()
+			}
+		})
+	}
+	wg.Wait()
+	if counter != threads*iters {
+		t.Fatalf("counter = %d, want %d", counter, threads*iters)
+	}
+}
+
+// TestVWithoutP: V has no precondition; "calls of P and V need not be
+// textually linked" and there is no notion of holding a semaphore.
+func TestVWithoutP(t *testing.T) {
+	var s Semaphore
+	s.V() // idempotent on an available semaphore
+	if !s.Available() {
+		t.Fatal("V on available semaphore left it unavailable")
+	}
+	s.P()
+	done := make(chan struct{})
+	// A different thread performs the V — the private-semaphore pattern.
+	Fork(func() {
+		s.V()
+		close(done)
+	})
+	waitDone(t, done, "V from another thread")
+	if !s.Available() {
+		t.Fatal("V from non-acquirer did not release the semaphore")
+	}
+}
+
+// TestBinarySemaphoreIdempotentV: multiple Vs do not accumulate; the
+// semaphore is binary (available, unavailable), not counting.
+func TestBinarySemaphoreIdempotentV(t *testing.T) {
+	var s Semaphore
+	s.V()
+	s.V()
+	s.V()
+	s.P() // consumes the single "available"
+	if s.Available() {
+		t.Fatal("binary semaphore accumulated multiple Vs")
+	}
+	got := make(chan struct{})
+	Fork(func() {
+		s.P() // must block until the next V
+		close(got)
+	})
+	select {
+	case <-got:
+		t.Fatal("second P succeeded: semaphore behaved as counting")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.V()
+	waitDone(t, got, "second P after V")
+	s.V()
+}
+
+// TestInterruptStyleSynchronization reproduces the paper's interrupt
+// pattern: a thread waits for an interrupt-routine action by calling P, and
+// the "interrupt routine" (here a raw goroutine outside any thread,
+// forbidden from blocking) unblocks it with V.
+func TestInterruptStyleSynchronization(t *testing.T) {
+	var sem Semaphore
+	sem.P() // drain the initial availability: P now waits for the device
+	var interrupts int32
+	done := make(chan struct{})
+	Fork(func() {
+		defer close(done)
+		for i := 0; i < 10; i++ {
+			sem.P() // wait for interrupt
+			atomic.AddInt32(&interrupts, 1)
+		}
+	})
+	go func() { // the interrupt source: never blocks
+		for i := 0; i < 10; i++ {
+			time.Sleep(time.Millisecond)
+			sem.V()
+		}
+	}()
+	waitDone(t, done, "interrupt handler thread")
+	if interrupts != 10 {
+		t.Fatalf("handled %d interrupts, want 10", interrupts)
+	}
+}
+
+func TestTryP(t *testing.T) {
+	var s Semaphore
+	if !s.TryP() {
+		t.Fatal("TryP on available semaphore failed")
+	}
+	if s.TryP() {
+		t.Fatal("TryP on unavailable semaphore succeeded")
+	}
+	s.V()
+	if !s.TryP() {
+		t.Fatal("TryP after V failed")
+	}
+	s.V()
+}
+
+func TestSemaphoreWaiters(t *testing.T) {
+	var s Semaphore
+	s.P()
+	const n = 4
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		Fork(func() {
+			defer wg.Done()
+			s.P()
+			s.V()
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiters = %d, want %d", s.Waiters(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.V()
+	wg.Wait()
+}

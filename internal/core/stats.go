@@ -1,0 +1,133 @@
+package core
+
+import "sync/atomic"
+
+// Stats is a snapshot of the package's contention counters. The paper
+// reports that the underlying implementation was reworked "to make it easy
+// to collect statistics on contention" without any specification change;
+// these counters are that facility. They also drive experiments E2 and E3:
+// the fast-path hit rate and the multi-unblock behavior of Signal.
+type Stats struct {
+	AcquireFast uint64 // Acquire satisfied by the inline test-and-set
+	AcquireNub  uint64 // Acquire entered the Nub subroutine
+	AcquirePark uint64 // Acquire descheduled the caller
+	ReleaseFast uint64 // Release found the queue empty
+	ReleaseNub  uint64 // Release entered the Nub subroutine
+
+	PFast uint64 // P satisfied inline
+	PNub  uint64 // P entered the Nub
+	PPark uint64 // P descheduled the caller
+	VFast uint64 // V found the queue empty
+	VNub  uint64 // V entered the Nub
+
+	WaitCount   uint64 // Wait calls
+	WaitElided  uint64 // Block returned without descheduling (eventcount advanced)
+	WaitPark    uint64 // Block descheduled the caller
+	SignalFast  uint64 // Signal with no committed waiters: no Nub call
+	SignalNub   uint64 // Signal entered the Nub
+	SignalWoke  uint64 // Signal dequeued and woke a thread
+	SignalRepop uint64 // Signal re-popped after losing a claim race to Alert
+	BcastFast   uint64 // Broadcast with no committed waiters
+	BcastNub    uint64 // Broadcast entered the Nub
+	BcastWoke   uint64 // threads woken by Broadcast
+
+	Alerts        uint64 // Alert calls
+	AlertWakes    uint64 // Alert woke a blocked alertable waiter
+	AlertedWait   uint64 // AlertWait returned Alerted
+	AlertedP      uint64 // AlertP returned Alerted
+	TestAlertTrue uint64 // TestAlert returned true
+}
+
+// statsEnabled gates all counter updates; when false the counters cost one
+// predictable branch on the fast paths.
+var statsEnabled atomic.Bool
+
+var stats struct {
+	acquireFast, acquireNub, acquirePark atomic.Uint64
+	releaseFast, releaseNub              atomic.Uint64
+	pFast, pNub, pPark                   atomic.Uint64
+	vFast, vNub                          atomic.Uint64
+	waitCount, waitElided, waitPark      atomic.Uint64
+	signalFast, signalNub                atomic.Uint64
+	signalWoke, signalRepop              atomic.Uint64
+	bcastFast, bcastNub, bcastWoke       atomic.Uint64
+	alerts, alertWakes                   atomic.Uint64
+	alertedWait, alertedP                atomic.Uint64
+	testAlertTrue                        atomic.Uint64
+}
+
+// EnableStats turns contention statistics on or off and returns the
+// previous setting.
+func EnableStats(on bool) bool { return statsEnabled.Swap(on) }
+
+// StatsEnabled reports whether statistics are being collected.
+func StatsEnabled() bool { return statsEnabled.Load() }
+
+func statAdd(c *atomic.Uint64, n uint64) {
+	if statsEnabled.Load() {
+		c.Add(n)
+	}
+}
+
+func statInc(c *atomic.Uint64) { statAdd(c, 1) }
+
+// SnapshotStats returns the current counter values.
+func SnapshotStats() Stats {
+	return Stats{
+		AcquireFast: stats.acquireFast.Load(),
+		AcquireNub:  stats.acquireNub.Load(),
+		AcquirePark: stats.acquirePark.Load(),
+		ReleaseFast: stats.releaseFast.Load(),
+		ReleaseNub:  stats.releaseNub.Load(),
+		PFast:       stats.pFast.Load(),
+		PNub:        stats.pNub.Load(),
+		PPark:       stats.pPark.Load(),
+		VFast:       stats.vFast.Load(),
+		VNub:        stats.vNub.Load(),
+		WaitCount:   stats.waitCount.Load(),
+		WaitElided:  stats.waitElided.Load(),
+		WaitPark:    stats.waitPark.Load(),
+		SignalFast:  stats.signalFast.Load(),
+		SignalNub:   stats.signalNub.Load(),
+		SignalWoke:  stats.signalWoke.Load(),
+		SignalRepop: stats.signalRepop.Load(),
+		BcastFast:   stats.bcastFast.Load(),
+		BcastNub:    stats.bcastNub.Load(),
+		BcastWoke:   stats.bcastWoke.Load(),
+
+		Alerts:        stats.alerts.Load(),
+		AlertWakes:    stats.alertWakes.Load(),
+		AlertedWait:   stats.alertedWait.Load(),
+		AlertedP:      stats.alertedP.Load(),
+		TestAlertTrue: stats.testAlertTrue.Load(),
+	}
+}
+
+// ResetStats zeroes all counters.
+func ResetStats() {
+	stats.acquireFast.Store(0)
+	stats.acquireNub.Store(0)
+	stats.acquirePark.Store(0)
+	stats.releaseFast.Store(0)
+	stats.releaseNub.Store(0)
+	stats.pFast.Store(0)
+	stats.pNub.Store(0)
+	stats.pPark.Store(0)
+	stats.vFast.Store(0)
+	stats.vNub.Store(0)
+	stats.waitCount.Store(0)
+	stats.waitElided.Store(0)
+	stats.waitPark.Store(0)
+	stats.signalFast.Store(0)
+	stats.signalNub.Store(0)
+	stats.signalWoke.Store(0)
+	stats.signalRepop.Store(0)
+	stats.bcastFast.Store(0)
+	stats.bcastNub.Store(0)
+	stats.bcastWoke.Store(0)
+	stats.alerts.Store(0)
+	stats.alertWakes.Store(0)
+	stats.alertedWait.Store(0)
+	stats.alertedP.Store(0)
+	stats.testAlertTrue.Store(0)
+}

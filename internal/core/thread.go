@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"threads/internal/spinlock"
+)
+
+// Thread identifies a thread of control to the synchronization primitives.
+// The specification's SELF is the Thread of the calling goroutine, and the
+// global "alerts : SET OF Thread" is represented by one alerted bit per
+// Thread.
+//
+// Threads are created with Fork. A goroutine that was not created by Fork
+// (the main goroutine, for example) is adopted on its first call to Self,
+// TestAlert, AlertWait or AlertP.
+type Thread struct {
+	id   uint64
+	gid  uint64
+	name string
+
+	// alerted is this thread's membership in the specification's global
+	// alerts set: Alert inserts, TestAlert and the Alerted returns of
+	// AlertWait/AlertP delete.
+	alerted atomic.Bool
+
+	// alertLock protects alertW. Alert reads alertW under it to find a
+	// blocked alertable waiter to wake; AlertWait/AlertP register and
+	// unregister their waiter under it.
+	alertLock spinlock.Lock
+	alertW    *waiter
+
+	// done is closed when a forked thread's function returns. Join
+	// receives on it. Adopted threads have a nil done channel.
+	done chan struct{}
+}
+
+// ID returns a process-unique identifier for the thread.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Name returns the thread's name ("thread-<id>" unless set by ForkNamed).
+func (t *Thread) Name() string { return t.name }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	if t == nil {
+		return "NIL"
+	}
+	return t.name
+}
+
+var threadIDs atomic.Uint64
+
+// ---------------------------------------------------------------------------
+// Goroutine → Thread registry.
+//
+// The primitives need SELF without threading a handle through every call.
+// The goroutine id is recovered from the runtime.Stack header (the only
+// stdlib-visible identity a goroutine has) and mapped to its Thread in a
+// sharded registry guarded by spin locks, so the core depends on nothing
+// heavier than the primitives it itself implements.
+// ---------------------------------------------------------------------------
+
+const registryShards = 64
+
+type registryShard struct {
+	lock spinlock.Lock
+	m    map[uint64]*Thread
+	_    [40]byte // keep shards on separate cache lines
+}
+
+var registry [registryShards]*registryShard
+
+func init() {
+	for i := range registry {
+		registry[i] = &registryShard{m: make(map[uint64]*Thread)}
+	}
+}
+
+func shardFor(gid uint64) *registryShard {
+	return registry[gid%registryShards]
+}
+
+func registerThread(gid uint64, t *Thread) {
+	s := shardFor(gid)
+	s.lock.Lock()
+	s.m[gid] = t
+	s.lock.Unlock()
+}
+
+func unregisterThread(gid uint64) {
+	s := shardFor(gid)
+	s.lock.Lock()
+	delete(s.m, gid)
+	s.lock.Unlock()
+}
+
+func lookupThread(gid uint64) *Thread {
+	s := shardFor(gid)
+	s.lock.Lock()
+	t := s.m[gid]
+	s.lock.Unlock()
+	return t
+}
+
+// goid returns the current goroutine's id, parsed from the
+// "goroutine N [state]:" header runtime.Stack emits.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine ".
+	const prefix = len("goroutine ")
+	var id uint64
+	for i := prefix; i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Self returns the Thread executing the caller, adopting the goroutine into
+// the registry if it was not created by Fork.
+func Self() *Thread {
+	gid := goid()
+	if t := lookupThread(gid); t != nil {
+		return t
+	}
+	t := newThread("adopted")
+	t.gid = gid
+	registerThread(gid, t)
+	return t
+}
+
+func newThread(kind string) *Thread {
+	id := threadIDs.Add(1)
+	return &Thread{id: id, name: fmt.Sprintf("%s-%d", kind, id)}
+}
+
+// Fork runs fn as a new thread and returns its handle immediately. The
+// thread's registry entry is removed when fn returns, and Join unblocks.
+func Fork(fn func()) *Thread {
+	return ForkNamed("", fn)
+}
+
+// ForkNamed is Fork with an explicit thread name (used in traces and
+// diagnostics).
+func ForkNamed(name string, fn func()) *Thread {
+	t := newThread("thread")
+	if name != "" {
+		t.name = name
+	}
+	t.done = make(chan struct{})
+	ready := make(chan struct{})
+	go func() {
+		gid := goid()
+		t.gid = gid
+		registerThread(gid, t)
+		close(ready)
+		defer func() {
+			unregisterThread(gid)
+			close(t.done)
+		}()
+		fn()
+	}()
+	// Wait until the child is registered so an immediate Alert(t) followed
+	// by the child's AlertWait observes a consistent registry.
+	<-ready
+	return t
+}
+
+// Join blocks until the forked thread's function has returned. Join on an
+// adopted thread panics: the package did not create it and cannot observe
+// its termination.
+func Join(t *Thread) {
+	if t.done == nil {
+		panic("core: Join on a thread not created by Fork")
+	}
+	<-t.done
+}
+
+// Detach removes an adopted goroutine's registry entry. Long-lived programs
+// that adopt many transient goroutines call this before the goroutine
+// exits; threads created by Fork clean up automatically.
+func Detach() {
+	unregisterThread(goid())
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"threads/internal/queue"
+)
+
+// Wake reasons. Wakers claim a parked waiter by compare-and-swapping its
+// reason from reasonNone; exactly one waker wins, so each waiter receives
+// exactly one wakeup. A Signal that loses the race to an Alert re-pops the
+// queue and wakes another thread instead — this is the implementation-level
+// counterpart of the corrected AlertWait specification, under which a
+// thread that raises Alerted leaves the condition variable rather than
+// silently absorbing a later Signal.
+const (
+	reasonNone  uint32 = iota
+	reasonWake         // Release, V, Signal or Broadcast
+	reasonAlert        // Alert
+)
+
+// waiter represents one blocked occurrence of a thread: a node on a mutex,
+// semaphore or condition queue plus a one-shot parking place. A fresh
+// waiter is allocated per blocking episode; the blocking paths are the slow
+// paths, and per-episode allocation keeps the wake/alert races free of
+// reuse hazards (a waker that loses the reason CAS may still hold a
+// reference after the blocked call has returned).
+type waiter struct {
+	node   queue.Node[*waiter]
+	reason atomic.Uint32
+	parked chan struct{}
+	// t is the thread blocked here, set only for alertable waits
+	// (AlertWait, AlertP); plain Acquire/Wait/P waiters are anonymous,
+	// just as the Firefly implementation records no identities on its
+	// queues.
+	t *Thread
+}
+
+func newWaiter(t *Thread) *waiter {
+	w := &waiter{parked: make(chan struct{}, 1), t: t}
+	w.node.Value = w
+	return w
+}
+
+// park blocks until a waker claims and wakes this waiter, then returns the
+// claimed reason.
+func (w *waiter) park() uint32 {
+	<-w.parked
+	return w.reason.Load()
+}
+
+// claim attempts to claim the waiter for the given reason and reports
+// whether the caller won. The winner must subsequently call wake exactly
+// once.
+func (w *waiter) claim(reason uint32) bool {
+	return w.reason.CompareAndSwap(reasonNone, reason)
+}
+
+// wake releases the parked thread. It must be called exactly once, by the
+// waker whose claim succeeded; the buffered channel makes it non-blocking
+// and safe to call before park is reached.
+func (w *waiter) wake() {
+	w.parked <- struct{}{}
+}
+
+// claimed reports whether some waker has already claimed this waiter.
+func (w *waiter) claimed() bool {
+	return w.reason.Load() != reasonNone
+}

@@ -1,0 +1,282 @@
+package larch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Document is a parsed specification: a sequence of declarations.
+type Document struct {
+	Decls []Decl
+}
+
+// Proc returns the procedure declaration with the given name, or nil.
+func (d *Document) Proc(name string) *ProcDecl {
+	for _, decl := range d.Decls {
+		if p, ok := decl.(*ProcDecl); ok && p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	decl()
+	fmt.Stringer
+}
+
+// TypeExpr is a type expression.
+type TypeExpr interface {
+	typeExpr()
+	fmt.Stringer
+}
+
+// NamedType is a reference to a type by name (Thread, Mutex, bool, ...).
+type NamedType struct{ Name string }
+
+// SetType is SET OF Elem.
+type SetType struct{ Elem TypeExpr }
+
+// EnumType is an enumeration like (available, unavailable).
+type EnumType struct{ Members []string }
+
+func (NamedType) typeExpr() {}
+func (SetType) typeExpr()   {}
+func (EnumType) typeExpr()  {}
+
+func (t NamedType) String() string { return t.Name }
+func (t SetType) String() string   { return "SET OF " + t.Elem.String() }
+func (t EnumType) String() string  { return "(" + strings.Join(t.Members, ", ") + ")" }
+
+// TypeDecl is TYPE Name = Type INITIALLY init.
+type TypeDecl struct {
+	Name      string
+	Type      TypeExpr
+	Initially Expr
+}
+
+// VarDecl is VAR name: Type INITIALLY init (the specification's global
+// "alerts").
+type VarDecl struct {
+	Name      string
+	Type      TypeExpr
+	Initially Expr
+}
+
+// ExceptionDecl is EXCEPTION Name.
+type ExceptionDecl struct{ Name string }
+
+// Param is one formal parameter.
+type Param struct {
+	Var  bool // VAR parameter (may be modified)
+	Name string
+	Type TypeExpr
+}
+
+func (p Param) String() string {
+	s := ""
+	if p.Var {
+		s = "VAR "
+	}
+	return s + p.Name + ": " + p.Type.String()
+}
+
+// CaseDecl is a RETURNS WHEN ... ENSURES ... or RAISES exc WHEN ... ENSURES
+// ... clause pair of a procedure or action with alternative outcomes.
+type CaseDecl struct {
+	Raises  string // empty for the RETURNS case
+	When    Expr   // nil = WHEN TRUE
+	Ensures Expr
+}
+
+// ActionDecl is ATOMIC ACTION Name with its clauses, within a COMPOSITION
+// OF procedure.
+type ActionDecl struct {
+	Name    string
+	When    Expr // nil = WHEN TRUE
+	Ensures Expr
+	Cases   []CaseDecl // non-empty for actions with RETURNS/RAISES cases
+}
+
+// ProcDecl is a (possibly ATOMIC) PROCEDURE declaration.
+type ProcDecl struct {
+	Atomic      bool
+	Name        string
+	Params      []Param
+	Returns     *Param   // RETURNS (b: bool), or nil
+	Raises      []string // RAISES {Alerted}
+	Composition []string // COMPOSITION OF A; B END, or nil
+	Requires    Expr     // nil = REQUIRES TRUE
+	Modifies    []string // MODIFIES AT MOST [m, c]
+	When        Expr     // nil = WHEN TRUE
+	Ensures     Expr
+	Cases       []CaseDecl    // for atomic procedures with RETURNS/RAISES cases
+	Actions     []*ActionDecl // the named actions of a composition
+}
+
+// Action returns the named ATOMIC ACTION of the procedure, or nil.
+func (p *ProcDecl) Action(name string) *ActionDecl {
+	for _, a := range p.Actions {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func (*TypeDecl) decl()      {}
+func (*VarDecl) decl()       {}
+func (*ExceptionDecl) decl() {}
+func (*ProcDecl) decl()      {}
+
+// Expr is a predicate or term.
+type Expr interface {
+	expr()
+	fmt.Stringer
+}
+
+// Ident is a (possibly primed) reference to a formal, global variable, enum
+// member or return formal. m is the pre-state value; m' (Primed) the
+// post-state value.
+type Ident struct {
+	Name   string
+	Primed bool
+}
+
+// SelfExpr is SELF, the executing thread.
+type SelfExpr struct{}
+
+// NilExpr is NIL, the unheld-mutex value.
+type NilExpr struct{}
+
+// EmptySet is {}.
+type EmptySet struct{}
+
+// Binary is L op R with op one of "=", "&", "|", "<=" (subset), "IN".
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Not is NOT X.
+type Not struct{ X Expr }
+
+// Call is fn(args...): insert(c, SELF), delete(alerts, SELF).
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Unchanged is UNCHANGED [x, y]: each listed variable has equal pre and
+// post values.
+type Unchanged struct{ Names []string }
+
+func (Ident) expr()     {}
+func (SelfExpr) expr()  {}
+func (NilExpr) expr()   {}
+func (EmptySet) expr()  {}
+func (Binary) expr()    {}
+func (Not) expr()       {}
+func (Call) expr()      {}
+func (Unchanged) expr() {}
+
+func (e Ident) String() string {
+	if e.Primed {
+		return e.Name + "'"
+	}
+	return e.Name
+}
+func (SelfExpr) String() string { return "SELF" }
+func (NilExpr) String() string  { return "NIL" }
+func (EmptySet) String() string { return "{}" }
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+func (e Not) String() string { return "NOT " + e.X.String() }
+func (e Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Fn + "(" + strings.Join(parts, ", ") + ")"
+}
+func (e Unchanged) String() string {
+	return "UNCHANGED [" + strings.Join(e.Names, ", ") + "]"
+}
+
+func (d *TypeDecl) String() string {
+	return "TYPE " + d.Name + " = " + d.Type.String() + " INITIALLY " + d.Initially.String()
+}
+func (d *VarDecl) String() string {
+	return "VAR " + d.Name + ": " + d.Type.String() + " INITIALLY " + d.Initially.String()
+}
+func (d *ExceptionDecl) String() string { return "EXCEPTION " + d.Name }
+
+func (p *ProcDecl) String() string {
+	var b strings.Builder
+	if p.Atomic {
+		b.WriteString("ATOMIC ")
+	}
+	b.WriteString("PROCEDURE " + p.Name + "(")
+	for i, pa := range p.Params {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(pa.String())
+	}
+	b.WriteString(")")
+	if p.Returns != nil {
+		b.WriteString(" RETURNS (" + p.Returns.String() + ")")
+	}
+	if len(p.Raises) > 0 {
+		b.WriteString(" RAISES {" + strings.Join(p.Raises, ", ") + "}")
+	}
+	if len(p.Composition) > 0 {
+		b.WriteString(" =\n  COMPOSITION OF " + strings.Join(p.Composition, "; ") + " END")
+	}
+	if p.Requires != nil {
+		b.WriteString("\n  REQUIRES " + p.Requires.String())
+	}
+	if len(p.Modifies) > 0 {
+		b.WriteString("\n  MODIFIES AT MOST [" + strings.Join(p.Modifies, ", ") + "]")
+	}
+	if p.When != nil {
+		b.WriteString("\n  WHEN " + p.When.String())
+	}
+	if p.Ensures != nil {
+		b.WriteString("\n  ENSURES " + p.Ensures.String())
+	}
+	for _, c := range p.Cases {
+		b.WriteString("\n  " + c.String())
+	}
+	for _, a := range p.Actions {
+		b.WriteString("\n  ATOMIC ACTION " + a.Name)
+		if a.When != nil {
+			b.WriteString("\n    WHEN " + a.When.String())
+		}
+		if a.Ensures != nil {
+			b.WriteString("\n    ENSURES " + a.Ensures.String())
+		}
+		for _, c := range a.Cases {
+			b.WriteString("\n    " + c.String())
+		}
+	}
+	return b.String()
+}
+
+func (c CaseDecl) String() string {
+	var b strings.Builder
+	if c.Raises == "" {
+		b.WriteString("RETURNS")
+	} else {
+		b.WriteString("RAISES " + c.Raises)
+	}
+	if c.When != nil {
+		b.WriteString(" WHEN " + c.When.String())
+	}
+	if c.Ensures != nil {
+		b.WriteString(" ENSURES " + c.Ensures.String())
+	}
+	return b.String()
+}

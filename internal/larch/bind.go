@@ -1,0 +1,293 @@
+package larch
+
+import (
+	"fmt"
+
+	"threads/internal/spec"
+)
+
+// CheckAction verifies that the labeled transition pre → post satisfies the
+// parsed specification: the procedure's REQUIRES and the relevant WHEN hold
+// in pre, the relevant ENSURES holds of (pre, post), and nothing outside
+// the MODIFIES AT MOST frame changed. It is the bridge between the
+// hand-coded executable specification (internal/spec) and the paper's text
+// (SpecSource): the two are property-tested to agree through this function.
+//
+// Only the printed (final) specification is in SpecSource, so
+// AlertResumeRaise actions with other variants are rejected.
+func CheckAction(doc *Document, a spec.Action, pre, post *spec.State) error {
+	env := NewEnv(pre, post, a.Self())
+	var (
+		proc    *ProcDecl
+		when    Expr
+		ensures Expr
+		reqs    Expr
+		frame   []string
+	)
+	bindProc := func(name string) error {
+		proc = doc.Proc(name)
+		if proc == nil {
+			return fmt.Errorf("larch: specification has no procedure %s", name)
+		}
+		reqs = proc.Requires
+		frame = proc.Modifies
+		when = proc.When
+		ensures = proc.Ensures
+		return nil
+	}
+	switch act := a.(type) {
+	case spec.Acquire:
+		if err := bindProc("Acquire"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M))
+	case spec.Release:
+		if err := bindProc("Release"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M))
+	case spec.Enqueue:
+		if err := bindProc("Wait"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M)).Bind("c", CondRef(act.C))
+		step := proc.Action("Enqueue")
+		if step == nil {
+			return fmt.Errorf("larch: Wait has no Enqueue action")
+		}
+		when, ensures = step.When, step.Ensures
+	case spec.Resume:
+		if err := bindProc("Wait"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M)).Bind("c", CondRef(act.C))
+		step := proc.Action("Resume")
+		if step == nil {
+			return fmt.Errorf("larch: Wait has no Resume action")
+		}
+		when, ensures = step.When, step.Ensures
+		reqs = nil // the REQUIRES belongs to the first action of the composition
+	case spec.Signal:
+		if err := bindProc("Signal"); err != nil {
+			return err
+		}
+		env.Bind("c", CondRef(act.C))
+	case spec.Broadcast:
+		if err := bindProc("Broadcast"); err != nil {
+			return err
+		}
+		env.Bind("c", CondRef(act.C))
+	case spec.P:
+		if err := bindProc("P"); err != nil {
+			return err
+		}
+		env.Bind("s", SemRef(act.S))
+	case spec.V:
+		if err := bindProc("V"); err != nil {
+			return err
+		}
+		env.Bind("s", SemRef(act.S))
+	case spec.Alert:
+		if err := bindProc("Alert"); err != nil {
+			return err
+		}
+		env.BindScalar("t", ThreadVal(act.Target))
+	case spec.TestAlert:
+		if err := bindProc("TestAlert"); err != nil {
+			return err
+		}
+		env.BindScalar("b", BoolVal(act.Result))
+	case spec.AlertPReturn:
+		if err := bindProc("AlertP"); err != nil {
+			return err
+		}
+		env.Bind("s", SemRef(act.S))
+		c, err := findCase(proc.Cases, "")
+		if err != nil {
+			return err
+		}
+		when, ensures = c.When, c.Ensures
+	case spec.AlertPRaise:
+		if err := bindProc("AlertP"); err != nil {
+			return err
+		}
+		env.Bind("s", SemRef(act.S))
+		c, err := findCase(proc.Cases, "Alerted")
+		if err != nil {
+			return err
+		}
+		when, ensures = c.When, c.Ensures
+	case spec.AlertResumeReturn:
+		if err := bindProc("AlertWait"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M)).Bind("c", CondRef(act.C))
+		step := proc.Action("AlertResume")
+		if step == nil {
+			return fmt.Errorf("larch: AlertWait has no AlertResume action")
+		}
+		cs, err := findCase(step.Cases, "")
+		if err != nil {
+			return err
+		}
+		when, ensures = cs.When, cs.Ensures
+		reqs = nil
+	case spec.AlertResumeRaise:
+		if act.Variant != spec.VariantFinal {
+			return fmt.Errorf("larch: SpecSource is the final specification; cannot check variant %s", act.Variant)
+		}
+		if err := bindProc("AlertWait"); err != nil {
+			return err
+		}
+		env.Bind("m", MutexRef(act.M)).Bind("c", CondRef(act.C))
+		step := proc.Action("AlertResume")
+		if step == nil {
+			return fmt.Errorf("larch: AlertWait has no AlertResume action")
+		}
+		cs, err := findCase(step.Cases, "Alerted")
+		if err != nil {
+			return err
+		}
+		when, ensures = cs.When, cs.Ensures
+		reqs = nil
+	default:
+		return fmt.Errorf("larch: no binding for action type %T", a)
+	}
+
+	// REQUIRES and WHEN are single-state predicates over the pre state;
+	// unprimed identifiers already denote pre-state values in the Env.
+	if reqs != nil {
+		ok, err := env.EvalBool(reqs)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("larch: %s: REQUIRES %s does not hold in the pre state", a, reqs)
+		}
+	}
+	if when != nil {
+		ok, err := env.EvalBool(when)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("larch: %s: WHEN %s does not hold in the pre state", a, when)
+		}
+	}
+	if ensures != nil {
+		ok, err := env.EvalBool(ensures)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("larch: %s: ENSURES %s does not hold", a, ensures)
+		}
+	}
+	return checkFrame(env, frame, pre, post, a)
+}
+
+func findCase(cases []CaseDecl, raises string) (CaseDecl, error) {
+	for _, c := range cases {
+		if c.Raises == raises {
+			return c, nil
+		}
+	}
+	return CaseDecl{}, fmt.Errorf("larch: no %q case", raises)
+}
+
+// checkFrame verifies MODIFIES AT MOST: every object of the universe not
+// named in the frame has equal pre and post values.
+func checkFrame(env *Env, frame []string, pre, post *spec.State, a spec.Action) error {
+	allowed := map[ObjKind]map[int]bool{
+		ObjMutex: {}, ObjCond: {}, ObjSem: {}, ObjAlerts: {},
+	}
+	for _, name := range frame {
+		ref, ok := env.Objects[name]
+		if !ok {
+			return fmt.Errorf("larch: MODIFIES names unbound variable %s", name)
+		}
+		switch ref.Kind {
+		case ObjMutex:
+			allowed[ObjMutex][int(ref.Mutex)] = true
+		case ObjCond:
+			allowed[ObjCond][int(ref.Cond)] = true
+		case ObjSem:
+			allowed[ObjSem][int(ref.Sem)] = true
+		case ObjAlerts:
+			allowed[ObjAlerts][0] = true
+		}
+	}
+	for _, m := range mutexUniverse(pre, post) {
+		if allowed[ObjMutex][int(m)] {
+			continue
+		}
+		if pre.Mutex(m) != post.Mutex(m) {
+			return fmt.Errorf("larch: %s modified m%d outside MODIFIES AT MOST %v", a, m, frame)
+		}
+	}
+	for _, c := range condUniverse(pre, post) {
+		if allowed[ObjCond][int(c)] {
+			continue
+		}
+		if !pre.Conds[c].Equal(post.Conds[c]) {
+			return fmt.Errorf("larch: %s modified c%d outside MODIFIES AT MOST %v", a, c, frame)
+		}
+	}
+	for _, s := range semUniverse(pre, post) {
+		if allowed[ObjSem][int(s)] {
+			continue
+		}
+		if pre.SemAvailable(s) != post.SemAvailable(s) {
+			return fmt.Errorf("larch: %s modified s%d outside MODIFIES AT MOST %v", a, s, frame)
+		}
+	}
+	if !allowed[ObjAlerts][0] && !pre.Alerts.Equal(post.Alerts) {
+		return fmt.Errorf("larch: %s modified alerts outside MODIFIES AT MOST %v", a, frame)
+	}
+	return nil
+}
+
+func mutexUniverse(pre, post *spec.State) []spec.MutexID {
+	seen := map[spec.MutexID]bool{}
+	for m := range pre.Mutexes {
+		seen[m] = true
+	}
+	for m := range post.Mutexes {
+		seen[m] = true
+	}
+	out := make([]spec.MutexID, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	return out
+}
+
+func condUniverse(pre, post *spec.State) []spec.CondID {
+	seen := map[spec.CondID]bool{}
+	for c := range pre.Conds {
+		seen[c] = true
+	}
+	for c := range post.Conds {
+		seen[c] = true
+	}
+	out := make([]spec.CondID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out
+}
+
+func semUniverse(pre, post *spec.State) []spec.SemID {
+	seen := map[spec.SemID]bool{}
+	for s := range pre.Sems {
+		seen[s] = true
+	}
+	for s := range post.Sems {
+		seen[s] = true
+	}
+	out := make([]spec.SemID, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package larch
+
+import (
+	"fmt"
+
+	"threads/internal/spec"
+)
+
+// Value is the semantic domain of the specification's expressions: thread
+// values (with NIL), thread sets, semaphore states and booleans.
+type Value interface{ value() }
+
+// ThreadVal is a Thread (or NIL when 0) — the value of a Mutex and of SELF.
+type ThreadVal spec.ThreadID
+
+// SetVal is a SET OF Thread.
+type SetVal spec.ThreadSet
+
+// EnumVal is a member of an enumeration type ("available", "unavailable").
+type EnumVal string
+
+// BoolVal is a boolean (the TestAlert result).
+type BoolVal bool
+
+func (ThreadVal) value() {}
+func (SetVal) value()    {}
+func (EnumVal) value()   {}
+func (BoolVal) value()   {}
+
+// ObjectRef binds a specification variable name to a concrete object of
+// the abstract state.
+type ObjectRef struct {
+	Kind  ObjKind
+	Mutex spec.MutexID
+	Cond  spec.CondID
+	Sem   spec.SemID
+}
+
+// ObjKind discriminates ObjectRef.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjMutex ObjKind = iota
+	ObjCond
+	ObjSem
+	ObjAlerts
+)
+
+// MutexRef binds a formal to mutex m.
+func MutexRef(m spec.MutexID) ObjectRef { return ObjectRef{Kind: ObjMutex, Mutex: m} }
+
+// CondRef binds a formal to condition c.
+func CondRef(c spec.CondID) ObjectRef { return ObjectRef{Kind: ObjCond, Cond: c} }
+
+// SemRef binds a formal to semaphore s.
+func SemRef(s spec.SemID) ObjectRef { return ObjectRef{Kind: ObjSem, Sem: s} }
+
+// AlertsRef binds a name (normally "alerts") to the global alerts set.
+func AlertsRef() ObjectRef { return ObjectRef{Kind: ObjAlerts} }
+
+// Env supplies everything a two-state predicate mentions: the pre and post
+// states, SELF, the formal-to-object bindings, scalar bindings (thread
+// parameters like Alert's t, return formals like TestAlert's b), and the
+// enumeration members in scope.
+type Env struct {
+	Pre, Post *spec.State
+	Self      spec.ThreadID
+	Objects   map[string]ObjectRef
+	Scalars   map[string]Value
+	// Enums lists enumeration member names ("available", "unavailable");
+	// identifiers matching them evaluate to EnumVal.
+	Enums map[string]bool
+}
+
+// NewEnv returns an Env over pre/post for SELF = self with the standard
+// bindings: "alerts" → the alerts set, enum members of Semaphore in scope.
+func NewEnv(pre, post *spec.State, self spec.ThreadID) *Env {
+	return &Env{
+		Pre:  pre,
+		Post: post,
+		Self: self,
+		Objects: map[string]ObjectRef{
+			"alerts": AlertsRef(),
+		},
+		Scalars: map[string]Value{},
+		Enums:   map[string]bool{"available": true, "unavailable": true},
+	}
+}
+
+// Bind adds a formal-to-object binding and returns the Env.
+func (env *Env) Bind(name string, ref ObjectRef) *Env {
+	env.Objects[name] = ref
+	return env
+}
+
+// BindScalar adds a scalar binding (thread parameter or return formal).
+func (env *Env) BindScalar(name string, v Value) *Env {
+	env.Scalars[name] = v
+	return env
+}
+
+// read returns the value of the object in the given state.
+func (env *Env) read(ref ObjectRef, s *spec.State) Value {
+	switch ref.Kind {
+	case ObjMutex:
+		return ThreadVal(s.Mutex(ref.Mutex))
+	case ObjCond:
+		return SetVal(s.Conds[ref.Cond].Clone())
+	case ObjSem:
+		if s.SemAvailable(ref.Sem) {
+			return EnumVal("available")
+		}
+		return EnumVal("unavailable")
+	case ObjAlerts:
+		return SetVal(s.Alerts.Clone())
+	default:
+		panic(fmt.Sprintf("larch: unknown object kind %d", ref.Kind))
+	}
+}
+
+// EvalBool evaluates a predicate; it fails if the expression is not
+// boolean-valued or mentions unbound names.
+func (env *Env) EvalBool(e Expr) (bool, error) {
+	v, err := env.Eval(e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(BoolVal)
+	if !ok {
+		return false, fmt.Errorf("larch: %s is not a boolean (got %T)", e, v)
+	}
+	return bool(b), nil
+}
+
+// Eval evaluates an expression to a Value.
+func (env *Env) Eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case SelfExpr:
+		return ThreadVal(env.Self), nil
+	case NilExpr:
+		return ThreadVal(spec.NIL), nil
+	case EmptySet:
+		return SetVal(spec.ThreadSet{}), nil
+	case Ident:
+		if ref, ok := env.Objects[x.Name]; ok {
+			if x.Primed {
+				return env.read(ref, env.Post), nil
+			}
+			return env.read(ref, env.Pre), nil
+		}
+		if x.Primed {
+			return nil, fmt.Errorf("larch: primed reference to unbound variable %s'", x.Name)
+		}
+		if v, ok := env.Scalars[x.Name]; ok {
+			return v, nil
+		}
+		if env.Enums[x.Name] {
+			return EnumVal(x.Name), nil
+		}
+		return nil, fmt.Errorf("larch: unbound identifier %s", x.Name)
+	case Not:
+		b, err := env.EvalBool(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return BoolVal(!b), nil
+	case Unchanged:
+		for _, name := range x.Names {
+			ref, ok := env.Objects[name]
+			if !ok {
+				return nil, fmt.Errorf("larch: UNCHANGED of unbound variable %s", name)
+			}
+			if !valueEqual(env.read(ref, env.Pre), env.read(ref, env.Post)) {
+				return BoolVal(false), nil
+			}
+		}
+		return BoolVal(true), nil
+	case Call:
+		return env.evalCall(x)
+	case Binary:
+		return env.evalBinary(x)
+	default:
+		return nil, fmt.Errorf("larch: cannot evaluate %T", e)
+	}
+}
+
+func (env *Env) evalCall(c Call) (Value, error) {
+	if len(c.Args) != 2 {
+		return nil, fmt.Errorf("larch: %s expects 2 arguments", c.Fn)
+	}
+	setV, err := env.Eval(c.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	set, ok := setV.(SetVal)
+	if !ok {
+		return nil, fmt.Errorf("larch: first argument of %s is not a set", c.Fn)
+	}
+	elemV, err := env.Eval(c.Args[1])
+	if err != nil {
+		return nil, err
+	}
+	elem, ok := elemV.(ThreadVal)
+	if !ok {
+		return nil, fmt.Errorf("larch: second argument of %s is not a thread", c.Fn)
+	}
+	out := spec.ThreadSet(set).Clone()
+	switch c.Fn {
+	case "insert":
+		out.Insert(spec.ThreadID(elem))
+	case "delete":
+		out.Delete(spec.ThreadID(elem))
+	default:
+		return nil, fmt.Errorf("larch: unknown function %s", c.Fn)
+	}
+	return SetVal(out), nil
+}
+
+func (env *Env) evalBinary(b Binary) (Value, error) {
+	switch b.Op {
+	case "&", "|":
+		l, err := env.EvalBool(b.L)
+		if err != nil {
+			return nil, err
+		}
+		// Both operands are total predicates; no short-circuit needed,
+		// but evaluate lazily anyway to keep errors local.
+		if b.Op == "&" && !l {
+			return BoolVal(false), nil
+		}
+		if b.Op == "|" && l {
+			return BoolVal(true), nil
+		}
+		r, err := env.EvalBool(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return BoolVal(r), nil
+	case "=":
+		l, err := env.Eval(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := env.Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		return BoolVal(valueEqual(l, r)), nil
+	case "<=":
+		l, err := env.Eval(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := env.Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		ls, lok := l.(SetVal)
+		rs, rok := r.(SetVal)
+		if !lok || !rok {
+			return nil, fmt.Errorf("larch: <= requires set operands")
+		}
+		return BoolVal(spec.ThreadSet(ls).SubsetOf(spec.ThreadSet(rs))), nil
+	case "IN":
+		l, err := env.Eval(b.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := env.Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		lt, lok := l.(ThreadVal)
+		rs, rok := r.(SetVal)
+		if !lok || !rok {
+			return nil, fmt.Errorf("larch: IN requires thread and set operands")
+		}
+		return BoolVal(spec.ThreadSet(rs).Contains(spec.ThreadID(lt))), nil
+	default:
+		return nil, fmt.Errorf("larch: unknown operator %s", b.Op)
+	}
+}
+
+func valueEqual(a, b Value) bool {
+	switch x := a.(type) {
+	case ThreadVal:
+		y, ok := b.(ThreadVal)
+		return ok && x == y
+	case EnumVal:
+		y, ok := b.(EnumVal)
+		return ok && x == y
+	case BoolVal:
+		y, ok := b.(BoolVal)
+		return ok && x == y
+	case SetVal:
+		y, ok := b.(SetVal)
+		return ok && spec.ThreadSet(x).Equal(spec.ThreadSet(y))
+	default:
+		return false
+	}
+}

@@ -1,0 +1,183 @@
+package larch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("ATOMIC PROCEDURE Acquire(VAR m: Mutex) WHEN m = NIL ENSURES m' = SELF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KEYWORD, KEYWORD, IDENT, LPAREN, KEYWORD, IDENT, COLON, IDENT, RPAREN,
+		KEYWORD, IDENT, EQ, KEYWORD, KEYWORD, IDENT, PRIME, EQ, KEYWORD, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("lexed %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v, want kind %v", i, toks[i], k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("-- a comment\nSELF -- trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 2 || toks[0].Text != "SELF" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("m < n"); err == nil {
+		t.Fatal("bare '<' should be a lex error")
+	}
+	if _, err := Lex("m ? n"); err == nil {
+		t.Fatal("'?' should be a lex error")
+	}
+}
+
+func TestParsePaperSpec(t *testing.T) {
+	doc, err := Parse(SpecSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProcs := []string{
+		"Acquire", "Release", "Wait", "Signal", "Broadcast",
+		"P", "V", "Alert", "TestAlert", "AlertP", "AlertWait",
+	}
+	for _, name := range wantProcs {
+		if doc.Proc(name) == nil {
+			t.Fatalf("procedure %s missing from parsed spec", name)
+		}
+	}
+	// Structural spot checks against the paper.
+	acq := doc.Proc("Acquire")
+	if !acq.Atomic || acq.When == nil || acq.Ensures == nil || acq.Requires != nil {
+		t.Fatalf("Acquire structure wrong: %+v", acq)
+	}
+	if got := acq.When.String(); got != "(m = NIL)" {
+		t.Fatalf("Acquire WHEN = %s", got)
+	}
+	rel := doc.Proc("Release")
+	if rel.Requires == nil {
+		t.Fatal("Release must have a REQUIRES clause (and V must not)")
+	}
+	if doc.Proc("V").Requires != nil {
+		t.Fatal("V must not have a REQUIRES clause")
+	}
+	wait := doc.Proc("Wait")
+	if wait.Atomic {
+		t.Fatal("Wait is not atomic")
+	}
+	if len(wait.Composition) != 2 || wait.Composition[0] != "Enqueue" || wait.Composition[1] != "Resume" {
+		t.Fatalf("Wait composition = %v", wait.Composition)
+	}
+	if wait.Action("Enqueue") == nil || wait.Action("Resume") == nil {
+		t.Fatal("Wait actions missing")
+	}
+	aw := doc.Proc("AlertWait")
+	if len(aw.Raises) != 1 || aw.Raises[0] != "Alerted" {
+		t.Fatalf("AlertWait raises %v", aw.Raises)
+	}
+	ar := aw.Action("AlertResume")
+	if ar == nil || len(ar.Cases) != 2 {
+		t.Fatal("AlertResume must have RETURNS and RAISES cases")
+	}
+	raise, err := findCase(ar.Cases, "Alerted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrected guard and ENSURES.
+	if !strings.Contains(raise.When.String(), "m = NIL") {
+		t.Fatalf("AlertResume RAISES WHEN lacks m = NIL: %s", raise.When)
+	}
+	if !strings.Contains(raise.Ensures.String(), "delete(c, SELF)") {
+		t.Fatalf("AlertResume RAISES ENSURES lacks c' = delete(c, SELF): %s", raise.Ensures)
+	}
+	ap := doc.Proc("AlertP")
+	if len(ap.Cases) != 2 {
+		t.Fatalf("AlertP must have two cases, got %d", len(ap.Cases))
+	}
+	ta := doc.Proc("TestAlert")
+	if ta.Returns == nil || ta.Returns.Name != "b" {
+		t.Fatalf("TestAlert RETURNS formal wrong: %+v", ta.Returns)
+	}
+	// Type and var declarations.
+	var typeNames, varNames, excNames []string
+	for _, d := range doc.Decls {
+		switch dd := d.(type) {
+		case *TypeDecl:
+			typeNames = append(typeNames, dd.Name)
+		case *VarDecl:
+			varNames = append(varNames, dd.Name)
+		case *ExceptionDecl:
+			excNames = append(excNames, dd.Name)
+		}
+	}
+	if strings.Join(typeNames, ",") != "Mutex,Condition,Semaphore" {
+		t.Fatalf("types = %v", typeNames)
+	}
+	if strings.Join(varNames, ",") != "alerts" || strings.Join(excNames, ",") != "Alerted" {
+		t.Fatalf("vars = %v, exceptions = %v", varNames, excNames)
+	}
+}
+
+func TestFormatterRoundTrip(t *testing.T) {
+	doc := MustParse(SpecSource)
+	var b strings.Builder
+	for _, d := range doc.Decls {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	doc2, err := Parse(b.String())
+	if err != nil {
+		t.Fatalf("formatter output does not re-parse: %v\n%s", err, b.String())
+	}
+	if len(doc2.Decls) != len(doc.Decls) {
+		t.Fatalf("round trip lost declarations: %d vs %d", len(doc2.Decls), len(doc.Decls))
+	}
+	// Idempotence: formatting the re-parsed document gives identical text.
+	var b2 strings.Builder
+	for _, d := range doc2.Decls {
+		b2.WriteString(d.String())
+		b2.WriteString("\n")
+	}
+	if b.String() != b2.String() {
+		t.Fatal("formatter is not idempotent")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"PROCEDURE",                       // missing name
+		"TYPE Mutex Thread INITIALLY NIL", // missing =
+		"ATOMIC PROCEDURE F( WHEN x = y",  // unclosed params
+		"ATOMIC PROCEDURE F() ENSURES",    // missing expression
+		"VAR alerts SET OF Thread",        // missing colon
+		"garbage",                         // not a declaration
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	doc := MustParse("ATOMIC PROCEDURE F(VAR c: Condition) ENSURES (c' = {}) | (c' <= c) & (SELF IN c)")
+	e := doc.Proc("F").Ensures
+	// | binds loosest: the top node must be |.
+	b, ok := e.(Binary)
+	if !ok || b.Op != "|" {
+		t.Fatalf("top operator = %v, want |", e)
+	}
+	r, ok := b.R.(Binary)
+	if !ok || r.Op != "&" {
+		t.Fatalf("right of | = %v, want &", b.R)
+	}
+}

@@ -1,0 +1,132 @@
+package larch
+
+import "fmt"
+
+// Lexer tokenizes specification source. Comments run from "--" to end of
+// line (the Larch convention).
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.peek()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := l.advance()
+	switch c {
+	case '(':
+		tok.Kind = LPAREN
+	case ')':
+		tok.Kind = RPAREN
+	case '[':
+		tok.Kind = LBRACK
+	case ']':
+		tok.Kind = RBRACK
+	case '{':
+		tok.Kind = LBRACE
+	case '}':
+		tok.Kind = RBRACE
+	case ',':
+		tok.Kind = COMMA
+	case ';':
+		tok.Kind = SEMI
+	case ':':
+		tok.Kind = COLON
+	case '=':
+		tok.Kind = EQ
+	case '&':
+		tok.Kind = AMP
+	case '|':
+		tok.Kind = PIPE
+	case '\'':
+		tok.Kind = PRIME
+	case '<':
+		if l.peek() != '=' {
+			return tok, fmt.Errorf("larch: %d:%d: '<' must be followed by '=' (subset)", tok.Line, tok.Col)
+		}
+		l.advance()
+		tok.Kind = SUBSET
+	default:
+		if !isLetter(c) {
+			return tok, fmt.Errorf("larch: %d:%d: unexpected character %q", tok.Line, tok.Col, c)
+		}
+		start := l.pos - 1
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		tok.Text = l.src[start:l.pos]
+		if keywords[tok.Text] {
+			tok.Kind = KEYWORD
+		} else {
+			tok.Kind = IDENT
+		}
+	}
+	return tok, nil
+}

@@ -1,0 +1,562 @@
+package larch
+
+import "fmt"
+
+// Parser turns tokens into a Document.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete specification document.
+func Parse(src string) (*Document, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	doc := &Document{}
+	for !p.at(EOF) {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		doc.Decls = append(doc.Decls, d)
+	}
+	return doc, nil
+}
+
+// MustParse is Parse for known-good sources (the embedded paper text).
+func MustParse(src string) *Document {
+	doc, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.Kind == KEYWORD && t.Text == kw
+}
+
+// peekKeyword reports whether the token at offset d is the given keyword.
+func (p *Parser) peekKeyword(d int, kw string) bool {
+	if p.pos+d >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+d]
+	return t.Kind == KEYWORD && t.Text == kw
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("larch: %d:%d: %s (at %s)", t.Line, t.Col, fmt.Sprintf(format, args...), t)
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return p.cur(), p.errf("expected %s", k)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	p.next()
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t, err := p.expect(IDENT)
+	return t.Text, err
+}
+
+func (p *Parser) parseDecl() (Decl, error) {
+	switch {
+	case p.atKeyword("TYPE"):
+		return p.parseTypeDecl()
+	case p.atKeyword("VAR"):
+		return p.parseVarDecl()
+	case p.atKeyword("EXCEPTION"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ExceptionDecl{Name: name}, nil
+	case p.atKeyword("ATOMIC") && p.peekKeyword(1, "PROCEDURE"):
+		p.next()
+		return p.parseProc(true)
+	case p.atKeyword("PROCEDURE"):
+		return p.parseProc(false)
+	default:
+		return nil, p.errf("expected a declaration")
+	}
+}
+
+func (p *Parser) parseTypeDecl() (Decl, error) {
+	p.next() // TYPE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(EQ); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INITIALLY"); err != nil {
+		return nil, err
+	}
+	init, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return &TypeDecl{Name: name, Type: typ, Initially: init}, nil
+}
+
+func (p *Parser) parseVarDecl() (Decl, error) {
+	p.next() // VAR
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INITIALLY"); err != nil {
+		return nil, err
+	}
+	init, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name, Type: typ, Initially: init}, nil
+}
+
+func (p *Parser) parseType() (TypeExpr, error) {
+	switch {
+	case p.atKeyword("SET"):
+		p.next()
+		if err := p.expectKeyword("OF"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return SetType{Elem: elem}, nil
+	case p.at(LPAREN):
+		p.next()
+		var members []string
+		for {
+			m, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+			if p.at(COMMA) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return EnumType{Members: members}, nil
+	case p.at(IDENT):
+		return NamedType{Name: p.next().Text}, nil
+	default:
+		return nil, p.errf("expected a type")
+	}
+}
+
+func (p *Parser) parseProc(atomic bool) (*ProcDecl, error) {
+	p.next() // PROCEDURE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	proc := &ProcDecl{Atomic: atomic, Name: name}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	for !p.at(RPAREN) {
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		proc.Params = append(proc.Params, param)
+		if p.at(SEMI) {
+			p.next()
+		}
+	}
+	p.next() // RPAREN
+
+	// Header RETURNS (b: bool) — distinguished from a RETURNS WHEN case
+	// clause by the parenthesis.
+	if p.atKeyword("RETURNS") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == LPAREN {
+		p.next()
+		p.next() // LPAREN
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		proc.Returns = &param
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+	}
+	// Header RAISES {A, B}.
+	if p.atKeyword("RAISES") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == LBRACE {
+		p.next()
+		p.next() // LBRACE
+		for !p.at(RBRACE) {
+			exc, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			proc.Raises = append(proc.Raises, exc)
+			if p.at(COMMA) {
+				p.next()
+			}
+		}
+		p.next() // RBRACE
+	}
+	// = COMPOSITION OF A; B END
+	if p.at(EQ) {
+		p.next()
+		if err := p.expectKeyword("COMPOSITION"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("OF"); err != nil {
+			return nil, err
+		}
+		for {
+			a, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			proc.Composition = append(proc.Composition, a)
+			if p.at(SEMI) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectKeyword("END"); err != nil {
+			return nil, err
+		}
+	}
+	// Clauses until the next top-level declaration.
+	for {
+		switch {
+		case p.atKeyword("REQUIRES"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			proc.Requires = e
+		case p.atKeyword("MODIFIES"):
+			p.next()
+			if err := p.expectKeyword("AT"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("MOST"); err != nil {
+				return nil, err
+			}
+			names, err := p.parseNameList()
+			if err != nil {
+				return nil, err
+			}
+			proc.Modifies = names
+		case p.atKeyword("WHEN"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			proc.When = e
+		case p.atKeyword("ENSURES"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			proc.Ensures = e
+		case p.atKeyword("RETURNS") || p.atKeyword("RAISES"):
+			c, err := p.parseCase()
+			if err != nil {
+				return nil, err
+			}
+			proc.Cases = append(proc.Cases, c)
+		case p.atKeyword("ATOMIC") && p.peekKeyword(1, "ACTION"):
+			p.next()
+			p.next()
+			act, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			proc.Actions = append(proc.Actions, act)
+		default:
+			return proc, nil
+		}
+	}
+}
+
+func (p *Parser) parseParam() (Param, error) {
+	var param Param
+	if p.atKeyword("VAR") {
+		p.next()
+		param.Var = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return param, err
+	}
+	param.Name = name
+	if _, err := p.expect(COLON); err != nil {
+		return param, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return param, err
+	}
+	param.Type = typ
+	return param, nil
+}
+
+// parseAction parses the clauses of an ATOMIC ACTION (name already
+// consumed by the caller except the identifier).
+func (p *Parser) parseAction() (*ActionDecl, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	act := &ActionDecl{Name: name}
+	for {
+		switch {
+		case p.atKeyword("WHEN"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			act.When = e
+		case p.atKeyword("ENSURES"):
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			act.Ensures = e
+		case p.atKeyword("RETURNS") || p.atKeyword("RAISES"):
+			c, err := p.parseCase()
+			if err != nil {
+				return nil, err
+			}
+			act.Cases = append(act.Cases, c)
+		default:
+			return act, nil
+		}
+	}
+}
+
+// parseCase parses RETURNS WHEN e ENSURES e or RAISES X WHEN e ENSURES e.
+func (p *Parser) parseCase() (CaseDecl, error) {
+	var c CaseDecl
+	if p.atKeyword("RAISES") {
+		p.next()
+		exc, err := p.expectIdent()
+		if err != nil {
+			return c, err
+		}
+		c.Raises = exc
+	} else {
+		p.next() // RETURNS
+	}
+	if p.atKeyword("WHEN") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return c, err
+		}
+		c.When = e
+	}
+	if p.atKeyword("ENSURES") {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return c, err
+		}
+		c.Ensures = e
+	}
+	return c, nil
+}
+
+func (p *Parser) parseNameList() ([]string, error) {
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	var names []string
+	for !p.at(RBRACK) {
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		if p.at(COMMA) {
+			p.next()
+		}
+	}
+	p.next() // RBRACK
+	return names, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions: or := and ('|' and)*; and := cmp ('&' cmp)*;
+// cmp := unary (('='|'<='|'IN') unary)?; unary := 'NOT' unary | primary.
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(PIPE) {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "|", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(AMP) {
+		p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch {
+	case p.at(EQ):
+		op = "="
+	case p.at(SUBSET):
+		op = "<="
+	case p.atKeyword("IN"):
+		op = "IN"
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch {
+	case p.atKeyword("SELF"):
+		p.next()
+		return SelfExpr{}, nil
+	case p.atKeyword("NIL"):
+		p.next()
+		return NilExpr{}, nil
+	case p.atKeyword("UNCHANGED"):
+		p.next()
+		names, err := p.parseNameList()
+		if err != nil {
+			return nil, err
+		}
+		return Unchanged{Names: names}, nil
+	case p.at(LBRACE):
+		p.next()
+		if _, err := p.expect(RBRACE); err != nil {
+			return nil, err
+		}
+		return EmptySet{}, nil
+	case p.at(LPAREN):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.at(IDENT):
+		name := p.next().Text
+		if p.at(LPAREN) {
+			p.next()
+			var args []Expr
+			for !p.at(RPAREN) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at(COMMA) {
+					p.next()
+				}
+			}
+			p.next() // RPAREN
+			return Call{Fn: name, Args: args}, nil
+		}
+		if p.at(PRIME) {
+			p.next()
+			return Ident{Name: name, Primed: true}, nil
+		}
+		return Ident{Name: name}, nil
+	default:
+		return nil, p.errf("expected an expression")
+	}
+}

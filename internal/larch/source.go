@@ -1,0 +1,105 @@
+package larch
+
+// SpecSource is the paper's formal specification of the Threads
+// synchronization primitives (SRC Report 20, §Formal Specification),
+// transcribed into the ASCII form this package parses:
+//
+//	x'       for x-post (the value of x in the post state)
+//	IN       for set membership (∈)
+//	NOT      for negation (¬)
+//	<=       for set inclusion (⊆)
+//	{}       for the empty set
+//
+// The AlertWait specification is the corrected (printed) version, with
+// "m = NIL &" in the RAISES WHEN clause and "c' = delete(c, SELF)" in its
+// ENSURES — both discussed in the paper's Discussion section.
+const SpecSource = `
+-- Mutex, Acquire, Release
+TYPE Mutex = Thread INITIALLY NIL
+
+ATOMIC PROCEDURE Acquire(VAR m: Mutex)
+  MODIFIES AT MOST [ m ]
+  WHEN m = NIL
+  ENSURES m' = SELF
+
+ATOMIC PROCEDURE Release(VAR m: Mutex)
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m ]
+  ENSURES m' = NIL
+
+-- Condition, Wait, Signal, Broadcast
+TYPE Condition = SET OF Thread INITIALLY {}
+
+PROCEDURE Wait(VAR m: Mutex; VAR c: Condition) = COMPOSITION OF Enqueue; Resume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m, c ]
+  ATOMIC ACTION Enqueue
+    ENSURES (c' = insert(c, SELF)) & (m' = NIL)
+  ATOMIC ACTION Resume
+    WHEN (m = NIL) & NOT (SELF IN c)
+    ENSURES (m' = SELF) & UNCHANGED [ c ]
+
+ATOMIC PROCEDURE Signal(VAR c: Condition)
+  MODIFIES AT MOST [ c ]
+  ENSURES (c' = {}) | (c' <= c)
+
+ATOMIC PROCEDURE Broadcast(VAR c: Condition)
+  MODIFIES AT MOST [ c ]
+  ENSURES c' = {}
+
+-- Semaphore, P, V
+TYPE Semaphore = (available, unavailable) INITIALLY available
+
+ATOMIC PROCEDURE P(VAR s: Semaphore)
+  MODIFIES AT MOST [ s ]
+  WHEN s = available
+  ENSURES s' = unavailable
+
+ATOMIC PROCEDURE V(VAR s: Semaphore)
+  MODIFIES AT MOST [ s ]
+  ENSURES s' = available
+
+-- Alerts, Alerted, TestAlert, AlertP, AlertWait
+VAR alerts: SET OF Thread INITIALLY {}
+EXCEPTION Alerted
+
+ATOMIC PROCEDURE Alert(t: Thread)
+  MODIFIES AT MOST [ alerts ]
+  ENSURES alerts' = insert(alerts, t)
+
+ATOMIC PROCEDURE TestAlert() RETURNS (b: bool)
+  MODIFIES AT MOST [ alerts ]
+  ENSURES (b = (SELF IN alerts)) & (alerts' = delete(alerts, SELF))
+
+ATOMIC PROCEDURE AlertP(VAR s: Semaphore) RAISES {Alerted}
+  MODIFIES AT MOST [ s, alerts ]
+  RETURNS WHEN s = available
+    ENSURES (s' = unavailable) & UNCHANGED [ alerts ]
+  RAISES Alerted WHEN SELF IN alerts
+    ENSURES (alerts' = delete(alerts, SELF)) & UNCHANGED [ s ]
+
+PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition) RAISES {Alerted} = COMPOSITION OF Enqueue; AlertResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m, c, alerts ]
+  ATOMIC ACTION Enqueue
+    ENSURES (c' = insert(c, SELF)) & (m' = NIL) & UNCHANGED [ alerts ]
+  ATOMIC ACTION AlertResume
+    RETURNS WHEN (m = NIL) & NOT (SELF IN c)
+      ENSURES (m' = SELF) & UNCHANGED [ c, alerts ]
+    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
+      ENSURES (m' = SELF) & (c' = delete(c, SELF)) & (alerts' = delete(alerts, SELF))
+`
+
+// Spec parses SpecSource; the result is cached after the first call.
+func Spec() *Document {
+	specOnce()
+	return specDoc
+}
+
+var specDoc *Document
+
+func specOnce() {
+	if specDoc == nil {
+		specDoc = MustParse(SpecSource)
+	}
+}

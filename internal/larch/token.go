@@ -1,0 +1,106 @@
+// Package larch implements the specification notation of SRC Report 20: the
+// Larch interface language extended for concurrency with WHEN clauses,
+// ATOMIC PROCEDURE / ATOMIC ACTION, COMPOSITION OF, and SELF.
+//
+// The package provides a lexer, parser, AST, formatter and — the part that
+// makes the specification *executable* — an evaluator of the two-state
+// predicates (REQUIRES, WHEN, ENSURES) over internal/spec states. The
+// paper's complete specification, transcribed in ASCII (x' for x-post, IN
+// for ∈, <= for ⊆, {} for the empty set), ships as SpecSource and parses
+// into the same semantics as the hand-coded actions of internal/spec; the
+// two are property-tested against each other.
+package larch
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+const (
+	EOF     Kind = iota
+	IDENT        // Acquire, m, insert, available ...
+	KEYWORD      // TYPE, PROCEDURE, WHEN ... (see keywords)
+	LPAREN       // (
+	RPAREN       // )
+	LBRACK       // [
+	RBRACK       // ]
+	LBRACE       // {
+	RBRACE       // }
+	COMMA        // ,
+	SEMI         // ;
+	COLON        // :
+	EQ           // =
+	AMP          // &
+	PIPE         // |
+	SUBSET       // <=
+	PRIME        // '
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case IDENT:
+		return "identifier"
+	case KEYWORD:
+		return "keyword"
+	case LPAREN:
+		return "("
+	case RPAREN:
+		return ")"
+	case LBRACK:
+		return "["
+	case RBRACK:
+		return "]"
+	case LBRACE:
+		return "{"
+	case RBRACE:
+		return "}"
+	case COMMA:
+		return ","
+	case SEMI:
+		return ";"
+	case COLON:
+		return ":"
+	case EQ:
+		return "="
+	case AMP:
+		return "&"
+	case PIPE:
+		return "|"
+	case SUBSET:
+		return "<="
+	case PRIME:
+		return "'"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// keywords of the notation. All-caps identifiers that are not keywords
+// (like P or V) remain identifiers.
+var keywords = map[string]bool{
+	"TYPE": true, "VAR": true, "EXCEPTION": true,
+	"PROCEDURE": true, "ATOMIC": true, "ACTION": true,
+	"COMPOSITION": true, "OF": true, "END": true,
+	"REQUIRES": true, "MODIFIES": true, "AT": true, "MOST": true,
+	"WHEN": true, "ENSURES": true, "RETURNS": true, "RAISES": true,
+	"INITIALLY": true, "SET": true,
+	"SELF": true, "NIL": true, "IN": true, "NOT": true,
+	"UNCHANGED": true,
+}

@@ -1,0 +1,396 @@
+package larch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The value types of the specification's expression language.
+type valueType int
+
+const (
+	vInvalid valueType = iota
+	vThread            // Thread values, including NIL
+	vBool
+	vSet  // SET OF Thread
+	vEnum // a member of some enumeration
+)
+
+func (v valueType) String() string {
+	switch v {
+	case vThread:
+		return "Thread"
+	case vBool:
+		return "bool"
+	case vSet:
+		return "SET OF Thread"
+	case vEnum:
+		return "enumeration"
+	default:
+		return "invalid"
+	}
+}
+
+// TypeError is one problem found by Check.
+type TypeError struct {
+	Where string // "Acquire", "AlertWait/AlertResume", ...
+	Msg   string
+}
+
+func (e TypeError) Error() string {
+	if e.Where == "" {
+		return "larch: " + e.Msg
+	}
+	return "larch: " + e.Where + ": " + e.Msg
+}
+
+// checker state for one document.
+type typeChecker struct {
+	types   map[string]valueType // declared type name → value type
+	globals map[string]valueType // VAR name → value type
+	enums   map[string]bool      // enumeration member names
+	errs    []error
+}
+
+// Check validates a parsed specification document:
+//
+//   - declarations are unique and their INITIALLY values fit their types;
+//   - every parameter type resolves (Thread, bool, a declared TYPE, a SET
+//     or an inline enumeration);
+//   - COMPOSITION OF lists exactly the procedure's declared ATOMIC ACTIONs,
+//     in order;
+//   - every RAISES case names an exception from the procedure header;
+//   - MODIFIES AT MOST frames name only VAR parameters or global VARs;
+//   - every predicate is boolean and well-typed: `=` compares equal types,
+//     IN is Thread × SET, `<=` is SET × SET, & | NOT take booleans,
+//     insert/delete take (SET, Thread);
+//   - identifiers are bound (parameters, the RETURNS formal, globals, or
+//     enumeration members), and primed references x' name something
+//     modifiable (a VAR parameter or a global);
+//   - REQUIRES and WHEN are single-state: they must not mention primed
+//     values.
+//
+// It returns all problems found (nil if the document is well-typed).
+func Check(doc *Document) []error {
+	tc := &typeChecker{
+		types:   map[string]valueType{"Thread": vThread, "bool": vBool},
+		globals: map[string]valueType{},
+		enums:   map[string]bool{},
+	}
+	exceptions := map[string]bool{}
+	procs := map[string]bool{}
+	// Pass 1: declarations.
+	for _, d := range doc.Decls {
+		switch dd := d.(type) {
+		case *TypeDecl:
+			if _, dup := tc.types[dd.Name]; dup {
+				tc.errorf(dd.Name, "type declared twice")
+				continue
+			}
+			vt := tc.resolveType(dd.Name, dd.Type)
+			tc.types[dd.Name] = vt
+			tc.checkInitially(dd.Name, vt, dd.Initially)
+		case *VarDecl:
+			if _, dup := tc.globals[dd.Name]; dup {
+				tc.errorf(dd.Name, "variable declared twice")
+				continue
+			}
+			vt := tc.resolveType(dd.Name, dd.Type)
+			tc.globals[dd.Name] = vt
+			tc.checkInitially(dd.Name, vt, dd.Initially)
+		case *ExceptionDecl:
+			if exceptions[dd.Name] {
+				tc.errorf(dd.Name, "exception declared twice")
+			}
+			exceptions[dd.Name] = true
+		}
+	}
+	// Pass 2: procedures.
+	for _, d := range doc.Decls {
+		p, ok := d.(*ProcDecl)
+		if !ok {
+			continue
+		}
+		if procs[p.Name] {
+			tc.errorf(p.Name, "procedure declared twice")
+			continue
+		}
+		procs[p.Name] = true
+		tc.checkProc(p, exceptions)
+	}
+	return tc.errs
+}
+
+func (tc *typeChecker) errorf(where, format string, args ...any) {
+	tc.errs = append(tc.errs, TypeError{Where: where, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (tc *typeChecker) resolveType(where string, t TypeExpr) valueType {
+	switch tt := t.(type) {
+	case NamedType:
+		if vt, ok := tc.types[tt.Name]; ok {
+			return vt
+		}
+		tc.errorf(where, "unknown type %s", tt.Name)
+		return vInvalid
+	case SetType:
+		elem := tc.resolveType(where, tt.Elem)
+		if elem != vThread {
+			tc.errorf(where, "SET OF %s is not supported; sets hold Threads", elem)
+		}
+		return vSet
+	case EnumType:
+		seen := map[string]bool{}
+		for _, m := range tt.Members {
+			if seen[m] {
+				tc.errorf(where, "enumeration member %s repeated", m)
+			}
+			seen[m] = true
+			tc.enums[m] = true
+		}
+		return vEnum
+	default:
+		tc.errorf(where, "unsupported type expression %v", t)
+		return vInvalid
+	}
+}
+
+func (tc *typeChecker) checkInitially(where string, vt valueType, init Expr) {
+	if init == nil {
+		tc.errorf(where, "missing INITIALLY value")
+		return
+	}
+	got := tc.typeOfLiteral(init)
+	if got == vInvalid {
+		tc.errorf(where, "INITIALLY value %s is not a literal", init)
+		return
+	}
+	if got != vt {
+		tc.errorf(where, "INITIALLY value %s has type %s, want %s", init, got, vt)
+	}
+}
+
+// typeOfLiteral types the restricted expressions allowed after INITIALLY.
+func (tc *typeChecker) typeOfLiteral(e Expr) valueType {
+	switch x := e.(type) {
+	case NilExpr:
+		return vThread
+	case EmptySet:
+		return vSet
+	case Ident:
+		if !x.Primed && tc.enums[x.Name] {
+			return vEnum
+		}
+		return vInvalid
+	default:
+		return vInvalid
+	}
+}
+
+// scope is the name environment of one procedure.
+type scope struct {
+	where      string
+	params     map[string]valueType
+	modifiable map[string]bool // VAR params and globals
+	returns    map[string]valueType
+}
+
+func (tc *typeChecker) checkProc(p *ProcDecl, exceptions map[string]bool) {
+	sc := &scope{
+		where:      p.Name,
+		params:     map[string]valueType{},
+		modifiable: map[string]bool{},
+		returns:    map[string]valueType{},
+	}
+	for _, param := range p.Params {
+		if _, dup := sc.params[param.Name]; dup {
+			tc.errorf(p.Name, "parameter %s repeated", param.Name)
+		}
+		sc.params[param.Name] = tc.resolveType(p.Name+"/"+param.Name, param.Type)
+		if param.Var {
+			sc.modifiable[param.Name] = true
+		}
+	}
+	if p.Returns != nil {
+		sc.returns[p.Returns.Name] = tc.resolveType(p.Name+"/returns", p.Returns.Type)
+	}
+	for g := range tc.globals {
+		sc.modifiable[g] = true
+	}
+	for _, exc := range p.Raises {
+		if !exceptions[exc] {
+			tc.errorf(p.Name, "RAISES names undeclared exception %s", exc)
+		}
+	}
+	// COMPOSITION OF lists the declared actions, in order.
+	if len(p.Composition) > 0 || len(p.Actions) > 0 {
+		var actionNames []string
+		for _, a := range p.Actions {
+			actionNames = append(actionNames, a.Name)
+		}
+		if strings.Join(p.Composition, ";") != strings.Join(actionNames, ";") {
+			tc.errorf(p.Name, "COMPOSITION OF %v does not match declared actions %v",
+				p.Composition, actionNames)
+		}
+	}
+	if p.Atomic && len(p.Actions) > 0 {
+		tc.errorf(p.Name, "an ATOMIC PROCEDURE cannot contain ATOMIC ACTIONs")
+	}
+	// MODIFIES frame.
+	for _, name := range p.Modifies {
+		if !sc.modifiable[name] {
+			tc.errorf(p.Name, "MODIFIES AT MOST names %s, which is not a VAR parameter or global", name)
+		}
+	}
+	// Clauses.
+	tc.checkClause(sc, "REQUIRES", p.Requires, false)
+	tc.checkClause(sc, "WHEN", p.When, false)
+	tc.checkClause(sc, "ENSURES", p.Ensures, true)
+	for _, c := range p.Cases {
+		tc.checkCase(sc, p.Name, c, exceptions, p.Raises)
+	}
+	for _, a := range p.Actions {
+		aw := &scope{
+			where:      p.Name + "/" + a.Name,
+			params:     sc.params,
+			modifiable: sc.modifiable,
+			returns:    sc.returns,
+		}
+		tc.checkClause(aw, "WHEN", a.When, false)
+		tc.checkClause(aw, "ENSURES", a.Ensures, true)
+		for _, c := range a.Cases {
+			tc.checkCase(aw, aw.where, c, exceptions, p.Raises)
+		}
+	}
+}
+
+func (tc *typeChecker) checkCase(sc *scope, where string, c CaseDecl, exceptions map[string]bool, declared []string) {
+	if c.Raises != "" {
+		if !exceptions[c.Raises] {
+			tc.errorf(where, "RAISES case names undeclared exception %s", c.Raises)
+		} else {
+			found := false
+			for _, d := range declared {
+				if d == c.Raises {
+					found = true
+				}
+			}
+			if !found {
+				tc.errorf(where, "RAISES %s is not in the procedure's RAISES set %v", c.Raises, declared)
+			}
+		}
+	}
+	tc.checkClause(sc, "WHEN", c.When, false)
+	tc.checkClause(sc, "ENSURES", c.Ensures, true)
+}
+
+// checkClause types a predicate; allowPost permits primed references.
+func (tc *typeChecker) checkClause(sc *scope, kind string, e Expr, allowPost bool) {
+	if e == nil {
+		return
+	}
+	got := tc.typeOf(sc, kind, e, allowPost)
+	if got != vBool && got != vInvalid {
+		tc.errorf(sc.where, "%s clause has type %s, want bool: %s", kind, got, e)
+	}
+}
+
+// typeOf types an expression, reporting problems as it goes.
+func (tc *typeChecker) typeOf(sc *scope, kind string, e Expr, allowPost bool) valueType {
+	switch x := e.(type) {
+	case SelfExpr:
+		return vThread
+	case NilExpr:
+		return vThread
+	case EmptySet:
+		return vSet
+	case Ident:
+		if x.Primed {
+			if !allowPost {
+				tc.errorf(sc.where, "%s is a single-state clause but mentions %s", kind, x)
+			}
+			if !sc.modifiable[x.Name] {
+				tc.errorf(sc.where, "%s' refers to a value the procedure may not modify", x.Name)
+			}
+		}
+		if vt, ok := sc.params[x.Name]; ok {
+			return vt
+		}
+		if vt, ok := sc.returns[x.Name]; ok {
+			return vt
+		}
+		if vt, ok := tc.globals[x.Name]; ok {
+			return vt
+		}
+		if tc.enums[x.Name] {
+			if x.Primed {
+				tc.errorf(sc.where, "enumeration member %s cannot be primed", x.Name)
+			}
+			return vEnum
+		}
+		tc.errorf(sc.where, "unbound identifier %s in %s clause", x.Name, kind)
+		return vInvalid
+	case Not:
+		if got := tc.typeOf(sc, kind, x.X, allowPost); got != vBool && got != vInvalid {
+			tc.errorf(sc.where, "NOT applied to %s", got)
+		}
+		return vBool
+	case Unchanged:
+		if !allowPost {
+			tc.errorf(sc.where, "%s is a single-state clause but contains UNCHANGED", kind)
+		}
+		for _, name := range x.Names {
+			if !sc.modifiable[name] {
+				tc.errorf(sc.where, "UNCHANGED names %s, which is not a VAR parameter or global", name)
+			}
+		}
+		return vBool
+	case Call:
+		if x.Fn != "insert" && x.Fn != "delete" {
+			tc.errorf(sc.where, "unknown function %s", x.Fn)
+			return vInvalid
+		}
+		if len(x.Args) != 2 {
+			tc.errorf(sc.where, "%s expects 2 arguments, got %d", x.Fn, len(x.Args))
+			return vSet
+		}
+		if got := tc.typeOf(sc, kind, x.Args[0], allowPost); got != vSet && got != vInvalid {
+			tc.errorf(sc.where, "%s's first argument has type %s, want SET OF Thread", x.Fn, got)
+		}
+		if got := tc.typeOf(sc, kind, x.Args[1], allowPost); got != vThread && got != vInvalid {
+			tc.errorf(sc.where, "%s's second argument has type %s, want Thread", x.Fn, got)
+		}
+		return vSet
+	case Binary:
+		l := tc.typeOf(sc, kind, x.L, allowPost)
+		r := tc.typeOf(sc, kind, x.R, allowPost)
+		switch x.Op {
+		case "&", "|":
+			if (l != vBool && l != vInvalid) || (r != vBool && r != vInvalid) {
+				tc.errorf(sc.where, "%s applied to %s and %s", x.Op, l, r)
+			}
+			return vBool
+		case "=":
+			if l != r && l != vInvalid && r != vInvalid {
+				tc.errorf(sc.where, "= compares %s with %s", l, r)
+			}
+			return vBool
+		case "<=":
+			if (l != vSet && l != vInvalid) || (r != vSet && r != vInvalid) {
+				tc.errorf(sc.where, "<= (subset) applied to %s and %s", l, r)
+			}
+			return vBool
+		case "IN":
+			if (l != vThread && l != vInvalid) || (r != vSet && r != vInvalid) {
+				tc.errorf(sc.where, "IN applied to %s and %s, want Thread IN SET", l, r)
+			}
+			return vBool
+		default:
+			tc.errorf(sc.where, "unknown operator %s", x.Op)
+			return vInvalid
+		}
+	default:
+		tc.errorf(sc.where, "cannot type expression %T", e)
+		return vInvalid
+	}
+}

@@ -1,0 +1,157 @@
+package larch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckPaperSpecIsWellTyped(t *testing.T) {
+	if errs := Check(Spec()); len(errs) != 0 {
+		for _, e := range errs {
+			t.Error(e)
+		}
+		t.Fatal("the paper's specification should type-check")
+	}
+}
+
+// checkOne parses src with a standard prelude and returns the errors.
+func checkOne(t *testing.T, src string) []error {
+	t.Helper()
+	prelude := `
+TYPE Mutex = Thread INITIALLY NIL
+TYPE Condition = SET OF Thread INITIALLY {}
+TYPE Semaphore = (available, unavailable) INITIALLY available
+VAR alerts: SET OF Thread INITIALLY {}
+EXCEPTION Alerted
+`
+	doc, err := Parse(prelude + src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(doc)
+}
+
+func wantError(t *testing.T, errs []error, fragment string) {
+	t.Helper()
+	for _, e := range errs {
+		if strings.Contains(e.Error(), fragment) {
+			return
+		}
+	}
+	t.Fatalf("no error containing %q in %v", fragment, errs)
+}
+
+func TestCheckUnboundIdentifier(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) ENSURES frob = NIL`)
+	wantError(t, errs, "unbound identifier frob")
+}
+
+func TestCheckPrimedInWhen(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) WHEN m' = NIL ENSURES m' = SELF`)
+	wantError(t, errs, "single-state clause but mentions m'")
+}
+
+func TestCheckPrimedNonVarParam(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(m: Mutex) ENSURES m' = SELF`)
+	wantError(t, errs, "may not modify")
+}
+
+func TestCheckModifiesUnknown(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) MODIFIES AT MOST [ q ] ENSURES m' = NIL`)
+	wantError(t, errs, "MODIFIES AT MOST names q")
+}
+
+func TestCheckTypeMismatchEquals(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex; VAR c: Condition) ENSURES m' = c`)
+	wantError(t, errs, "= compares Thread with SET OF Thread")
+}
+
+func TestCheckINOperands(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR c: Condition) ENSURES c IN c'`)
+	wantError(t, errs, "IN applied to")
+}
+
+func TestCheckSubsetOperands(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) ENSURES m' <= m`)
+	wantError(t, errs, "<= (subset) applied to")
+}
+
+func TestCheckInsertArguments(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR c: Condition) ENSURES c' = insert(SELF, c)`)
+	wantError(t, errs, "insert's first argument")
+}
+
+func TestCheckUnknownFunction(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR c: Condition) ENSURES c' = munge(c, SELF)`)
+	wantError(t, errs, "unknown function munge")
+}
+
+func TestCheckNonBooleanClause(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR c: Condition) ENSURES insert(c, SELF)`)
+	wantError(t, errs, "ENSURES clause has type SET OF Thread")
+}
+
+func TestCheckRaisesUndeclared(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR s: Semaphore) RAISES {Bogus}
+  RETURNS WHEN s = available ENSURES s' = unavailable
+  RAISES Bogus WHEN SELF IN alerts ENSURES UNCHANGED [ s ]`)
+	wantError(t, errs, "undeclared exception Bogus")
+}
+
+func TestCheckRaisesCaseNotInHeader(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR s: Semaphore)
+  RAISES Alerted WHEN SELF IN alerts ENSURES UNCHANGED [ s ]`)
+	wantError(t, errs, "not in the procedure's RAISES set")
+}
+
+func TestCheckCompositionMismatch(t *testing.T) {
+	errs := checkOne(t, `PROCEDURE F(VAR m: Mutex; VAR c: Condition) = COMPOSITION OF A; B END
+  ATOMIC ACTION A ENSURES m' = NIL
+  ATOMIC ACTION C ENSURES m' = SELF`)
+	wantError(t, errs, "COMPOSITION OF")
+}
+
+func TestCheckAtomicWithActions(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex)
+  ATOMIC ACTION A ENSURES m' = NIL`)
+	wantError(t, errs, "cannot contain ATOMIC ACTIONs")
+}
+
+func TestCheckDuplicateParam(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex; VAR m: Mutex) ENSURES m' = NIL`)
+	wantError(t, errs, "parameter m repeated")
+}
+
+func TestCheckDuplicateProcedure(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) ENSURES m' = NIL
+ATOMIC PROCEDURE F(VAR m: Mutex) ENSURES m' = NIL`)
+	wantError(t, errs, "procedure declared twice")
+}
+
+func TestCheckInitiallyMismatch(t *testing.T) {
+	doc, err := Parse(`TYPE Mutex = Thread INITIALLY {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantError(t, Check(doc), "INITIALLY value {} has type SET OF Thread, want Thread")
+}
+
+func TestCheckUnknownTypeInParam(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mootex) ENSURES SELF = SELF`)
+	wantError(t, errs, "unknown type Mootex")
+}
+
+func TestCheckUnchangedInWhen(t *testing.T) {
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR m: Mutex) WHEN UNCHANGED [ m ] ENSURES m' = NIL`)
+	wantError(t, errs, "single-state clause but contains UNCHANGED")
+}
+
+func TestCheckEnumComparison(t *testing.T) {
+	// Comparing a semaphore with an enum member is fine; with a thread is
+	// not.
+	if errs := checkOne(t, `ATOMIC PROCEDURE F(VAR s: Semaphore) WHEN s = available ENSURES s' = unavailable`); len(errs) != 0 {
+		t.Fatalf("valid enum comparison rejected: %v", errs)
+	}
+	errs := checkOne(t, `ATOMIC PROCEDURE F(VAR s: Semaphore) ENSURES s' = SELF`)
+	wantError(t, errs, "= compares enumeration with Thread")
+}

@@ -1,0 +1,120 @@
+package larch
+
+import (
+	"fmt"
+	"strings"
+
+	"threads/internal/spec"
+)
+
+// alertWaitFinal is the AlertWait declaration as printed in the paper (the
+// corrected version, identical to the one inside SpecSource).
+const alertWaitFinal = `
+PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition) RAISES {Alerted} = COMPOSITION OF Enqueue; AlertResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m, c, alerts ]
+  ATOMIC ACTION Enqueue
+    ENSURES (c' = insert(c, SELF)) & (m' = NIL) & UNCHANGED [ alerts ]
+  ATOMIC ACTION AlertResume
+    RETURNS WHEN (m = NIL) & NOT (SELF IN c)
+      ENSURES (m' = SELF) & UNCHANGED [ c, alerts ]
+    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
+      ENSURES (m' = SELF) & (c' = delete(c, SELF)) & (alerts' = delete(alerts, SELF))
+`
+
+// alertWaitNoMNil is the first released specification of AlertWait: the
+// RAISES WHEN clause lacks "m = NIL &". "That this presented a problem was
+// discovered in less than an hour by someone with no prior knowledge of
+// either the interface or the specification technique." (§Discussion)
+const alertWaitNoMNil = `
+PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition) RAISES {Alerted} = COMPOSITION OF Enqueue; AlertResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m, c, alerts ]
+  ATOMIC ACTION Enqueue
+    ENSURES (c' = insert(c, SELF)) & (m' = NIL) & UNCHANGED [ alerts ]
+  ATOMIC ACTION AlertResume
+    RETURNS WHEN (m = NIL) & NOT (SELF IN c)
+      ENSURES (m' = SELF) & UNCHANGED [ c, alerts ]
+    RAISES Alerted WHEN SELF IN alerts
+      ENSURES (m' = SELF) & UNCHANGED [ c ] & (alerts' = delete(alerts, SELF))
+`
+
+// alertWaitUnchangedC is the version that survived "more than a year of
+// use": the RAISES ENSURES requires UNCHANGED [c], so a thread that raises
+// Alerted remains a ghost member of the condition variable. (§Discussion;
+// found by Greg Nelson.)
+const alertWaitUnchangedC = `
+PROCEDURE AlertWait(VAR m: Mutex; VAR c: Condition) RAISES {Alerted} = COMPOSITION OF Enqueue; AlertResume END
+  REQUIRES m = SELF
+  MODIFIES AT MOST [ m, c, alerts ]
+  ATOMIC ACTION Enqueue
+    ENSURES (c' = insert(c, SELF)) & (m' = NIL) & UNCHANGED [ alerts ]
+  ATOMIC ACTION AlertResume
+    RETURNS WHEN (m = NIL) & NOT (SELF IN c)
+      ENSURES (m' = SELF) & UNCHANGED [ c, alerts ]
+    RAISES Alerted WHEN (m = NIL) & (SELF IN alerts)
+      ENSURES (m' = SELF) & UNCHANGED [ c ] & (alerts' = delete(alerts, SELF))
+`
+
+// SpecSourceVariant returns the full specification text with the AlertWait
+// declaration of the given historical variant substituted in. The final
+// variant returns SpecSource itself.
+func SpecSourceVariant(v spec.Variant) (string, error) {
+	var alertWait string
+	switch v {
+	case spec.VariantFinal:
+		return SpecSource, nil
+	case spec.VariantNoMNil:
+		alertWait = alertWaitNoMNil
+	case spec.VariantUnchangedC:
+		alertWait = alertWaitUnchangedC
+	default:
+		return "", fmt.Errorf("larch: unknown variant %v", v)
+	}
+	// Replace the final AlertWait in SpecSource with the variant's text.
+	idx := strings.Index(SpecSource, "PROCEDURE AlertWait")
+	if idx < 0 {
+		return "", fmt.Errorf("larch: SpecSource has no AlertWait declaration")
+	}
+	return SpecSource[:idx] + strings.TrimLeft(alertWait, "\n"), nil
+}
+
+// SpecVariant parses the specification text for the given variant.
+func SpecVariant(v spec.Variant) (*Document, error) {
+	if v == spec.VariantFinal {
+		return Spec(), nil
+	}
+	src, err := SpecSourceVariant(v)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(src)
+}
+
+// CheckActionVariant is CheckAction against the specification text of the
+// given historical variant, so the buggy clauses themselves can be
+// exercised as parsed text rather than only as hand-coded transitions.
+func CheckActionVariant(v spec.Variant, a spec.Action, pre, post *spec.State) error {
+	doc, err := SpecVariant(v)
+	if err != nil {
+		return err
+	}
+	// AlertResumeRaise is the only variant-dependent action; adjust its
+	// tag so the dispatcher accepts it for this document.
+	if ar, ok := a.(spec.AlertResumeRaise); ok {
+		if ar.Variant != v {
+			return fmt.Errorf("larch: action variant %v does not match document variant %v", ar.Variant, v)
+		}
+		// Rewrite to VariantFinal for dispatch; the clauses evaluated
+		// come from the variant document, not from the action tag.
+		a = spec.AlertResumeRaise{T: ar.T, M: ar.M, C: ar.C, Variant: spec.VariantFinal}
+	}
+	return checkActionIn(doc, a, pre, post)
+}
+
+// checkActionIn is CheckAction with an explicit document (CheckAction binds
+// against it directly; this indirection only exists so the exported entry
+// points read clearly).
+func checkActionIn(doc *Document, a spec.Action, pre, post *spec.State) error {
+	return CheckAction(doc, a, pre, post)
+}

@@ -1,0 +1,135 @@
+package larch
+
+import (
+	"strings"
+	"testing"
+
+	"threads/internal/spec"
+)
+
+func TestVariantSourcesParseAndTypeCheck(t *testing.T) {
+	for _, v := range []spec.Variant{spec.VariantFinal, spec.VariantNoMNil, spec.VariantUnchangedC} {
+		doc, err := SpecVariant(v)
+		if err != nil {
+			t.Fatalf("variant %v: %v", v, err)
+		}
+		if errs := Check(doc); len(errs) != 0 {
+			t.Fatalf("variant %v does not type-check: %v", v, errs)
+		}
+		// Both bugs were *well-typed* specifications — that is the point:
+		// type checking cannot find semantic errors, only the model
+		// checker and human reasoning can.
+	}
+}
+
+func TestVariantClauses(t *testing.T) {
+	noMNil, err := SpecVariant(spec.VariantNoMNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raise := raiseCase(t, noMNil)
+	if strings.Contains(raise.When.String(), "m = NIL") {
+		t.Fatalf("no-m-nil variant still guards on m = NIL: %s", raise.When)
+	}
+	unchanged, err := SpecVariant(spec.VariantUnchangedC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raise = raiseCase(t, unchanged)
+	if !strings.Contains(raise.When.String(), "m = NIL") {
+		t.Fatalf("unchanged-c variant lost the m = NIL guard: %s", raise.When)
+	}
+	if !strings.Contains(raise.Ensures.String(), "UNCHANGED [c]") {
+		t.Fatalf("unchanged-c variant should require UNCHANGED [c]: %s", raise.Ensures)
+	}
+}
+
+func raiseCase(t *testing.T, doc *Document) CaseDecl {
+	t.Helper()
+	aw := doc.Proc("AlertWait")
+	if aw == nil {
+		t.Fatal("no AlertWait")
+	}
+	ar := aw.Action("AlertResume")
+	if ar == nil {
+		t.Fatal("no AlertResume")
+	}
+	c, err := findCase(ar.Cases, "Alerted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestVariantTransitionsAgree: each hand-coded buggy transition satisfies
+// its own variant's parsed text — the Go encodings of the historical specs
+// and their Larch sources mean the same thing.
+func TestVariantTransitionsAgree(t *testing.T) {
+	// unchanged-c: raising leaves the ghost in c.
+	pre := spec.NewState()
+	pre.Cond(1).Insert(1)
+	pre.Alerts.Insert(1)
+	act := spec.AlertResumeRaise{T: 1, M: 1, C: 1, Variant: spec.VariantUnchangedC}
+	post := pre.Clone()
+	act.Apply(post)
+	if err := CheckActionVariant(spec.VariantUnchangedC, act, pre, post); err != nil {
+		t.Fatalf("unchanged-c transition rejected by its own text: %v", err)
+	}
+	// ... and the same transition violates the FINAL text (c not deleted).
+	final := spec.AlertResumeRaise{T: 1, M: 1, C: 1, Variant: spec.VariantFinal}
+	if err := CheckActionVariant(spec.VariantFinal, final, pre, post); err == nil {
+		t.Fatal("ghost-leaving transition accepted by the corrected text")
+	}
+
+	// no-m-nil: raising while the mutex is held is enabled by the buggy
+	// text and disabled by the corrected one.
+	held := spec.NewState()
+	held.Cond(1).Insert(1)
+	held.Alerts.Insert(1)
+	held.SetMutex(1, 2) // someone else holds m
+	bug := spec.AlertResumeRaise{T: 1, M: 1, C: 1, Variant: spec.VariantNoMNil}
+	postBug := held.Clone()
+	bug.Apply(postBug) // seizes the mutex
+	if err := CheckActionVariant(spec.VariantNoMNil, bug, held, postBug); err != nil {
+		t.Fatalf("no-m-nil transition rejected by its own text: %v", err)
+	}
+	finalHeld := spec.AlertResumeRaise{T: 1, M: 1, C: 1, Variant: spec.VariantFinal}
+	postHeld := held.Clone()
+	postHeld.SetMutex(1, 1)
+	postHeld.Alerts.Delete(1)
+	postHeld.Cond(1).Delete(1)
+	err := CheckActionVariant(spec.VariantFinal, finalHeld, held, postHeld)
+	if err == nil || !strings.Contains(err.Error(), "WHEN") {
+		t.Fatalf("corrected text should disable the raise while m is held: %v", err)
+	}
+}
+
+func TestSpecSourceVariantFinalIsIdentity(t *testing.T) {
+	src, err := SpecSourceVariant(spec.VariantFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != SpecSource {
+		t.Fatal("final variant should return SpecSource verbatim")
+	}
+}
+
+// TestAlertWaitFinalConstMatchesSpecSource: the standalone final AlertWait
+// text and the one embedded in SpecSource stay in sync.
+func TestAlertWaitFinalConstMatchesSpecSource(t *testing.T) {
+	prelude := `
+TYPE Mutex = Thread INITIALLY NIL
+TYPE Condition = SET OF Thread INITIALLY {}
+VAR alerts: SET OF Thread INITIALLY {}
+EXCEPTION Alerted
+`
+	doc, err := Parse(prelude + alertWaitFinal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := doc.Proc("AlertWait").String()
+	want := Spec().Proc("AlertWait").String()
+	if got != want {
+		t.Fatalf("final AlertWait texts diverge:\n%s\nvs\n%s", got, want)
+	}
+}

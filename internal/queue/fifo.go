@@ -1,0 +1,128 @@
+// Package queue provides the thread queues the Nub maintains: FIFO queues
+// of blocked threads (per mutex, per condition variable, per semaphore) and
+// a priority queue used by the ready pool.
+//
+// The queues are intrusive — callers embed a Node in their waiter records —
+// so enqueueing a blocking thread allocates nothing, which matters because
+// every blocked Acquire/Wait/P passes through here.
+package queue
+
+// Node is an intrusive doubly-linked list node carrying a value of type T.
+// A Node may be on at most one FIFO at a time.
+type Node[T any] struct {
+	prev, next *Node[T]
+	owner      *FIFO[T]
+	Value      T
+}
+
+// InQueue reports whether the node is currently linked into a FIFO.
+func (n *Node[T]) InQueue() bool { return n.owner != nil }
+
+// FIFO is a first-in-first-out queue of Nodes with O(1) push, pop and
+// remove. The zero value is an empty queue. FIFO performs no locking; the
+// caller serializes access (in the implementation, under the Nub spin lock).
+type FIFO[T any] struct {
+	head, tail *Node[T]
+	size       int
+}
+
+// Len returns the number of queued nodes.
+func (q *FIFO[T]) Len() int { return q.size }
+
+// Empty reports whether the queue has no nodes.
+func (q *FIFO[T]) Empty() bool { return q.size == 0 }
+
+// Push appends n to the tail of the queue. It panics if n is already on a
+// queue: a thread cannot be blocked in two places at once.
+func (q *FIFO[T]) Push(n *Node[T]) {
+	if n.owner != nil {
+		panic("queue: node pushed while already on a queue")
+	}
+	n.owner = q
+	n.prev = q.tail
+	n.next = nil
+	if q.tail != nil {
+		q.tail.next = n
+	} else {
+		q.head = n
+	}
+	q.tail = n
+	q.size++
+}
+
+// Pop removes and returns the head of the queue, or nil if the queue is
+// empty.
+func (q *FIFO[T]) Pop() *Node[T] {
+	n := q.head
+	if n == nil {
+		return nil
+	}
+	q.unlink(n)
+	return n
+}
+
+// Peek returns the head of the queue without removing it, or nil.
+func (q *FIFO[T]) Peek() *Node[T] { return q.head }
+
+// Remove unlinks n from the queue if it is currently queued and reports
+// whether it was. Removing a node that was already popped (for example by a
+// racing Signal) is a no-op; this is how an alerted waiter leaves a
+// condition queue without double-accounting.
+func (q *FIFO[T]) Remove(n *Node[T]) bool {
+	if n.owner != q {
+		return false
+	}
+	q.unlink(n)
+	return true
+}
+
+func (q *FIFO[T]) unlink(n *Node[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next, n.owner = nil, nil, nil
+	q.size--
+}
+
+// PopAll removes every node from the queue and returns them in FIFO order.
+// Used by Broadcast, which moves all waiters to the ready pool at once.
+func (q *FIFO[T]) PopAll() []*Node[T] {
+	if q.size == 0 {
+		return nil
+	}
+	out := make([]*Node[T], 0, q.size)
+	for n := q.head; n != nil; {
+		next := n.next
+		n.prev, n.next, n.owner = nil, nil, nil
+		out = append(out, n)
+		n = next
+	}
+	q.head, q.tail, q.size = nil, nil, 0
+	return out
+}
+
+// Drain calls fn on each node in FIFO order while removing it. Unlike
+// PopAll it does not allocate.
+func (q *FIFO[T]) Drain(fn func(*Node[T])) {
+	for n := q.head; n != nil; {
+		next := n.next
+		n.prev, n.next, n.owner = nil, nil, nil
+		fn(n)
+		n = next
+	}
+	q.head, q.tail, q.size = nil, nil, 0
+}
+
+// Each calls fn on each queued node in FIFO order without removing any.
+func (q *FIFO[T]) Each(fn func(*Node[T])) {
+	for n := q.head; n != nil; n = n.next {
+		fn(n)
+	}
+}

@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 10; i++ {
+		q.Push(&Node[int]{Value: i})
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 10; i++ {
+		n := q.Pop()
+		if n == nil || n.Value != i {
+			t.Fatalf("Pop #%d = %v, want node %d", i, n, i)
+		}
+		if n.InQueue() {
+			t.Fatal("popped node still reports InQueue")
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue should return nil")
+	}
+}
+
+func TestFIFOEmpty(t *testing.T) {
+	var q FIFO[int]
+	if !q.Empty() || q.Len() != 0 || q.Peek() != nil {
+		t.Fatal("zero-value FIFO should be empty")
+	}
+	n := &Node[int]{Value: 1}
+	q.Push(n)
+	if q.Empty() || q.Peek() != n {
+		t.Fatal("queue with one node misreports state")
+	}
+	q.Pop()
+	if !q.Empty() {
+		t.Fatal("queue should be empty after popping its only node")
+	}
+}
+
+func TestFIFORemove(t *testing.T) {
+	var q FIFO[int]
+	nodes := make([]*Node[int], 5)
+	for i := range nodes {
+		nodes[i] = &Node[int]{Value: i}
+		q.Push(nodes[i])
+	}
+	// Remove from middle, head, and tail.
+	for _, i := range []int{2, 0, 4} {
+		if !q.Remove(nodes[i]) {
+			t.Fatalf("Remove(node %d) = false, want true", i)
+		}
+		if nodes[i].InQueue() {
+			t.Fatalf("node %d still InQueue after Remove", i)
+		}
+	}
+	if q.Remove(nodes[2]) {
+		t.Fatal("second Remove of same node should report false")
+	}
+	want := []int{1, 3}
+	for _, w := range want {
+		n := q.Pop()
+		if n == nil || n.Value != w {
+			t.Fatalf("after removals Pop = %v, want %d", n, w)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestFIFORemoveFromWrongQueue(t *testing.T) {
+	var q1, q2 FIFO[int]
+	n := &Node[int]{Value: 7}
+	q1.Push(n)
+	if q2.Remove(n) {
+		t.Fatal("Remove from a queue the node is not on should report false")
+	}
+	if !q1.Remove(n) {
+		t.Fatal("Remove from owning queue should succeed")
+	}
+}
+
+func TestFIFODoublePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pushing a queued node should panic")
+		}
+	}()
+	var q FIFO[int]
+	n := &Node[int]{}
+	q.Push(n)
+	q.Push(n)
+}
+
+func TestFIFOPopAll(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 6; i++ {
+		q.Push(&Node[int]{Value: i})
+	}
+	all := q.PopAll()
+	if len(all) != 6 {
+		t.Fatalf("PopAll returned %d nodes, want 6", len(all))
+	}
+	for i, n := range all {
+		if n.Value != i {
+			t.Fatalf("PopAll[%d] = %d, want %d (FIFO order)", i, n.Value, i)
+		}
+		if n.InQueue() {
+			t.Fatal("PopAll left a node marked queued")
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty after PopAll")
+	}
+	if q.PopAll() != nil {
+		t.Fatal("PopAll on empty queue should return nil")
+	}
+}
+
+func TestFIFODrainAndEach(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 4; i++ {
+		q.Push(&Node[int]{Value: i})
+	}
+	var seen []int
+	q.Each(func(n *Node[int]) { seen = append(seen, n.Value) })
+	if len(seen) != 4 || q.Len() != 4 {
+		t.Fatalf("Each visited %v and left Len=%d", seen, q.Len())
+	}
+	seen = seen[:0]
+	q.Drain(func(n *Node[int]) { seen = append(seen, n.Value) })
+	if len(seen) != 4 || !q.Empty() {
+		t.Fatalf("Drain visited %v, Empty=%v", seen, q.Empty())
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("Drain order %v not FIFO", seen)
+		}
+	}
+}
+
+// TestFIFOQuickModel property-tests the FIFO against a slice model under
+// random Push/Pop/Remove sequences.
+func TestFIFOQuickModel(t *testing.T) {
+	check := func(ops []uint8) bool {
+		var q FIFO[int]
+		var model []*Node[int]
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				n := &Node[int]{Value: next}
+				next++
+				q.Push(n)
+				model = append(model, n)
+			case 1: // pop
+				n := q.Pop()
+				if len(model) == 0 {
+					if n != nil {
+						return false
+					}
+					continue
+				}
+				if n != model[0] {
+					return false
+				}
+				model = model[1:]
+			case 2: // remove a pseudo-random element
+				if len(model) == 0 {
+					continue
+				}
+				i := int(op) % len(model)
+				if !q.Remove(model[i]) {
+					return false
+				}
+				model = append(model[:i], model[i+1:]...)
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		// Drain and compare full order.
+		for _, want := range model {
+			if got := q.Pop(); got != want {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+import "threads/internal/queue"
+
+// Word is a cell of simulated shared memory. All access goes through an
+// Env, which charges instruction costs and yields to the kernel so the
+// access is an interleaving point. The zero value is a Word containing 0.
+type Word struct {
+	v uint64
+}
+
+// Peek reads the word without simulating an access. For assertions and
+// reporting after Run returns; simulated threads must use Env.Load.
+func (w *Word) Peek() uint64 { return w.v }
+
+// Poke writes the word without simulating an access (test setup only).
+func (w *Word) Poke(v uint64) { w.v = v }
+
+// Env is a simulated thread's view of the machine: its instruction set
+// (shared-memory access, local work) and its system calls (fork,
+// deschedule, wake, priority control). An Env is valid only inside the
+// thread function it was passed to.
+type Env struct {
+	t *T
+	k *Kernel
+}
+
+// yieldPoint parks the thread until the kernel grants it the next
+// instruction, then lets it proceed to execute that instruction.
+func (e *Env) yieldPoint(op opKind, cost uint64) {
+	t := e.t
+	t.pendingOp = op
+	t.pendingCost = cost
+	select {
+	case t.k.yield <- t:
+	case <-t.k.stop:
+		panic(simAbort{})
+	}
+	select {
+	case <-t.grant:
+	case <-t.k.stop:
+		panic(simAbort{})
+	}
+}
+
+// Load reads a shared word (one Load-cost instruction).
+func (e *Env) Load(w *Word) uint64 {
+	e.yieldPoint(opInstr, e.k.cost.Load)
+	return w.v
+}
+
+// Store writes a shared word (one Store-cost instruction).
+func (e *Env) Store(w *Word, v uint64) {
+	e.yieldPoint(opInstr, e.k.cost.Store)
+	w.v = v
+}
+
+// TAS is the hardware test-and-set: atomically sets the word to 1 and
+// returns its previous value. The atomicity of the Threads primitives is
+// ultimately ensured by the atomicity of this instruction.
+func (e *Env) TAS(w *Word) uint64 {
+	e.yieldPoint(opInstr, e.k.cost.TAS)
+	old := w.v
+	w.v = 1
+	return old
+}
+
+// Add atomically adds d to the word and returns the new value (an
+// interlocked instruction; the VAX family provided several).
+func (e *Env) Add(w *Word, d uint64) uint64 {
+	e.yieldPoint(opInstr, e.k.cost.Store)
+	w.v += d
+	return w.v
+}
+
+// Work charges n units of local computation without touching shared
+// memory. It models the instructions between shared accesses (register
+// moves, branches, call overhead) so instruction counts can be calibrated.
+func (e *Env) Work(n uint64) {
+	if n == 0 {
+		return
+	}
+	e.yieldPoint(opInstr, n*e.k.cost.Unit)
+}
+
+// Fork creates a new simulated thread at priority 0. The paper's interface
+// creates "a virtually unlimited number of threads"; the kernel places the
+// new thread in the ready pool and runs it when a processor is free.
+func (e *Env) Fork(name string, fn func(*Env)) *T {
+	return e.k.Spawn(name, fn)
+}
+
+// ForkPri is Fork with an explicit priority.
+func (e *Env) ForkPri(name string, pri int, fn func(*Env)) *T {
+	return e.k.SpawnPri(name, pri, fn)
+}
+
+// Deschedule removes the calling thread from its processor until another
+// thread calls MakeReady on it. If a MakeReady raced ahead, Deschedule
+// consumes it and returns immediately (the sleep/wakeup discipline). The
+// reason string appears in deadlock reports.
+func (e *Env) Deschedule(reason string) {
+	e.t.blockReason = reason
+	e.yieldPoint(opBlock, 0)
+	e.t.blockReason = ""
+}
+
+// MakeReady moves t to the ready pool if it is descheduled, or records a
+// pending wakeup if it has not descheduled yet. Calling it on a ready,
+// running or finished thread with no deschedule in flight leaves a pending
+// wakeup that its next Deschedule will consume.
+func (e *Env) MakeReady(t *T) {
+	if t.state == stateBlocked {
+		t.state = stateReady
+		t.wakePending = false
+		e.k.ready.Push(t.item)
+		return
+	}
+	if t.state != stateDone {
+		t.wakePending = true
+	}
+}
+
+// SetPreemptible controls whether the time-slicer may preempt the calling
+// thread at quantum expiry. The Nub runs its spin-lock critical sections
+// non-preemptible, as kernel code effectively did on the Firefly; a
+// preempted spin-lock holder would livelock every spinner.
+func (e *Env) SetPreemptible(on bool) {
+	e.t.preemptible = on
+}
+
+// SetPriority changes the calling thread's scheduling priority.
+func (e *Env) SetPriority(pri int) {
+	e.t.item.Priority = queue.Priority(pri)
+	// If the thread is on the ready pool the heap is fixed up; if it is
+	// running the new priority takes effect at its next preemption.
+	e.k.ready.Fix(e.t.item)
+}
+
+// Self returns the calling thread.
+func (e *Env) Self() *T { return e.t }
+
+// Now returns the calling processor's clock in cost units.
+func (e *Env) Now() uint64 { return e.k.procs[e.t.proc].clock }
+
+// Instret returns the instructions executed by the calling thread so far;
+// differences around an operation measure its instruction cost (E1).
+func (e *Env) Instret() uint64 { return e.t.instret }
+
+// Emit records an Event carrying payload at the current time. Emission is
+// free (no instruction cost): it is observation, not computation, like a
+// logic analyzer on the simulated bus.
+func (e *Env) Emit(payload any) {
+	if e.k.cfg.Trace == nil {
+		return
+	}
+	e.k.seq++
+	e.k.cfg.Trace(Event{
+		Seq:     e.k.seq,
+		Clock:   e.k.procs[e.t.proc].clock,
+		Proc:    e.t.proc,
+		Thread:  e.t,
+		Payload: payload,
+	})
+}
+
+// Event is one traced occurrence in a run.
+type Event struct {
+	Seq     uint64 // global order of emission
+	Clock   uint64 // emitting processor's clock
+	Proc    int    // processor index
+	Thread  *T     // emitting thread
+	Payload any
+}

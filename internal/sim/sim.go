@@ -1,0 +1,444 @@
+// Package sim is a deterministic multiprocessor simulator standing in for
+// the Firefly workstation the paper's implementation ran on.
+//
+// The Firefly is a symmetric multiprocessor: several processors addressing
+// one shared memory, with an atomic test-and-set instruction, on which the
+// Taos Nub runs a ready pool, a priority-based scheduling algorithm and a
+// time-slicing algorithm (SRC Report 20, §Implementation). The simulator
+// provides exactly those facilities:
+//
+//   - P simulated processors executing simulated threads;
+//   - shared memory Words with Load, Store and test-and-set, each costing a
+//     configurable number of instructions (the MicroVAX II profile makes an
+//     uncontended Acquire-Release pair cost 5 instructions / 10 µs, the
+//     paper's figure);
+//   - a ready pool ordered by priority with FIFO tie-break, time slicing
+//     with a configurable quantum, and voluntary descheduling — the
+//     substrate internal/simthreads builds the synchronization Nub on;
+//   - a scheduling policy that is either time-faithful (least-clock-first,
+//     for performance experiments) or adversarially random (for race
+//     exploration), both driven by a seed so every run is reproducible.
+//
+// Execution is interleaving-based: threads run as coroutines that yield to
+// the kernel at every shared-memory access, so exactly one thread executes
+// between yield points and a run is a deterministic function of (program,
+// config, seed). Local computation between accesses is free unless the
+// thread declares it with Work(n); this matches the usual operational model
+// for shared-memory algorithms, where only the shared accesses order.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"threads/internal/queue"
+)
+
+// Policy selects how the kernel chooses the next processor to advance.
+type Policy int
+
+const (
+	// PolicyLeastClock advances the processor with the smallest local
+	// clock (random tie-break). This approximates true parallel execution:
+	// the makespan of a run is the maximum processor clock.
+	PolicyLeastClock Policy = iota
+	// PolicyRandom advances a uniformly random runnable processor. Clocks
+	// still advance, but the interleaving is adversarial; use it to hunt
+	// races across seeds.
+	PolicyRandom
+)
+
+// Config parameterizes a Kernel.
+type Config struct {
+	// Procs is the number of processors (default 1; the Firefly of the
+	// paper had several MicroVAX II processors — the benchmarks use 5).
+	Procs int
+	// Quantum is the time-slice length in cost units; 0 disables
+	// time slicing.
+	Quantum uint64
+	// Seed drives all scheduling randomness; runs with equal
+	// (program, Config) are identical.
+	Seed int64
+	// Policy selects the scheduling policy (default PolicyLeastClock).
+	Policy Policy
+	// Cost is the instruction-cost profile (default MicroVAXII if zero).
+	Cost CostProfile
+	// MaxSteps aborts the run after this many instructions (0 = no
+	// limit). A livelocked program (for example a spin lock whose holder
+	// was preempted forever) hits this instead of hanging the test.
+	MaxSteps uint64
+	// Trace, if non-nil, receives every Event the run produces.
+	Trace func(Event)
+}
+
+// CostProfile gives the instruction cost of each simulated operation.
+type CostProfile struct {
+	Load  uint64 // read a shared word
+	Store uint64 // write a shared word
+	TAS   uint64 // test-and-set a shared word
+	Unit  uint64 // one unit of Work(n)
+	// MicrosPerInstr converts instruction counts to microseconds in
+	// reports (MicroVAX II: an Acquire-Release pair is 5 instructions and
+	// 10 µs, so 2 µs per instruction).
+	MicrosPerInstr float64
+}
+
+// MicroVAXII is the cost profile calibrated to the paper's numbers.
+func MicroVAXII() CostProfile {
+	return CostProfile{Load: 1, Store: 1, TAS: 1, Unit: 1, MicrosPerInstr: 2}
+}
+
+func (c CostProfile) orDefault() CostProfile {
+	if c.Load == 0 && c.Store == 0 && c.TAS == 0 && c.Unit == 0 {
+		return MicroVAXII()
+	}
+	return c
+}
+
+// Errors returned by Run.
+var (
+	// ErrStepLimit reports that MaxSteps was exhausted.
+	ErrStepLimit = errors.New("sim: step limit exceeded")
+)
+
+// DeadlockError reports that no thread could run: every live thread was
+// descheduled and nothing remained to wake one.
+type DeadlockError struct {
+	// Blocked lists the descheduled threads and their block reasons.
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return "sim: deadlock: all live threads blocked: " + strings.Join(e.Blocked, "; ")
+}
+
+// threadState is the lifecycle of a simulated thread.
+type threadState int
+
+const (
+	stateReady threadState = iota
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// T is a simulated thread.
+type T struct {
+	id   int
+	name string
+	k    *Kernel
+
+	state       threadState
+	proc        int // processor index while running
+	item        *queue.PItem[*T]
+	grant       chan struct{}
+	env         Env
+	fn          func(*Env)
+	instret     uint64 // instructions executed by this thread
+	pendingOp   opKind
+	pendingCost uint64
+	blockReason string
+	wakePending bool // MakeReady arrived before the Deschedule
+	preemptible bool
+}
+
+// ID returns the thread's kernel-unique id.
+func (t *T) ID() int { return t.id }
+
+// Name returns the thread's name.
+func (t *T) Name() string { return t.name }
+
+// String implements fmt.Stringer.
+func (t *T) String() string { return t.name }
+
+// Instret returns the number of instructions the thread has executed.
+func (t *T) Instret() uint64 { return t.instret }
+
+type opKind int
+
+const (
+	opNone opKind = iota
+	opInstr
+	opBlock
+	opExit
+)
+
+type proc struct {
+	id          int
+	cur         *T
+	clock       uint64
+	busy        uint64 // cycles actually executing (clock minus idle catch-ups)
+	quantumLeft uint64
+}
+
+// simAbort unwinds a thread goroutine when the kernel stops early.
+type simAbort struct{}
+
+// Kernel owns the simulated machine: processors, threads, ready pool,
+// clocks and the scheduling loop.
+type Kernel struct {
+	cfg     Config
+	cost    CostProfile
+	rng     *rand.Rand
+	procs   []*proc
+	threads []*T
+	ready   *queue.PriorityQueue[*T]
+	yield   chan *T
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	steps   uint64
+	lastEvt uint64 // clock of the most recent instruction, for idle procs
+	seq     uint64
+	stopped bool
+}
+
+// NewKernel builds a machine from cfg.
+func NewKernel(cfg Config) *Kernel {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 1
+	}
+	k := &Kernel{
+		cfg:   cfg,
+		cost:  cfg.Cost.orDefault(),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		ready: queue.NewPriorityQueue[*T](),
+		yield: make(chan *T),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		k.procs = append(k.procs, &proc{id: i})
+	}
+	return k
+}
+
+// Spawn creates a thread at priority 0 that will run fn. It may be called
+// before Run or from inside running thread code (the Nub's thread
+// creation); the thread enters the ready pool immediately.
+func (k *Kernel) Spawn(name string, fn func(*Env)) *T {
+	return k.SpawnPri(name, 0, fn)
+}
+
+// SpawnPri is Spawn with an explicit priority (larger = more urgent).
+func (k *Kernel) SpawnPri(name string, pri int, fn func(*Env)) *T {
+	t := &T{
+		id:          len(k.threads),
+		name:        name,
+		k:           k,
+		grant:       make(chan struct{}),
+		fn:          fn,
+		preemptible: true,
+	}
+	if t.name == "" {
+		t.name = fmt.Sprintf("t%d", t.id)
+	}
+	t.env = Env{t: t, k: k}
+	t.item = queue.NewPItem(t, queue.Priority(pri))
+	k.threads = append(k.threads, t)
+	k.ready.Push(t.item)
+	k.wg.Add(1)
+	go t.main()
+	return t
+}
+
+func (t *T) main() {
+	defer t.k.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(simAbort); ok {
+				return // kernel stopped the run; unwind quietly
+			}
+			panic(r)
+		}
+	}()
+	// Wait for the first grant, which starts execution.
+	select {
+	case <-t.grant:
+	case <-t.k.stop:
+		panic(simAbort{})
+	}
+	t.fn(&t.env)
+	t.pendingOp = opExit
+	select {
+	case t.k.yield <- t:
+	case <-t.k.stop:
+		panic(simAbort{})
+	}
+}
+
+// Run executes the machine until every thread is done. It returns nil on
+// normal completion, a *DeadlockError if live threads remain but none can
+// run, or ErrStepLimit. Run may be called once per Kernel.
+func (k *Kernel) Run() error {
+	defer func() {
+		if !k.stopped {
+			k.stopped = true
+			close(k.stop)
+		}
+		k.wg.Wait()
+	}()
+	for {
+		// Assign ready threads to idle processors. An idle processor's
+		// clock catches up to the event that made work available.
+		for _, p := range k.procs {
+			if p.cur != nil {
+				continue
+			}
+			it := k.ready.Pop()
+			if it == nil {
+				break
+			}
+			t := it.Value
+			t.state = stateRunning
+			t.proc = p.id
+			if p.clock < k.lastEvt {
+				p.clock = k.lastEvt
+			}
+			p.quantumLeft = k.cfg.Quantum
+			p.cur = t
+		}
+		// Collect runnable processors.
+		var cand []*proc
+		for _, p := range k.procs {
+			if p.cur != nil {
+				cand = append(cand, p)
+			}
+		}
+		if len(cand) == 0 {
+			live := k.blockedThreads()
+			if len(live) == 0 {
+				return nil // all threads done
+			}
+			return &DeadlockError{Blocked: live}
+		}
+		p := k.pick(cand)
+		t := p.cur
+
+		// Let the thread run from its current yield point to the next.
+		// Only granted threads send on k.yield and none is running now,
+		// so the handshake cannot mix threads up.
+		t.grant <- struct{}{}
+		got := <-k.yield
+		if got != t {
+			panic(fmt.Sprintf("sim: yield from %s while %s was running", got, t))
+		}
+
+		switch t.pendingOp {
+		case opExit:
+			t.state = stateDone
+			p.cur = nil
+		case opBlock:
+			if t.wakePending {
+				// A wakeup raced ahead of the deschedule; consume it
+				// and keep running (the sleep/wakeup discipline of the
+				// Nub).
+				t.wakePending = false
+				continue
+			}
+			t.state = stateBlocked
+			p.cur = nil
+		case opInstr:
+			cost := t.pendingCost
+			p.clock += cost
+			p.busy += cost
+			t.instret += cost
+			k.steps += cost
+			if p.clock > k.lastEvt {
+				k.lastEvt = p.clock
+			}
+			if k.cfg.MaxSteps > 0 && k.steps > k.cfg.MaxSteps {
+				return ErrStepLimit
+			}
+			// Time slicing: at quantum expiry a preemptible thread goes
+			// back to the ready pool if anyone is waiting to run.
+			if k.cfg.Quantum > 0 && t.preemptible {
+				if cost >= p.quantumLeft {
+					p.quantumLeft = 0
+				} else {
+					p.quantumLeft -= cost
+				}
+				if p.quantumLeft == 0 && !k.ready.Empty() {
+					t.state = stateReady
+					k.ready.Push(t.item)
+					p.cur = nil
+				}
+			}
+		default:
+			panic("sim: thread yielded with no pending operation")
+		}
+	}
+}
+
+func (k *Kernel) pick(cand []*proc) *proc {
+	if len(cand) == 1 {
+		return cand[0]
+	}
+	if k.cfg.Policy == PolicyRandom {
+		return cand[k.rng.Intn(len(cand))]
+	}
+	// Least clock first, random tie-break.
+	min := cand[0].clock
+	for _, p := range cand[1:] {
+		if p.clock < min {
+			min = p.clock
+		}
+	}
+	var tied []*proc
+	for _, p := range cand {
+		if p.clock == min {
+			tied = append(tied, p)
+		}
+	}
+	return tied[k.rng.Intn(len(tied))]
+}
+
+func (k *Kernel) blockedThreads() []string {
+	var out []string
+	for _, t := range k.threads {
+		if t.state == stateBlocked {
+			out = append(out, fmt.Sprintf("%s (%s)", t.name, t.blockReason))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Steps returns the number of instruction units executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Makespan returns the maximum processor clock — the parallel running time
+// of the run in cost units.
+func (k *Kernel) Makespan() uint64 {
+	var m uint64
+	for _, p := range k.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// MakespanMicros converts Makespan to microseconds via the cost profile.
+func (k *Kernel) MakespanMicros() float64 {
+	return float64(k.Makespan()) * k.cost.MicrosPerInstr
+}
+
+// Threads returns all threads ever spawned on this kernel.
+func (k *Kernel) Threads() []*T { return k.threads }
+
+// Utilization returns, per processor, the fraction of the makespan it spent
+// executing instructions (as opposed to idling with no assigned thread).
+func (k *Kernel) Utilization() []float64 {
+	span := k.Makespan()
+	out := make([]float64, len(k.procs))
+	if span == 0 {
+		return out
+	}
+	for i, p := range k.procs {
+		out[i] = float64(p.busy) / float64(span)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package simthreads
+
+import "threads/internal/sim"
+
+// gate is the shared (lock bit, queue) mechanism behind the simulated Mutex
+// and Semaphore, as in the paper: "The implementation of semaphores is the
+// same as mutexes: P is the same as Acquire and V is the same as Release."
+type gate struct {
+	w *World
+	// lockBit is 1 iff held/unavailable; it is the word the user-code
+	// test-and-set operates on.
+	lockBit sim.Word
+	// qne is the queue-non-empty hint the user code of Release tests; it
+	// is maintained under the Nub spin lock.
+	qne sim.Word
+	q   tqueue
+}
+
+// tryAcquire is the user-code fast path: one test-and-set and one branch —
+// 2 instructions. onAcquired runs at the linearization point (immediately
+// after the winning test-and-set, in the same execution slice).
+func (g *gate) tryAcquire(e *sim.Env, onAcquired func()) bool {
+	won := e.TAS(&g.lockBit) == 0
+	if won && onAcquired != nil {
+		onAcquired()
+	}
+	e.Work(branchCost)
+	return won
+}
+
+// acquireSlow is the Nub subroutine for Acquire/P (SRC Report 20,
+// §Implementation): under the spin lock, add the caller to the queue and
+// test the lock bit again. If still set, deschedule; if clear, back out and
+// retry the whole operation from the test-and-set.
+func (g *gate) acquireSlow(e *sim.Env, reason string, onAcquired func()) {
+	w := g.w
+	self := e.Self()
+	st := w.state(self)
+	e.Work(callCost)
+	for {
+		w.nubLock(e)
+		g.q.push(e, self)
+		e.Store(&g.qne, 1)
+		if e.Load(&g.lockBit) == 0 {
+			// A Release slipped in before we enqueued: back out and
+			// retry from the test-and-set. We still hold the spin lock,
+			// so the releaser cannot have dequeued us.
+			g.q.remove(e, self)
+			if g.q.empty() {
+				e.Store(&g.qne, 0)
+			}
+			w.nubUnlock(e)
+		} else {
+			w.nubUnlock(e)
+			w.Stats.AcquirePark++
+			e.Deschedule(reason)
+			// The releaser dequeued us before the wakeup; consume the
+			// claim and retry.
+			st.wakeup = wakeNone
+		}
+		if g.tryAcquire(e, onAcquired) {
+			return
+		}
+	}
+}
+
+// alertableAcquireSlow is acquireSlow for AlertP: the wait can also be
+// ended by Alert, in which case the caller reports the alert and the gate
+// is left untouched. onAcquired/onAlerted run at the respective
+// linearization points.
+func (g *gate) alertableAcquireSlow(e *sim.Env, reason string, onAcquired, onAlerted func()) (alerted bool) {
+	w := g.w
+	self := e.Self()
+	st := w.state(self)
+	e.Work(callCost)
+	for {
+		w.nubLock(e)
+		if st.alerted {
+			// WHEN SELF IN alerts already holds: take the RAISES path.
+			st.alerted = false
+			onAlerted()
+			w.nubUnlock(e)
+			return true
+		}
+		g.q.push(e, self)
+		e.Store(&g.qne, 1)
+		st.alertTgt = &alertTarget{q: &g.q}
+		if e.Load(&g.lockBit) == 0 {
+			g.q.remove(e, self)
+			if g.q.empty() {
+				e.Store(&g.qne, 0)
+			}
+			st.alertTgt = nil
+			w.nubUnlock(e)
+			if g.tryAcquire(e, onAcquired) {
+				return false
+			}
+			continue
+		}
+		w.nubUnlock(e)
+		e.Deschedule(reason)
+		// Woken: find out by whom, under the spin lock.
+		w.nubLock(e)
+		woke := st.wakeup
+		st.wakeup = wakeNone
+		st.alertTgt = nil
+		if woke == wakeAlert {
+			// Leave the queue before reporting the alert, so a later V
+			// is not absorbed by this departed thread.
+			g.q.remove(e, self)
+			if g.q.empty() {
+				e.Store(&g.qne, 0)
+			}
+			st.alerted = false
+			onAlerted()
+			w.nubUnlock(e)
+			return true
+		}
+		w.nubUnlock(e)
+		if g.tryAcquire(e, onAcquired) {
+			return false
+		}
+	}
+}
+
+// release is the user code for Release/V: clear the lock bit (1
+// instruction), test whether the queue is non-empty (1), branch (1) — and
+// only then call the Nub. onReleased runs at the clearing store.
+func (g *gate) release(e *sim.Env, onReleased func()) (tookNub bool) {
+	e.Store(&g.lockBit, 0)
+	if onReleased != nil {
+		onReleased()
+	}
+	nonEmpty := e.Load(&g.qne) != 0
+	e.Work(branchCost)
+	if !nonEmpty {
+		return false
+	}
+	g.releaseSlow(e)
+	return true
+}
+
+// releaseSlow is the Nub subroutine for Release/V: take one thread from the
+// queue, claim it, and move it to the ready pool.
+func (g *gate) releaseSlow(e *sim.Env) {
+	w := g.w
+	e.Work(callCost)
+	w.nubLock(e)
+	for {
+		t := g.q.pop(e)
+		if t == nil {
+			e.Store(&g.qne, 0)
+			break
+		}
+		if g.q.empty() {
+			e.Store(&g.qne, 0)
+		}
+		st := w.state(t)
+		if st.wakeup == wakeNone {
+			st.wakeup = wakeTransfer
+			e.MakeReady(t)
+			break
+		}
+		// Already claimed by Alert: it no longer needs this wakeup; give
+		// it to the next thread.
+	}
+	w.nubUnlock(e)
+}

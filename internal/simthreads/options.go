@@ -1,0 +1,86 @@
+package simthreads
+
+import "threads/internal/sim"
+
+// WorldOptions disable individual optimizations of the paper's
+// implementation, for the ablation experiments: each option removes one
+// design decision §Implementation motivates, so its cost can be measured in
+// isolation.
+type WorldOptions struct {
+	// NoUserFastPath removes the user-space layer entirely: every
+	// Acquire/Release/P/V enters the Nub and runs under the global spin
+	// lock, as a naive single-layer implementation would. The paper's
+	// point: "The user code avoids the overhead of calling the Nub in
+	// these cases" — this option restores that overhead.
+	NoUserFastPath bool
+	// NoSignalFastPath makes Signal and Broadcast always call the Nub,
+	// even when no thread is committed to waiting (removing "Signal and
+	// Broadcast avoid calling the Nub if there are no threads to
+	// unblock").
+	NoSignalFastPath bool
+}
+
+// NewWorldOpts is NewWorld with ablation options.
+func NewWorldOpts(cfg sim.Config, opts WorldOptions) (*World, *Kernel) {
+	w, k := NewWorld(cfg)
+	w.opts = opts
+	return w, k
+}
+
+// acquireNubOnly is the ablated Acquire: the whole operation runs under the
+// Nub spin lock — test the bit, take it or queue and deschedule.
+func (g *gate) acquireNubOnly(e *sim.Env, reason string, onAcquired func()) {
+	w := g.w
+	self := e.Self()
+	st := w.state(self)
+	for {
+		e.Work(callCost)
+		w.nubLock(e)
+		if e.Load(&g.lockBit) == 0 {
+			e.Store(&g.lockBit, 1)
+			if onAcquired != nil {
+				onAcquired()
+			}
+			w.nubUnlock(e)
+			w.Stats.AcquireNub++
+			return
+		}
+		g.q.push(e, self)
+		e.Store(&g.qne, 1)
+		w.nubUnlock(e)
+		w.Stats.AcquireNub++
+		w.Stats.AcquirePark++
+		e.Deschedule(reason)
+		st.wakeup = wakeNone
+	}
+}
+
+// releaseNubOnly is the ablated Release: clear the bit and wake a waiter,
+// all under the spin lock.
+func (g *gate) releaseNubOnly(e *sim.Env, onReleased func()) {
+	w := g.w
+	e.Work(callCost)
+	w.nubLock(e)
+	e.Store(&g.lockBit, 0)
+	if onReleased != nil {
+		onReleased()
+	}
+	for {
+		t := g.q.pop(e)
+		if t == nil {
+			e.Store(&g.qne, 0)
+			break
+		}
+		if g.q.empty() {
+			e.Store(&g.qne, 0)
+		}
+		st := w.state(t)
+		if st.wakeup == wakeNone {
+			st.wakeup = wakeTransfer
+			e.MakeReady(t)
+			break
+		}
+	}
+	w.nubUnlock(e)
+	w.Stats.ReleaseNub++
+}

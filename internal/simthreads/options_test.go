@@ -1,0 +1,121 @@
+package simthreads
+
+import (
+	"testing"
+
+	"threads/internal/sim"
+)
+
+// TestAblationNoUserFastPathCost: without the user-space layer, the
+// uncontended pair costs several times the paper's 5 instructions.
+func TestAblationNoUserFastPathCost(t *testing.T) {
+	w, k := NewWorldOpts(sim.Config{Procs: 1}, WorldOptions{NoUserFastPath: true})
+	m := w.NewMutex()
+	var pair uint64
+	k.Spawn("solo", func(e *sim.Env) {
+		before := e.Instret()
+		m.Acquire(e)
+		m.Release(e)
+		pair = e.Instret() - before
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pair <= 5 {
+		t.Fatalf("nub-only pair = %d instructions; ablation should cost more than the fast path's 5", pair)
+	}
+	if w.Stats.AcquireFast != 0 {
+		t.Fatal("ablated world still took the user fast path")
+	}
+	t.Logf("ablation: nub-only Acquire-Release pair = %d instructions (fast path: 5)", pair)
+}
+
+// TestAblationNoUserFastPathStillCorrect: the ablated implementation is
+// slower but must remain mutually exclusive and lose no wakeups.
+func TestAblationNoUserFastPathStillCorrect(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		w, k := NewWorldOpts(sim.Config{
+			Procs: 4, Seed: seed, Policy: sim.PolicyRandom, MaxSteps: 2_000_000,
+		}, WorldOptions{NoUserFastPath: true})
+		m := w.NewMutex()
+		var counter, inside, overlap sim.Word
+		for i := 0; i < 4; i++ {
+			k.Spawn("", func(e *sim.Env) {
+				for n := 0; n < 25; n++ {
+					m.Acquire(e)
+					if v := e.Add(&inside, 1); v != 1 {
+						e.Add(&overlap, 1)
+					}
+					e.Add(&counter, 1)
+					e.Add(&inside, ^uint64(0))
+					m.Release(e)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if overlap.Peek() != 0 || counter.Peek() != 100 {
+			t.Fatalf("seed %d: overlap=%d counter=%d", seed, overlap.Peek(), counter.Peek())
+		}
+	}
+}
+
+// TestAblationNoSignalFastPath: signalling an empty condition costs nothing
+// with the optimization, a spin-lock round trip without.
+func TestAblationNoSignalFastPath(t *testing.T) {
+	measure := func(opts WorldOptions) (uint64, Stats) {
+		w, k := NewWorldOpts(sim.Config{Procs: 1}, opts)
+		c := w.NewCondition()
+		var cost uint64
+		k.Spawn("solo", func(e *sim.Env) {
+			before := e.Instret()
+			for i := 0; i < 100; i++ {
+				c.Signal(e)
+			}
+			cost = e.Instret() - before
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cost, w.Stats
+	}
+	fast, fastStats := measure(WorldOptions{})
+	slow, slowStats := measure(WorldOptions{NoSignalFastPath: true})
+	if fastStats.SignalFast != 100 || fastStats.SignalNub != 0 {
+		t.Fatalf("optimized world stats: %+v", fastStats)
+	}
+	if slowStats.SignalNub != 100 {
+		t.Fatalf("ablated world stats: %+v", slowStats)
+	}
+	if slow <= fast {
+		t.Fatalf("ablation did not cost: fast=%d slow=%d instructions", fast, slow)
+	}
+	t.Logf("ablation: 100 empty Signals cost %d instructions optimized, %d nub-only", fast, slow)
+}
+
+// TestAblationSemaphoreNubOnly: P/V correctness under the ablation.
+func TestAblationSemaphoreNubOnly(t *testing.T) {
+	w, k := NewWorldOpts(sim.Config{Procs: 2, MaxSteps: 500_000}, WorldOptions{NoUserFastPath: true})
+	s := w.NewSemaphore()
+	var handled uint64
+	k.Spawn("handler", func(e *sim.Env) {
+		s.P(e)
+		for i := 0; i < 5; i++ {
+			s.P(e)
+			handled++
+		}
+	})
+	k.Spawn("device", func(e *sim.Env) {
+		for i := 0; i < 5; i++ {
+			e.Work(50)
+			s.V(e)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 5 {
+		t.Fatalf("handled %d, want 5", handled)
+	}
+}

@@ -1,0 +1,181 @@
+// Package simthreads is the paper's Firefly implementation of the Threads
+// synchronization primitives, reproduced instruction-for-instruction on the
+// internal/sim multiprocessor.
+//
+// Layering follows §Implementation of SRC Report 20 exactly:
+//
+//   - User code runs in the calling thread and handles the cases where no
+//     one blocks or wakes: Acquire is test-and-set + branch (2
+//     instructions), Release is clear + queue test + branch (3
+//     instructions) — 5 instructions for the uncontended pair, 10 µs at the
+//     MicroVAX II's 2 µs/instruction (experiment E1).
+//
+//   - Nub code runs under a single global spin lock (one shared bit,
+//     acquired by busy-waiting test-and-set). Nub subroutines maintain the
+//     queues of threads blocked by Acquire, Wait and P, deschedule threads,
+//     and move woken threads to the simulator's ready pool. Nub critical
+//     sections run non-preemptible, as kernel code did on the Firefly.
+//
+// A mutex is (lock bit, queue); a semaphore is identical. A condition
+// variable is (eventcount, queue): Wait reads the eventcount, releases the
+// mutex, and calls Block(c, i), which under the spin lock compares i with
+// the count and either returns (a Signal or Broadcast intervened — this is
+// how one Signal can unblock several racing threads, experiment E3) or
+// deschedules the caller. The eventcount, not a semaphore bit, is what lets
+// Broadcast release arbitrarily many threads caught in the wakeup-waiting
+// window (experiments E4, E5).
+//
+// When a World is traced, every primitive emits a spec-level action at its
+// linearization point (always inside the spin lock, or at the fast-path
+// atomic instruction), so internal/trace can replay the run against the
+// formal specification (experiment E9).
+package simthreads
+
+import (
+	"threads/internal/sim"
+	"threads/internal/spec"
+)
+
+// instruction costs of the non-memory parts of the user code, calibrated so
+// the uncontended Acquire-Release pair is the paper's 5 instructions.
+const (
+	branchCost  = 1 // conditional branch after a test
+	callCost    = 2 // calling into a Nub subroutine
+	queueOpCost = 2 // linking/unlinking a queue element
+)
+
+// World ties a set of primitives to one simulated machine and carries the
+// per-thread synchronization state (alert flags, wake reasons).
+type World struct {
+	k *Kernel
+	// nub is the global spin-lock bit protecting all Nub data structures.
+	nub sim.Word
+	// states maps each simulated thread to its synchronization state.
+	states map[*sim.T]*tstate
+	// traced enables spec-action emission.
+	traced bool
+	// ids hands out spec-level object identities for tracing.
+	nextMutex spec.MutexID
+	nextCond  spec.CondID
+	nextSem   spec.SemID
+	// stats mirror the contention counters of internal/core.
+	Stats Stats
+	// opts disables optimizations for the ablation experiments.
+	opts WorldOptions
+}
+
+// Kernel is re-exported so callers need only import simthreads for common
+// use.
+type Kernel = sim.Kernel
+
+// Stats counts fast-path and Nub-path executions in the simulated world.
+type Stats struct {
+	AcquireFast, AcquireNub, AcquirePark uint64
+	ReleaseFast, ReleaseNub              uint64
+	WaitElided, WaitPark                 uint64
+	SignalFast, SignalNub, SignalWoke    uint64
+	BcastFast, BcastNub, BcastWoke       uint64
+}
+
+// tstate is one thread's synchronization state, protected by the Nub spin
+// lock (except alerted's pending-read in user code, which is racy in the
+// same benign way the real flag read is).
+type tstate struct {
+	id       spec.ThreadID
+	alerted  bool
+	wakeup   wakeReason
+	alertTgt *alertTarget // non-nil while blocked alertably
+}
+
+type wakeReason int
+
+const (
+	wakeNone     wakeReason = iota
+	wakeTransfer            // woken by Release/V/Signal/Broadcast
+	wakeAlert               // woken by Alert
+)
+
+// alertTarget records where an alertably-blocked thread can be found so
+// Alert can remove it; q is the queue it sleeps on.
+type alertTarget struct {
+	q *tqueue
+}
+
+// tqueue is a FIFO of simulated threads, manipulated only under the Nub
+// spin lock; each operation charges queueOpCost instructions.
+type tqueue struct {
+	items []*sim.T
+}
+
+func (q *tqueue) push(e *sim.Env, t *sim.T) {
+	e.Work(queueOpCost)
+	q.items = append(q.items, t)
+}
+
+func (q *tqueue) pop(e *sim.Env) *sim.T {
+	e.Work(queueOpCost)
+	if len(q.items) == 0 {
+		return nil
+	}
+	t := q.items[0]
+	q.items = q.items[1:]
+	return t
+}
+
+func (q *tqueue) remove(e *sim.Env, t *sim.T) bool {
+	e.Work(queueOpCost)
+	for i, x := range q.items {
+		if x == t {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *tqueue) empty() bool { return len(q.items) == 0 }
+
+// NewWorld creates a World over a fresh kernel built from cfg.
+func NewWorld(cfg sim.Config) (*World, *Kernel) {
+	k := sim.NewKernel(cfg)
+	w := &World{
+		k:      k,
+		states: make(map[*sim.T]*tstate),
+		traced: cfg.Trace != nil,
+	}
+	return w, k
+}
+
+// state returns (creating on demand) the synchronization state of t.
+// Creation is safe anywhere: the simulator serializes all execution.
+func (w *World) state(t *sim.T) *tstate {
+	st, ok := w.states[t]
+	if !ok {
+		st = &tstate{id: spec.ThreadID(t.ID() + 1)} // spec IDs are 1-based; 0 is NIL
+		w.states[t] = st
+	}
+	return st
+}
+
+// SpecID returns the spec-level thread id used in emitted actions.
+func (w *World) SpecID(t *sim.T) spec.ThreadID { return w.state(t).id }
+
+// nubLock busy-waits on the global spin-lock bit and disables preemption
+// for the critical section, mirroring kernel-mode execution.
+func (w *World) nubLock(e *sim.Env) {
+	for e.TAS(&w.nub) != 0 {
+		// spin: each iteration is one TAS instruction
+	}
+	e.SetPreemptible(false)
+}
+
+func (w *World) nubUnlock(e *sim.Env) {
+	e.SetPreemptible(true)
+	e.Store(&w.nub, 0)
+}
+
+func (w *World) emit(e *sim.Env, a spec.Action) {
+	if w.traced {
+		e.Emit(a)
+	}
+}

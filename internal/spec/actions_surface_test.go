@@ -1,0 +1,137 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestActionSurface exercises every Action's full method set uniformly:
+// Kind and String are non-empty and consistent, Self returns the executing
+// thread, Requires/When behave on both an empty and a populated state, and
+// Outcomes agrees with When (enabled ⇒ ≥1 outcome; disabled ⇒ none).
+func TestActionSurface(t *testing.T) {
+	// A populated state: m1 held by t1, c1 = {t1}, s1 unavailable,
+	// alerts = {t1}.
+	populated := NewState()
+	populated.SetMutex(1, 1)
+	populated.Cond(1).Insert(1)
+	populated.SetSemAvailable(1, false)
+	populated.Alerts.Insert(1)
+
+	cases := []struct {
+		action        Action
+		kind          string
+		self          ThreadID
+		whenEmpty     bool // When on the initial state
+		whenPopulated bool // When on the populated state
+		reqEmptyOK    bool // Requires passes on the initial state
+		reqPopOK      bool // Requires passes on the populated state
+	}{
+		{Acquire{T: 1, M: 1}, "Acquire", 1, true, false, true, true},
+		{Release{T: 1, M: 1}, "Release", 1, true, true, false, true},
+		{Release{T: 2, M: 1}, "Release", 2, true, true, false, false},
+		{Enqueue{T: 1, M: 1, C: 1}, "Enqueue", 1, true, true, false, true},
+		{Resume{T: 1, M: 1, C: 1}, "Resume", 1, true, false, true, true},
+		{Resume{T: 2, M: 2, C: 1}, "Resume", 2, true, true, true, true},
+		{Signal{T: 2, C: 1}, "Signal", 2, true, true, true, true},
+		{Broadcast{T: 2, C: 1}, "Broadcast", 2, true, true, true, true},
+		{P{T: 1, S: 1}, "P", 1, true, false, true, true},
+		{V{T: 1, S: 1}, "V", 1, true, true, true, true},
+		{Alert{T: 1, Target: 2}, "Alert", 1, true, true, true, true},
+		{TestAlert{T: 1, Result: false}, "TestAlert", 1, true, true, true, true},
+		{AlertPReturn{T: 1, S: 1}, "AlertP.Return", 1, true, false, true, true},
+		{AlertPRaise{T: 1, S: 1}, "AlertP.Raise", 1, false, true, true, true},
+		{AlertResumeReturn{T: 1, M: 1, C: 1}, "AlertResume.Return", 1, true, false, true, true},
+		{AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantFinal}, "AlertResume.Raise", 1, false, false, true, true},
+		{AlertResumeRaise{T: 1, M: 2, C: 1, Variant: VariantFinal}, "AlertResume.Raise", 1, false, true, true, true},
+		{AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantNoMNil}, "AlertResume.Raise", 1, false, true, true, true},
+		{AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantUnchangedC}, "AlertResume.Raise", 1, false, false, true, true},
+	}
+	for _, tc := range cases {
+		a := tc.action
+		name := a.String()
+		if name == "" || !strings.Contains(name, "(") {
+			t.Errorf("%T: String() = %q", a, name)
+		}
+		if a.Kind() != tc.kind {
+			t.Errorf("%s: Kind() = %q, want %q", name, a.Kind(), tc.kind)
+		}
+		if a.Self() != tc.self {
+			t.Errorf("%s: Self() = %d, want %d", name, a.Self(), tc.self)
+		}
+		empty := NewState()
+		if got := a.When(empty); got != tc.whenEmpty {
+			t.Errorf("%s: When(empty) = %v, want %v", name, got, tc.whenEmpty)
+		}
+		if got := a.When(populated); got != tc.whenPopulated {
+			t.Errorf("%s: When(populated) = %v, want %v", name, got, tc.whenPopulated)
+		}
+		if got := a.Requires(empty) == nil; got != tc.reqEmptyOK {
+			t.Errorf("%s: Requires(empty) ok = %v, want %v", name, got, tc.reqEmptyOK)
+		}
+		if got := a.Requires(populated) == nil; got != tc.reqPopOK {
+			t.Errorf("%s: Requires(populated) ok = %v, want %v", name, got, tc.reqPopOK)
+		}
+		// Outcomes ⇔ When, on both states.
+		for _, s := range []*State{empty, populated} {
+			outs := a.Outcomes(s)
+			if a.When(s) && len(outs) == 0 {
+				t.Errorf("%s: enabled but no outcomes", name)
+			}
+			if !a.When(s) && len(outs) != 0 {
+				t.Errorf("%s: disabled but %d outcomes", name, len(outs))
+			}
+			// Outcomes must not alias the input state.
+			for _, post := range outs {
+				if post == s {
+					t.Errorf("%s: outcome aliases the pre-state", name)
+				}
+			}
+		}
+	}
+}
+
+// TestVariantStrings covers the Variant stringer including the unknown
+// branch.
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{
+		VariantFinal:      "final",
+		VariantNoMNil:     "no-m-nil",
+		VariantUnchangedC: "unchanged-c",
+		Variant(99):       "variant(99)",
+	} {
+		if v.String() != want {
+			t.Errorf("Variant(%d).String() = %q, want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+// TestStateStringForms covers State and ThreadSet string rendering.
+func TestStateStringForms(t *testing.T) {
+	s := NewState()
+	if s.String() != "(initial)" {
+		t.Fatalf("initial state String = %q", s.String())
+	}
+	s.SetMutex(2, 7)
+	s.Cond(1).Insert(3).Insert(1)
+	s.SetSemAvailable(4, false)
+	s.Alerts.Insert(5)
+	str := s.String()
+	for _, frag := range []string{"m2=7", "c1={1,3}", "s4=U", "a={5}"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("state string %q missing %q", str, frag)
+		}
+	}
+}
+
+// TestTestAlertCheckEnsuresSurface covers both branches.
+func TestTestAlertCheckEnsuresSurface(t *testing.T) {
+	s := NewState()
+	s.Alerts.Insert(1)
+	if err := (TestAlert{T: 1, Result: true}).CheckEnsures(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := (TestAlert{T: 1, Result: false}).CheckEnsures(s); err == nil {
+		t.Fatal("wrong result accepted")
+	}
+}

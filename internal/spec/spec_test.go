@@ -1,0 +1,356 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialState(t *testing.T) {
+	s := NewState()
+	if s.Mutex(1) != NIL {
+		t.Fatal("mutex not INITIALLY NIL")
+	}
+	if !s.Cond(1).Empty() {
+		t.Fatal("condition not INITIALLY {}")
+	}
+	if !s.SemAvailable(1) {
+		t.Fatal("semaphore not INITIALLY available")
+	}
+	if !s.Alerts.Empty() {
+		t.Fatal("alerts not INITIALLY {}")
+	}
+	if s.Key() != "" {
+		t.Fatalf("initial state key = %q, want empty", s.Key())
+	}
+}
+
+func TestAcquireReleaseRoundTrip(t *testing.T) {
+	s := NewState()
+	acq := Acquire{T: 1, M: 1}
+	if !acq.When(s) {
+		t.Fatal("Acquire not enabled on NIL mutex")
+	}
+	acq.Apply(s)
+	if s.Mutex(1) != 1 {
+		t.Fatal("ENSURES m' = SELF violated")
+	}
+	// A second Acquire is disabled until Release.
+	if (Acquire{T: 2, M: 1}).When(s) {
+		t.Fatal("Acquire enabled on held mutex (WHEN m = NIL violated)")
+	}
+	rel := Release{T: 1, M: 1}
+	if err := rel.Requires(s); err != nil {
+		t.Fatalf("Release by holder: %v", err)
+	}
+	rel.Apply(s)
+	if s.Mutex(1) != NIL {
+		t.Fatal("ENSURES m' = NIL violated")
+	}
+}
+
+func TestReleaseRequiresHolder(t *testing.T) {
+	s := NewState()
+	Acquire{T: 1, M: 1}.Apply(s)
+	if err := (Release{T: 2, M: 1}).Requires(s); err == nil {
+		t.Fatal("Release by non-holder did not violate REQUIRES")
+	}
+	if err := (Release{T: 2, M: 2}).Requires(s); err == nil {
+		t.Fatal("Release of NIL mutex did not violate REQUIRES")
+	}
+}
+
+func TestWaitComposition(t *testing.T) {
+	s := NewState()
+	Acquire{T: 1, M: 1}.Apply(s)
+	enq := Enqueue{T: 1, M: 1, C: 1}
+	if err := enq.Requires(s); err != nil {
+		t.Fatal(err)
+	}
+	enq.Apply(s)
+	if s.Mutex(1) != NIL || !s.CondHas(1, 1) {
+		t.Fatal("Enqueue ENSURES (c' = insert(c, SELF)) & (m' = NIL) violated")
+	}
+	res := Resume{T: 1, M: 1, C: 1}
+	if res.When(s) {
+		t.Fatal("Resume enabled while SELF IN c")
+	}
+	Signal{T: 2, C: 1, Removed: []ThreadID{1}}.Apply(s)
+	if !res.When(s) {
+		t.Fatal("Resume not enabled after removal with free mutex")
+	}
+	// But not with the mutex held.
+	Acquire{T: 2, M: 1}.Apply(s)
+	if res.When(s) {
+		t.Fatal("Resume enabled while m != NIL")
+	}
+	Release{T: 2, M: 1}.Apply(s)
+	res.Apply(s)
+	if s.Mutex(1) != 1 {
+		t.Fatal("Resume ENSURES m' = SELF violated")
+	}
+}
+
+func TestSignalOutcomesAreSubsets(t *testing.T) {
+	s := NewState()
+	for _, tid := range []ThreadID{1, 2, 3} {
+		s.Cond(1).Insert(tid)
+	}
+	pre := s.Cond(1).Clone()
+	outs := (Signal{T: 9, C: 1}).Outcomes(s)
+	// 1 no-removal + 3 single + 1 empty = 5 outcomes.
+	if len(outs) != 5 {
+		t.Fatalf("Signal enumerated %d outcomes, want 5", len(outs))
+	}
+	sawEmpty, sawUnchanged := false, false
+	for _, post := range outs {
+		c := post.Cond(1)
+		if !c.SubsetOf(pre) {
+			t.Fatalf("outcome %s not a subset of %s", c, pre)
+		}
+		if c.Empty() {
+			sawEmpty = true
+		}
+		if c.Equal(pre) {
+			sawUnchanged = true
+		}
+	}
+	if !sawEmpty || !sawUnchanged {
+		t.Fatal("Signal outcomes must include c' = {} and c' = c")
+	}
+}
+
+func TestSignalCheckEnsures(t *testing.T) {
+	s := NewState()
+	s.Cond(1).Insert(1)
+	if err := (Signal{T: 9, C: 1, Removed: []ThreadID{1}}).CheckEnsures(s); err != nil {
+		t.Fatalf("valid removal rejected: %v", err)
+	}
+	if err := (Signal{T: 9, C: 1, Removed: []ThreadID{2}}).CheckEnsures(s); err == nil {
+		t.Fatal("removal of non-member accepted")
+	}
+}
+
+func TestBroadcastEmpties(t *testing.T) {
+	s := NewState()
+	s.Cond(1).Insert(1)
+	s.Cond(1).Insert(2)
+	Broadcast{T: 9, C: 1}.Apply(s)
+	if !s.Cond(1).Empty() {
+		t.Fatal("Broadcast ENSURES c' = {} violated")
+	}
+}
+
+func TestSemaphorePV(t *testing.T) {
+	s := NewState()
+	p := P{T: 1, S: 1}
+	if !p.When(s) {
+		t.Fatal("P not enabled on available semaphore")
+	}
+	p.Apply(s)
+	if s.SemAvailable(1) {
+		t.Fatal("P ENSURES s' = unavailable violated")
+	}
+	if p.When(s) {
+		t.Fatal("P enabled on unavailable semaphore")
+	}
+	// V is enabled regardless and has no REQUIRES.
+	v := V{T: 2, S: 1}
+	if !v.When(s) || v.Requires(s) != nil {
+		t.Fatal("V must be unconditional")
+	}
+	v.Apply(s)
+	if !s.SemAvailable(1) {
+		t.Fatal("V ENSURES s' = available violated")
+	}
+	// V on an available semaphore keeps it available (binary).
+	v.Apply(s)
+	if !s.SemAvailable(1) {
+		t.Fatal("V on available semaphore broke it")
+	}
+}
+
+func TestAlertAndTestAlert(t *testing.T) {
+	s := NewState()
+	Alert{T: 1, Target: 2}.Apply(s)
+	if !s.Alerts.Contains(2) {
+		t.Fatal("Alert ENSURES alerts' = insert(alerts, t) violated")
+	}
+	ta := TestAlert{T: 2, Result: true}
+	if err := ta.CheckEnsures(s); err != nil {
+		t.Fatal(err)
+	}
+	ta.Apply(s)
+	if s.Alerts.Contains(2) {
+		t.Fatal("TestAlert did not delete SELF from alerts")
+	}
+	// Second TestAlert must return false.
+	if err := (TestAlert{T: 2, Result: true}).CheckEnsures(s); err == nil {
+		t.Fatal("TestAlert true accepted with no pending alert")
+	}
+	if err := (TestAlert{T: 2, Result: false}).CheckEnsures(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlertPOverlap(t *testing.T) {
+	// With s available AND SELF alerted, both WHEN clauses hold: the
+	// specification's deliberate non-determinism (E8).
+	s := NewState()
+	s.Alerts.Insert(1)
+	ret := AlertPReturn{T: 1, S: 1}
+	rai := AlertPRaise{T: 1, S: 1}
+	if !ret.When(s) || !rai.When(s) {
+		t.Fatal("overlap case: both AlertP outcomes should be enabled")
+	}
+	// Return path: s consumed, alert survives.
+	s1 := s.Clone()
+	ret.Apply(s1)
+	if s1.SemAvailable(1) || !s1.Alerts.Contains(1) {
+		t.Fatal("AlertP.Return ENSURES violated")
+	}
+	// Raise path: alert consumed, s untouched.
+	s2 := s.Clone()
+	rai.Apply(s2)
+	if !s2.SemAvailable(1) || s2.Alerts.Contains(1) {
+		t.Fatal("AlertP.Raise ENSURES violated")
+	}
+}
+
+func TestAlertResumeVariants(t *testing.T) {
+	// Pre-state: t1 enqueued on c1, alerted, mutex HELD by t2.
+	mk := func() *State {
+		s := NewState()
+		s.Cond(1).Insert(1)
+		s.Alerts.Insert(1)
+		s.SetMutex(1, 2)
+		return s
+	}
+	// Final and UnchangedC: disabled while m != NIL.
+	for _, v := range []Variant{VariantFinal, VariantUnchangedC} {
+		a := AlertResumeRaise{T: 1, M: 1, C: 1, Variant: v}
+		if a.When(mk()) {
+			t.Fatalf("variant %s: AlertResume.Raise enabled while mutex held", v)
+		}
+	}
+	// NoMNil: enabled — the bug that was found in under an hour. Applying
+	// it seizes a held mutex.
+	bug := AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantNoMNil}
+	s := mk()
+	if !bug.When(s) {
+		t.Fatal("variant no-m-nil: Raise should (wrongly) be enabled")
+	}
+	bug.Apply(s)
+	if s.Mutex(1) != 1 {
+		t.Fatal("buggy Raise did not exhibit the double-holder transition")
+	}
+
+	// With the mutex free: Final deletes SELF from c; UnchangedC leaves a
+	// ghost member — the year-long bug.
+	mkFree := func() *State {
+		s := mk()
+		s.SetMutex(1, NIL)
+		return s
+	}
+	sFinal := mkFree()
+	AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantFinal}.Apply(sFinal)
+	if sFinal.CondHas(1, 1) {
+		t.Fatal("final variant: SELF not deleted from c")
+	}
+	if sFinal.Alerts.Contains(1) || sFinal.Mutex(1) != 1 {
+		t.Fatal("final variant: alerts/mutex ENSURES violated")
+	}
+	sBug := mkFree()
+	AlertResumeRaise{T: 1, M: 1, C: 1, Variant: VariantUnchangedC}.Apply(sBug)
+	if !sBug.CondHas(1, 1) {
+		t.Fatal("unchanged-c variant should leave the ghost member in c")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewState()
+	s.SetMutex(1, 1)
+	s.Cond(1).Insert(1)
+	s.SetSemAvailable(1, false)
+	s.Alerts.Insert(3)
+	c := s.Clone()
+	c.SetMutex(1, NIL)
+	c.Cond(1).Delete(1)
+	c.SetSemAvailable(1, true)
+	c.Alerts.Delete(3)
+	if s.Mutex(1) != 1 || !s.CondHas(1, 1) || s.SemAvailable(1) || !s.Alerts.Contains(3) {
+		t.Fatal("mutating a clone changed the original")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := NewState()
+	b := NewState()
+	// Materialize empty entries in one but not the other.
+	a.Cond(5)
+	a.Mutexes[3] = NIL
+	if a.Key() != b.Key() {
+		t.Fatalf("default-valued entries changed the key: %q vs %q", a.Key(), b.Key())
+	}
+	a.SetMutex(1, 2)
+	if a.Key() == b.Key() {
+		t.Fatal("distinct states share a key")
+	}
+}
+
+// TestQuickKeyEquality property-tests that Key() is a sound equality:
+// states built by the same random action sequence have equal keys, and
+// applying one extra mutating action changes the key.
+func TestQuickKeyEquality(t *testing.T) {
+	build := func(ops []uint8) *State {
+		s := NewState()
+		for i, op := range ops {
+			tid := ThreadID(int(op)%3 + 1)
+			switch op % 5 {
+			case 0:
+				if (Acquire{T: tid, M: 1}).When(s) {
+					Acquire{T: tid, M: 1}.Apply(s)
+				}
+			case 1:
+				if s.Mutex(1) == tid {
+					Release{T: tid, M: 1}.Apply(s)
+				}
+			case 2:
+				s.Cond(CondID(i % 2)).Insert(tid)
+			case 3:
+				Alert{T: tid, Target: ThreadID(int(op)%4 + 1)}.Apply(s)
+			case 4:
+				s.SetSemAvailable(1, op%2 == 0)
+			}
+		}
+		return s
+	}
+	check := func(ops []uint8) bool {
+		return build(ops).Key() == build(ops).Key()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSignalSubsetInvariant property-tests Signal's ENSURES clause
+// over random waiting sets: every enumerated outcome satisfies
+// (c' = {}) | (c' ⊆ c).
+func TestQuickSignalSubsetInvariant(t *testing.T) {
+	check := func(membersRaw []uint8) bool {
+		s := NewState()
+		for _, m := range membersRaw {
+			s.Cond(1).Insert(ThreadID(int(m)%8 + 1))
+		}
+		pre := s.Cond(1).Clone()
+		for _, post := range (Signal{T: 99, C: 1}).Outcomes(s) {
+			if !post.Cond(1).SubsetOf(pre) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+// Package spinlock implements the primitive mutual-exclusion mechanism the
+// paper's Nub subroutines execute under: a test-and-set spin lock.
+//
+// The paper (SRC Report 20, §Implementation) describes it as "a globally
+// shared bit: it is acquired by a processor busy-waiting in a test-and-set
+// loop; it is released by clearing the bit". On the Go runtime a pure
+// busy-wait can starve the holder of a CPU, so the loop yields to the
+// scheduler with exponentially increasing eagerness; the observable
+// semantics (mutual exclusion, no queuing, no fairness guarantee) are those
+// of the hardware spin lock.
+package spinlock
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Lock is a test-and-set spin lock. The zero value is an unlocked Lock.
+// A Lock must not be copied after first use.
+type Lock struct {
+	bit atomic.Uint32
+	// contention counts failed first test-and-set attempts; it is
+	// maintained only when stats collection is enabled and feeds the
+	// contention statistics the paper mentions collecting.
+	contention atomic.Uint64
+}
+
+// active spin iterations before the acquirer starts yielding its processor.
+// On a multiprocessor the holder is usually running, so a short busy wait
+// wins; past that, the holder is likely descheduled and spinning is waste.
+const activeSpin = 16
+
+// Lock acquires the spin lock, busy-waiting until the bit is clear.
+func (l *Lock) Lock() {
+	if l.bit.CompareAndSwap(0, 1) {
+		return // the common, uncontended path: one test-and-set
+	}
+	l.contention.Add(1)
+	spins := 0
+	for {
+		// Test before test-and-set: spin on a plain load so the
+		// cache line is not bounced by failed RMW operations.
+		for l.bit.Load() != 0 {
+			spins++
+			if spins > activeSpin {
+				runtime.Gosched()
+			}
+		}
+		if l.bit.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+// TryLock acquires the lock if it is free and reports whether it did.
+func (l *Lock) TryLock() bool {
+	return l.bit.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the spin lock by clearing the bit. It must only be called
+// by the holder; the lock does not record holders (just as the paper's
+// mutex implementation records no holder), so misuse is not detected.
+func (l *Lock) Unlock() {
+	l.bit.Store(0)
+}
+
+// Held reports whether the lock is currently held by some processor. It is
+// advisory: the answer may be stale by the time the caller inspects it.
+func (l *Lock) Held() bool {
+	return l.bit.Load() != 0
+}
+
+// Contention returns the number of Lock calls that did not succeed on their
+// first test-and-set.
+func (l *Lock) Contention() uint64 {
+	return l.contention.Load()
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"testing"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/spec"
+)
+
+// collectTrace runs build(w, k) under tracing and returns the linearized
+// action events of the run.
+func collectTrace(t *testing.T, seed int64, procs int, build func(w *simthreads.World, k *simthreads.Kernel)) []Event {
+	t.Helper()
+	var events []Event
+	cfg := sim.Config{
+		Procs:    procs,
+		Seed:     seed,
+		Policy:   sim.PolicyRandom,
+		MaxSteps: 3_000_000,
+		Trace: func(ev sim.Event) {
+			if a, ok := ev.Payload.(spec.Action); ok {
+				events = append(events, Event{Seq: ev.Seq, Thread: ev.Thread.Name(), Action: a})
+			}
+		},
+	}
+	w, k := simthreads.NewWorld(cfg)
+	build(w, k)
+	if err := k.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return events
+}
+
+// TestConformanceMutexContention (E9): heavy mutex contention linearizes to
+// a spec-conformant sequence on every seed.
+func TestConformanceMutexContention(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		events := collectTrace(t, seed, 4, func(w *simthreads.World, k *simthreads.Kernel) {
+			m := w.NewMutex()
+			for i := 0; i < 4; i++ {
+				k.Spawn("", func(e *sim.Env) {
+					for n := 0; n < 20; n++ {
+						m.Acquire(e)
+						e.Work(3)
+						m.Release(e)
+					}
+				})
+			}
+		})
+		if len(events) == 0 {
+			t.Fatal("no events traced")
+		}
+		if n, err := CheckAll(events); err != nil {
+			t.Fatalf("seed %d: after %d conforming events: %v", seed, n, err)
+		}
+	}
+}
+
+// TestConformanceProducerConsumer (E9): the full Wait/Signal protocol with
+// racing producers and consumers conforms on every seed.
+func TestConformanceProducerConsumer(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		events := collectTrace(t, seed, 4, func(w *simthreads.World, k *simthreads.Kernel) {
+			m := w.NewMutex()
+			nonEmpty := w.NewCondition()
+			nonFull := w.NewCondition()
+			var buf, produced, consumed sim.Word
+			const total, capacity = 30, 3
+			for i := 0; i < 2; i++ {
+				k.Spawn("producer", func(e *sim.Env) {
+					for {
+						m.Acquire(e)
+						if e.Load(&produced) == total {
+							m.Release(e)
+							nonEmpty.Broadcast(e)
+							return
+						}
+						for e.Load(&buf) == capacity {
+							nonFull.Wait(e, m)
+						}
+						if e.Load(&produced) == total {
+							m.Release(e)
+							nonEmpty.Broadcast(e)
+							return
+						}
+						e.Add(&buf, 1)
+						e.Add(&produced, 1)
+						m.Release(e)
+						nonEmpty.Signal(e)
+					}
+				})
+			}
+			for i := 0; i < 2; i++ {
+				k.Spawn("consumer", func(e *sim.Env) {
+					for {
+						m.Acquire(e)
+						for e.Load(&buf) == 0 {
+							if e.Load(&consumed) == total {
+								m.Release(e)
+								nonEmpty.Broadcast(e)
+								return
+							}
+							nonEmpty.Wait(e, m)
+						}
+						e.Add(&buf, ^uint64(0))
+						e.Add(&consumed, 1)
+						done := e.Load(&consumed) == total
+						m.Release(e)
+						nonFull.Signal(e)
+						if done {
+							nonEmpty.Broadcast(e)
+							return
+						}
+					}
+				})
+			}
+		})
+		if n, err := CheckAll(events); err != nil {
+			t.Fatalf("seed %d: after %d conforming events: %v", seed, n, err)
+		}
+	}
+}
+
+// TestConformanceAlerts (E9): alerting mixed with waits and semaphores
+// conforms on every seed.
+func TestConformanceAlerts(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		events := collectTrace(t, seed, 3, func(w *simthreads.World, k *simthreads.Kernel) {
+			m := w.NewMutex()
+			c := w.NewCondition()
+			s := w.NewSemaphore()
+			var stop sim.Word
+			alertee := k.Spawn("alertee", func(e *sim.Env) {
+				m.Acquire(e)
+				for e.Load(&stop) == 0 {
+					if c.AlertWait(e, m) {
+						break
+					}
+				}
+				m.Release(e)
+			})
+			semWaiter := k.Spawn("sem-waiter", func(e *sim.Env) {
+				s.P(e)
+				if !s.AlertP(e) {
+					// acquired: release for symmetry
+					s.V(e)
+				}
+				s.V(e)
+			})
+			k.Spawn("live-waiter", func(e *sim.Env) {
+				m.Acquire(e)
+				for e.Load(&stop) == 0 {
+					c.Wait(e, m)
+				}
+				m.Release(e)
+			})
+			k.Spawn("driver", func(e *sim.Env) {
+				e.Work(300)
+				w.Alert(e, alertee)
+				w.Alert(e, semWaiter)
+				e.Work(300)
+				m.Acquire(e)
+				e.Store(&stop, 1)
+				m.Release(e)
+				for i := 0; i < 20; i++ {
+					c.Broadcast(e)
+					e.Work(100)
+				}
+				w.TestAlert(e)
+			})
+		})
+		if n, err := CheckAll(events); err != nil {
+			t.Fatalf("seed %d: after %d conforming events: %v", seed, n, err)
+		}
+	}
+}

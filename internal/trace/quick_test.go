@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"threads/internal/spec"
+)
+
+// legalTraceGen generates random *legal* histories of the interface by
+// simulating N client threads and a scheduler that only ever picks enabled
+// actions. Feeding the result to the checker must never produce a
+// violation: this property-tests the checker for false positives across a
+// far larger space than the hand-written cases.
+type legalTraceGen struct {
+	r      *rand.Rand
+	seq    uint64
+	events []Event
+
+	mutexHeld map[spec.MutexID]spec.ThreadID
+	semAvail  map[spec.SemID]bool
+	alerts    map[spec.ThreadID]bool
+	// waiting[t] is set when t is enqueued on cond 1 / mutex 1, with the
+	// seq of its Enqueue; justified records whether an unblock happened
+	// after it.
+	waiting   map[spec.ThreadID]uint64
+	lastUnblk uint64
+	// holding[t] — t holds mutex 1.
+	threads []spec.ThreadID
+}
+
+func newLegalTraceGen(r *rand.Rand, n int) *legalTraceGen {
+	g := &legalTraceGen{
+		r:         r,
+		mutexHeld: map[spec.MutexID]spec.ThreadID{},
+		semAvail:  map[spec.SemID]bool{1: true},
+		alerts:    map[spec.ThreadID]bool{},
+		waiting:   map[spec.ThreadID]uint64{},
+	}
+	for i := 1; i <= n; i++ {
+		g.threads = append(g.threads, spec.ThreadID(i))
+	}
+	return g
+}
+
+func (g *legalTraceGen) emit(a spec.Action) {
+	g.seq++
+	g.events = append(g.events, Event{Seq: g.seq, Action: a})
+}
+
+// step performs one random enabled action; returns false if none was
+// enabled for the chosen thread (the caller just retries).
+func (g *legalTraceGen) step() bool {
+	const m, c, s = spec.MutexID(1), spec.CondID(1), spec.SemID(1)
+	t := g.threads[g.r.Intn(len(g.threads))]
+	if enq, isWaiting := g.waiting[t]; isWaiting {
+		// The thread is blocked in Wait; it can resume only when the
+		// mutex is free and an unblock justified it, or raise if alerted.
+		if g.mutexHeld[m] != spec.NIL {
+			return false
+		}
+		if g.alerts[t] && g.r.Intn(2) == 0 {
+			g.emit(spec.AlertResumeRaise{T: t, M: m, C: c, Variant: spec.VariantFinal})
+			delete(g.alerts, t)
+			delete(g.waiting, t)
+			g.mutexHeld[m] = t
+			return true
+		}
+		if g.lastUnblk > enq {
+			g.emit(spec.Resume{T: t, M: m, C: c})
+			delete(g.waiting, t)
+			g.mutexHeld[m] = t
+			return true
+		}
+		return false
+	}
+	switch g.r.Intn(9) {
+	case 0: // Acquire
+		if g.mutexHeld[m] != spec.NIL || g.holds(t) {
+			return false
+		}
+		g.emit(spec.Acquire{T: t, M: m})
+		g.mutexHeld[m] = t
+	case 1: // Release
+		if g.mutexHeld[m] != t {
+			return false
+		}
+		g.emit(spec.Release{T: t, M: m})
+		g.mutexHeld[m] = spec.NIL
+	case 2: // Enqueue (Wait)
+		if g.mutexHeld[m] != t {
+			return false
+		}
+		g.emit(spec.Enqueue{T: t, M: m, C: c})
+		g.mutexHeld[m] = spec.NIL
+		g.waiting[t] = g.seq
+	case 3: // Signal, possibly removing one waiting member
+		var removed []spec.ThreadID
+		for wt := range g.waiting {
+			if g.r.Intn(2) == 0 {
+				removed = []spec.ThreadID{wt}
+			}
+			break
+		}
+		g.emit(spec.Signal{T: t, C: c, Removed: removed})
+		g.lastUnblk = g.seq
+	case 4: // Broadcast
+		g.emit(spec.Broadcast{T: t, C: c})
+		g.lastUnblk = g.seq
+	case 5: // P
+		if !g.semAvail[s] {
+			return false
+		}
+		g.emit(spec.P{T: t, S: s})
+		g.semAvail[s] = false
+	case 6: // V
+		g.emit(spec.V{T: t, S: s})
+		g.semAvail[s] = true
+	case 7: // Alert a random thread
+		target := g.threads[g.r.Intn(len(g.threads))]
+		g.emit(spec.Alert{T: t, Target: target})
+		g.alerts[target] = true
+	case 8: // TestAlert with the correct result
+		g.emit(spec.TestAlert{T: t, Result: g.alerts[t]})
+		delete(g.alerts, t)
+	}
+	return true
+}
+
+func (g *legalTraceGen) holds(t spec.ThreadID) bool {
+	for _, h := range g.mutexHeld {
+		if h == t {
+			return true
+		}
+	}
+	return false
+}
+
+// TestQuickLegalTracesAccepted: the checker accepts every randomly
+// generated legal history.
+func TestQuickLegalTracesAccepted(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := newLegalTraceGen(r, 3)
+		for steps := 0; steps < 200; steps++ {
+			g.step()
+		}
+		n, err := CheckAll(g.events)
+		if err != nil {
+			t.Logf("seed %d: legal trace rejected after %d events: %v", seed, n, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorruptedTracesMostlyRejected: specific, always-illegal
+// corruptions of a legal trace are detected. (Arbitrary mutations can be
+// legal, so the test targets corruptions with guaranteed violations.)
+func TestQuickCorruptedTracesMostlyRejected(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := newLegalTraceGen(r, 3)
+		for steps := 0; steps < 100; steps++ {
+			g.step()
+		}
+		// Corruption: append an Acquire by one thread then another —
+		// the second must be rejected whatever came before.
+		evs := append([]Event{}, g.events...)
+		n := uint64(len(evs))
+		evs = append(evs,
+			Event{Seq: n + 1, Action: spec.Acquire{T: 1, M: 99}},
+			Event{Seq: n + 2, Action: spec.Acquire{T: 2, M: 99}},
+		)
+		if _, err := CheckAll(evs); err == nil {
+			t.Logf("seed %d: double acquire not rejected", seed)
+			return false
+		}
+		// Corruption: a Resume with no Enqueue at all.
+		evs2 := append([]Event{}, g.events...)
+		evs2 = append(evs2, Event{Seq: n + 1, Action: spec.Resume{T: 9, M: 98, C: 77}})
+		if _, err := CheckAll(evs2); err == nil {
+			t.Logf("seed %d: resume without enqueue not rejected", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Fatal(err)
+	}
+}

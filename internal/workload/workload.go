@@ -1,0 +1,295 @@
+// Package workload provides the parameterized workloads the experiments
+// run: bounded-buffer producer/consumer, readers-writers, and raw mutex
+// contention — each over any baselines.Monitor (the paper's primitives,
+// Hoare monitors, semaphore condvars or native Go sync), plus simulator
+// variants over internal/simthreads for instruction-accurate sweeps.
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"threads/internal/baselines"
+)
+
+// PCConfig parameterizes the bounded-buffer workload.
+type PCConfig struct {
+	Producers, Consumers int
+	ItemsPerProducer     int
+	Capacity             int
+	// Work spins this many iterations outside the critical section per
+	// item, modelling real processing.
+	Work int
+}
+
+// PCResult reports a producer-consumer run.
+type PCResult struct {
+	Items   int
+	Elapsed time.Duration
+	// Waits counts Wait calls; SpuriousResumes counts returns from Wait
+	// that found the predicate still false (Mesa wakeups that had to loop
+	// — zero under Hoare semantics, experiment E6).
+	Waits           uint64
+	SpuriousResumes uint64
+}
+
+// ItemsPerSec returns throughput.
+func (r PCResult) ItemsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Items) / r.Elapsed.Seconds()
+}
+
+// SpuriousRate returns the fraction of Wait returns with a false predicate.
+func (r PCResult) SpuriousRate() float64 {
+	if r.Waits == 0 {
+		return 0
+	}
+	return float64(r.SpuriousResumes) / float64(r.Waits)
+}
+
+// ProducerConsumer runs the canonical bounded-buffer monitor program on m.
+func ProducerConsumer(m baselines.Monitor, cfg PCConfig) PCResult {
+	nonEmpty := m.NewCond()
+	nonFull := m.NewCond()
+	var (
+		queue    int
+		waits    uint64
+		spurious uint64
+	)
+	total := cfg.Producers * cfg.ItemsPerProducer
+	var consumed int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	wg.Add(cfg.Producers + cfg.Consumers)
+	for p := 0; p < cfg.Producers; p++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cfg.ItemsPerProducer; i++ {
+				busy(cfg.Work)
+				m.Acquire()
+				for queue == cfg.Capacity {
+					atomic.AddUint64(&waits, 1)
+					nonFull.Wait()
+					if queue == cfg.Capacity {
+						atomic.AddUint64(&spurious, 1)
+					}
+				}
+				queue++
+				// Signal while holding the monitor: every implementation
+				// permits it, and Hoare signalling requires it (the
+				// hand-off transfers ownership to the waiter).
+				nonEmpty.Signal()
+				m.Release()
+			}
+		}()
+	}
+	for c := 0; c < cfg.Consumers; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				m.Acquire()
+				for queue == 0 {
+					if int(atomic.LoadInt64(&consumed)) >= total {
+						nonEmpty.Broadcast()
+						m.Release()
+						return
+					}
+					atomic.AddUint64(&waits, 1)
+					nonEmpty.Wait()
+					if queue == 0 {
+						atomic.AddUint64(&spurious, 1)
+					}
+				}
+				queue--
+				n := atomic.AddInt64(&consumed, 1)
+				nonFull.Signal()
+				last := int(n) >= total
+				if last {
+					nonEmpty.Broadcast()
+				}
+				m.Release()
+				busy(cfg.Work)
+				if last {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return PCResult{
+		Items:           total,
+		Elapsed:         time.Since(start),
+		Waits:           atomic.LoadUint64(&waits),
+		SpuriousResumes: atomic.LoadUint64(&spurious),
+	}
+}
+
+// busy spins for roughly n units of CPU work.
+func busy(n int) {
+	x := 0
+	for i := 0; i < n; i++ {
+		x += i
+	}
+	atomic.StoreInt64(&busySink, int64(x))
+}
+
+var busySink int64
+
+// busyYield is busy with scheduling points, so sections overlap logically
+// even on a single processor (the read sections of ReadersWriters must be
+// interleavable for Broadcast's effect to be observable under GOMAXPROCS=1).
+func busyYield(n int) {
+	const chunk = 1000
+	for n > 0 {
+		c := chunk
+		if n < c {
+			c = n
+		}
+		busy(c)
+		n -= c
+		runtime.Gosched()
+	}
+}
+
+// ContentionConfig parameterizes raw mutex contention.
+type ContentionConfig struct {
+	Threads int
+	Iters   int // critical sections per thread
+	CSWork  int // work units inside the critical section
+	Think   int // work units outside
+}
+
+// ContentionResult reports a contention run.
+type ContentionResult struct {
+	Ops     int
+	Elapsed time.Duration
+}
+
+// OpsPerSec returns lock-acquisition throughput.
+func (r ContentionResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// MutexContention hammers a single Monitor's lock from cfg.Threads
+// goroutines.
+func MutexContention(m baselines.Monitor, cfg ContentionConfig) ContentionResult {
+	var wg sync.WaitGroup
+	wg.Add(cfg.Threads)
+	start := time.Now()
+	for i := 0; i < cfg.Threads; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < cfg.Iters; j++ {
+				m.Acquire()
+				busy(cfg.CSWork)
+				m.Release()
+				busy(cfg.Think)
+			}
+		}()
+	}
+	wg.Wait()
+	return ContentionResult{Ops: cfg.Threads * cfg.Iters, Elapsed: time.Since(start)}
+}
+
+// RWConfig parameterizes the readers-writers workload (the paper's
+// motivating Broadcast example: releasing a writer lock permits all readers
+// to resume).
+type RWConfig struct {
+	Readers, Writers int
+	OpsPerThread     int
+	ReadWork         int
+	WriteWork        int
+}
+
+// RWResult reports a readers-writers run.
+type RWResult struct {
+	Ops     int
+	Elapsed time.Duration
+	// MaxConcR is the peak number of threads simultaneously holding the
+	// read lock (the logical concurrency Broadcast enables; it does not
+	// require physical parallelism to exceed 1).
+	MaxConcR int
+}
+
+// OpsPerSec returns combined read+write throughput.
+func (r RWResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// ReadersWriters runs a writer-priority readers-writer lock built from m
+// and one condition variable, using Broadcast to release readers en masse.
+func ReadersWriters(m baselines.Monitor, cfg RWConfig) RWResult {
+	c := m.NewCond()
+	var (
+		readers  int
+		writing  bool
+		maxConcR int
+	)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Readers + cfg.Writers)
+	start := time.Now()
+	for i := 0; i < cfg.Readers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < cfg.OpsPerThread; j++ {
+				m.Acquire()
+				for writing {
+					c.Wait()
+				}
+				readers++
+				if readers > maxConcR {
+					maxConcR = readers // under the monitor: race-free
+				}
+				m.Release()
+
+				busyYield(cfg.ReadWork)
+
+				m.Acquire()
+				readers--
+				if readers == 0 {
+					c.Broadcast() // a waiting writer may proceed
+				}
+				m.Release()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Writers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < cfg.OpsPerThread; j++ {
+				m.Acquire()
+				for writing || readers > 0 {
+					c.Wait()
+				}
+				writing = true
+				m.Release()
+
+				busyYield(cfg.WriteWork)
+
+				m.Acquire()
+				writing = false
+				// Releasing a "writer" lock might permit all "readers"
+				// to resume: Broadcast is necessary for correctness
+				// (issued while holding, so Hoare monitors work too).
+				c.Broadcast()
+				m.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	return RWResult{
+		Ops:      (cfg.Readers + cfg.Writers) * cfg.OpsPerThread,
+		Elapsed:  time.Since(start),
+		MaxConcR: maxConcR,
+	}
+}

@@ -1,0 +1,174 @@
+// Package threads provides the synchronization primitives of the DEC SRC
+// Threads package, as formally specified in "Synchronization Primitives for
+// a Multiprocessor: A Formal Specification" (Birrell, Guttag, Horning,
+// Levin; SRC Research Report 20, 1987): mutexes, Mesa-style condition
+// variables, binary semaphores, and alerting.
+//
+// The three main types are Mutex, Condition and Semaphore. All threads may
+// be assumed to execute concurrently — the programmer "can reason as if
+// there were as many processors as threads" — and the primitives' semantics
+// are independent of how threads are assigned to processors.
+//
+// # Mutual exclusion
+//
+// A Mutex makes a group of actions on shared variables atomic with respect
+// to other threads: bracket every access in Acquire/Release (or the Lock
+// helper, the analogue of Modula-2+'s LOCK e DO ... END):
+//
+//	var m threads.Mutex
+//	threads.Lock(&m, func() {
+//	    // critical section: runs start-to-finish without any other
+//	    // thread entering a critical section on m
+//	})
+//
+// # Condition variables
+//
+// A Condition suspends a thread until some other thread's action. A
+// condition variable is always associated with a mutex-protected predicate;
+// because return from Wait is only a hint, the predicate is re-evaluated in
+// a loop:
+//
+//	m.Acquire()
+//	for !predicate() {
+//	    c.Wait(&m)
+//	}
+//	// ... use the protected state ...
+//	m.Release()
+//
+// After making the predicate true, call Signal (one waiter can proceed) or
+// Broadcast (all waiters must re-check). Signal is an efficiency measure:
+// it is correct only when every waiter waits for the same predicate, and it
+// may unblock more than one thread.
+//
+// # Semaphores
+//
+// Semaphore provides binary P/V. There is no notion of holding a semaphore
+// and V has no precondition, so P and V need not be textually linked. The
+// package discourages semaphores for ordinary data protection — mutexes and
+// condition variables carry more structure — but they are required for
+// synchronizing with interrupt-style code that cannot block: the handler
+// thread calls P, the interrupt source calls V.
+//
+// # Alerting
+//
+// Alert(t) is a polite interrupt: a request that thread t give up a blocked
+// AlertWait or AlertP (which then return Alerted) or notice the request via
+// TestAlert. It is typically used for timeouts and aborts, where the
+// decision to interrupt happens at a higher abstraction level than the wait.
+//
+// # Threads
+//
+// The primitives identify callers by Thread. Goroutines created by Fork are
+// threads; any other goroutine is adopted on first use. Thread creation:
+//
+//	t := threads.Fork(func() { ... })
+//	threads.Alert(t)
+//	threads.Join(t)
+//
+// # Fidelity
+//
+// The implementation follows the paper's Firefly implementation: an
+// uncontended Acquire/Release pair runs entirely in "user code" (one
+// test-and-set and one clear, no queue operations); the slow paths run
+// under a spin lock in a Nub layer that manages queues of blocked threads;
+// condition variables are (eventcount, queue) pairs, so Broadcast handles
+// arbitrarily many threads racing through the wakeup-waiting window. See
+// internal/core for the mechanism and DESIGN.md for the full map from the
+// paper to this repository.
+package threads
+
+import "threads/internal/core"
+
+// Thread identifies a thread of control (the specification's SELF values
+// and the elements of Mutex, Condition and the alerts set).
+type Thread = core.Thread
+
+// Mutex is a mutual-exclusion lock: a Thread-valued specification variable,
+// INITIALLY NIL. The zero value is ready to use.
+//
+//	ATOMIC PROCEDURE Acquire(VAR m: Mutex)
+//	  MODIFIES AT MOST [m]  WHEN m = NIL  ENSURES m' = SELF
+//	ATOMIC PROCEDURE Release(VAR m: Mutex)
+//	  REQUIRES m = SELF  MODIFIES AT MOST [m]  ENSURES m' = NIL
+type Mutex = core.Mutex
+
+// Condition is a condition variable: a SET OF Thread, INITIALLY {}. The
+// zero value is ready to use. Wait atomically releases the associated
+// mutex and suspends the caller; Signal unblocks at least one waiter (maybe
+// more); Broadcast unblocks all. Return from Wait is a hint — re-evaluate
+// the predicate.
+type Condition = core.Condition
+
+// Semaphore is a binary semaphore, INITIALLY available. The zero value is
+// ready to use.
+//
+//	ATOMIC PROCEDURE P(VAR s: Semaphore)
+//	  MODIFIES AT MOST [s]  WHEN s = available  ENSURES s' = unavailable
+//	ATOMIC PROCEDURE V(VAR s: Semaphore)
+//	  MODIFIES AT MOST [s]  ENSURES s' = available
+type Semaphore = core.Semaphore
+
+// Stats is a snapshot of the package's contention counters (see
+// EnableStats).
+type Stats = core.Stats
+
+// Alerted is returned by AlertWait and AlertP when the wait was interrupted
+// by Alert; it corresponds to the specification's EXCEPTION Alerted.
+var Alerted = core.Alerted
+
+// Fork runs fn as a new thread and returns its handle.
+func Fork(fn func()) *Thread { return core.Fork(fn) }
+
+// ForkNamed is Fork with a thread name for diagnostics.
+func ForkNamed(name string, fn func()) *Thread { return core.ForkNamed(name, fn) }
+
+// Join blocks until a forked thread's function has returned.
+func Join(t *Thread) { core.Join(t) }
+
+// Self returns the calling thread, adopting the goroutine if it was not
+// created by Fork.
+func Self() *Thread { return core.Self() }
+
+// Detach removes an adopted goroutine's thread registration. Call it before
+// an adopted goroutine exits in long-lived programs; Fork-created threads
+// clean up automatically.
+func Detach() { core.Detach() }
+
+// Lock brackets body with m.Acquire and m.Release — the LOCK m DO ... END
+// construct. Release runs even if body panics.
+func Lock(m *Mutex, body func()) { core.Lock(m, body) }
+
+// Alert requests that thread t raise Alerted: it makes t's pending-alert
+// flag true and wakes t if it is blocked in AlertWait or AlertP.
+//
+//	ATOMIC PROCEDURE Alert(t: Thread)
+//	  MODIFIES AT MOST [alerts]  ENSURES alerts' = insert(alerts, t)
+func Alert(t *Thread) { core.Alert(t) }
+
+// TestAlert reports whether the calling thread has a pending alert,
+// consuming it.
+//
+//	ATOMIC PROCEDURE TestAlert() RETURNS (b: bool)
+//	  ENSURES (b = (SELF IN alerts)) & (alerts' = delete(alerts, SELF))
+func TestAlert() bool { return core.TestAlert() }
+
+// AlertPending reports whether t has an undelivered alert without consuming
+// it (an extension for monitoring and tests).
+func AlertPending(t *Thread) bool { return core.AlertPending(t) }
+
+// EnableStats turns contention statistics on or off and returns the
+// previous setting. With statistics off the primitives pay one predictable
+// branch per operation.
+func EnableStats(on bool) bool { return core.EnableStats(on) }
+
+// SnapshotStats returns the current values of the contention counters.
+func SnapshotStats() Stats { return core.SnapshotStats() }
+
+// ResetStats zeroes the contention counters.
+func ResetStats() { core.ResetStats() }
+
+// SetChecking enables a debugging mode in which mutexes record their
+// holders: Release by a non-holder and recursive Acquire panic instead of
+// silently misbehaving. It returns the previous setting. The production
+// representation, like the paper's, records no holder.
+func SetChecking(on bool) bool { return core.SetChecking(on) }

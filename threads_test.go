@@ -1,0 +1,182 @@
+package threads_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"threads"
+)
+
+// These tests exercise the public API exactly as a client program would,
+// complementing the white-box tests in internal/core.
+
+func TestPublicQuickstartPattern(t *testing.T) {
+	var (
+		m     threads.Mutex
+		c     threads.Condition
+		queue []int
+	)
+	const items = 100
+	consumer := threads.Fork(func() {
+		for got := 0; got < items; {
+			m.Acquire()
+			for len(queue) == 0 {
+				c.Wait(&m)
+			}
+			queue = queue[1:]
+			got++
+			m.Release()
+		}
+	})
+	for i := 0; i < items; i++ {
+		threads.Lock(&m, func() { queue = append(queue, i) })
+		c.Signal()
+	}
+	done := make(chan struct{})
+	go func() { threads.Join(consumer); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer never finished")
+	}
+}
+
+func TestPublicAlertTimeout(t *testing.T) {
+	var (
+		m threads.Mutex
+		c threads.Condition
+	)
+	result := make(chan error, 1)
+	worker := threads.Fork(func() {
+		m.Acquire()
+		err := c.AlertWait(&m) // no one will ever signal
+		m.Release()
+		result <- err
+	})
+	time.Sleep(10 * time.Millisecond)
+	threads.Alert(worker) // the timeout fires
+	threads.Join(worker)
+	if err := <-result; !errors.Is(err, threads.Alerted) {
+		t.Fatalf("timed-out wait returned %v, want threads.Alerted", err)
+	}
+}
+
+func TestPublicSemaphoreHandoff(t *testing.T) {
+	var sem threads.Semaphore
+	sem.P()
+	var got bool
+	worker := threads.Fork(func() {
+		sem.P()
+		got = true
+	})
+	sem.V()
+	threads.Join(worker)
+	if !got {
+		t.Fatal("P never completed after V")
+	}
+}
+
+func TestPublicStatsRoundTrip(t *testing.T) {
+	defer threads.EnableStats(threads.EnableStats(true))
+	threads.ResetStats()
+	var m threads.Mutex
+	m.Acquire()
+	m.Release()
+	if s := threads.SnapshotStats(); s.AcquireFast != 1 {
+		t.Fatalf("AcquireFast = %d, want 1", s.AcquireFast)
+	}
+	threads.ResetStats()
+	if s := threads.SnapshotStats(); s.AcquireFast != 0 {
+		t.Fatal("ResetStats did not zero the counters")
+	}
+}
+
+func TestPublicSelfAndAlertPending(t *testing.T) {
+	self := threads.Self()
+	if self == nil {
+		t.Fatal("Self returned nil")
+	}
+	if threads.AlertPending(self) {
+		t.Fatal("fresh thread has a pending alert")
+	}
+	threads.Alert(self)
+	if !threads.AlertPending(self) {
+		t.Fatal("Alert did not set the pending flag")
+	}
+	if !threads.TestAlert() {
+		t.Fatal("TestAlert did not observe the alert")
+	}
+}
+
+func TestPublicBroadcastReadersWriters(t *testing.T) {
+	// The paper's motivating Broadcast example: releasing a writer lock
+	// permits all readers to resume.
+	var (
+		m       threads.Mutex
+		cond    threads.Condition
+		writing = true
+		readers sync.WaitGroup
+	)
+	const n = 8
+	readers.Add(n)
+	for i := 0; i < n; i++ {
+		threads.Fork(func() {
+			defer readers.Done()
+			m.Acquire()
+			for writing {
+				cond.Wait(&m)
+			}
+			m.Release()
+		})
+	}
+	time.Sleep(20 * time.Millisecond)
+	threads.Lock(&m, func() { writing = false })
+	cond.Broadcast()
+	done := make(chan struct{})
+	go func() { readers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Broadcast did not release all readers")
+	}
+}
+
+func TestPublicRemainingSurface(t *testing.T) {
+	// ForkNamed, Detach, SetChecking round-trips.
+	th := threads.ForkNamed("surface-worker", func() {})
+	threads.Join(th)
+	if th.Name() != "surface-worker" {
+		t.Fatalf("Name = %q", th.Name())
+	}
+	prev := threads.SetChecking(true)
+	threads.SetChecking(prev)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = threads.Self() // adopt
+		threads.Detach()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("detach goroutine hung")
+	}
+	// Semaphore TryP and AlertP surface.
+	var s threads.Semaphore
+	if !s.TryP() {
+		t.Fatal("TryP failed on available semaphore")
+	}
+	s.V()
+	if err := s.AlertP(); err != nil {
+		t.Fatalf("AlertP on available semaphore: %v", err)
+	}
+	s.V()
+	// Mutex TryAcquire surface.
+	var m threads.Mutex
+	if !m.TryAcquire() || m.Waiters() != 0 {
+		t.Fatal("TryAcquire surface broken")
+	}
+	m.Release()
+}
