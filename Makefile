@@ -1,0 +1,34 @@
+# Development targets. `make tier1` is the gate every change must pass:
+# build, vet, the core package under the race detector, and the full suite.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race bench bench-baseline bench-check
+
+tier1: build vet race test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# bench-baseline regenerates the committed regression baseline; run it only
+# when a change intentionally moves a metric, and commit the new file.
+bench-baseline:
+	$(GO) run ./cmd/threadsbench -json BENCH_1.json
+
+# bench-check compares the current build against the committed baseline on
+# the machine-independent metrics (add -timed manually for same-machine
+# wall-clock comparisons).
+bench-check:
+	$(GO) run ./cmd/threadsbench -baseline BENCH_1.json

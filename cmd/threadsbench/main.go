@@ -1,5 +1,6 @@
 // Command threadsbench regenerates every experiment in EXPERIMENTS.md: the
-// reproductions of the paper's quantitative and behavioral claims (E1–E10).
+// reproductions of the paper's quantitative and behavioral claims (E1–E13),
+// and maintains the benchmark-regression baseline (BENCH_<n>.json).
 //
 // Usage:
 //
@@ -8,6 +9,11 @@
 //	threadsbench -exp e1,e7      # a subset
 //	threadsbench -list           # list experiments
 //	threadsbench -csv dir        # also write each table as dir/<id>.csv
+//	threadsbench -json BENCH_1.json        # collect metrics, write baseline
+//	threadsbench -baseline BENCH_1.json    # collect metrics, compare; exit 1
+//	                                       # on any >10% regression
+//	threadsbench -baseline BENCH_1.json -timed -maxregress 0.25
+//	                                       # also enforce wall-clock metrics
 package main
 
 import (
@@ -23,12 +29,21 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "run reduced sweeps")
-		exp    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csvDir = flag.String("csv", "", "directory to write per-table CSV files into")
+		quick      = flag.Bool("quick", false, "run reduced sweeps")
+		exp        = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csvDir     = flag.String("csv", "", "directory to write per-table CSV files into")
+		jsonOut    = flag.String("json", "", "collect regression metrics and write them to this file")
+		baseline   = flag.String("baseline", "", "collect regression metrics and compare against this baseline")
+		maxRegress = flag.Float64("maxregress", 0.10, "relative tolerance before a metric counts as regressed")
+		timed      = flag.Bool("timed", false, "also enforce wall-clock metrics (same-machine comparisons only)")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" || *baseline != "" {
+		runRegression(*jsonOut, *baseline, *maxRegress, *timed, *quick)
+		return
+	}
 
 	exps := bench.All()
 	if *list {
@@ -68,4 +83,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "threadsbench: no experiment matched %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// runRegression handles -json (write a fresh baseline) and -baseline
+// (compare against a committed one); both collect the same metric set.
+func runRegression(jsonOut, baselinePath string, tol float64, timed, quick bool) {
+	fmt.Fprintln(os.Stderr, "threadsbench: collecting regression metrics...")
+	cur := bench.CollectRegressionMetrics(quick)
+	for _, m := range cur.Metrics {
+		kind := "stable"
+		if !m.Stable {
+			kind = "timed "
+		}
+		fmt.Printf("  %-28s %12.4g  (%s, %s is better)\n", m.Name, m.Value, kind, m.Better)
+	}
+	if jsonOut != "" {
+		if err := bench.WriteBaseline(jsonOut, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d metrics)\n", jsonOut, len(cur.Metrics))
+	}
+	if baselinePath == "" {
+		return
+	}
+	base, err := bench.ReadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+		os.Exit(1)
+	}
+	regs := bench.Compare(base, cur, tol, timed)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions against %s (tol %.0f%%, timed=%v)\n", baselinePath, tol*100, timed)
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "threadsbench: REGRESSION %s\n", r)
+	}
+	os.Exit(1)
 }

@@ -1,0 +1,224 @@
+// Benchmark-regression harness: metric collection, JSON baselines, and the
+// comparator that fails when a metric regresses past tolerance versus the
+// committed baseline (BENCH_<n>.json at the repository root).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"threads/internal/core"
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/workload"
+)
+
+// Metric is one measured quantity in a baseline.
+//
+// Stable metrics are machine-independent — simulator instruction counts,
+// deterministic-seed fast-path fractions, allocations per operation — and
+// are enforced by default; timed metrics (wall-clock ns/op) vary across
+// hosts and are enforced only on demand (threadsbench -timed), since a
+// committed baseline is usually replayed on different hardware.
+type Metric struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Better string  `json:"better"` // "lower" or "higher"
+	Stable bool    `json:"stable"`
+	// Slack is an absolute allowance added on top of the relative
+	// tolerance, for metrics whose baseline is at or near zero (e.g.
+	// allocs/op 0, where any relative tolerance is vacuous).
+	Slack float64 `json:"slack,omitempty"`
+}
+
+// Baseline is a named set of metrics, serialized as BENCH_<n>.json.
+type Baseline struct {
+	Schema  int      `json:"schema"`
+	Note    string   `json:"note,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Regression describes one metric that got worse than tolerance allows.
+type Regression struct {
+	Name      string
+	Base, Cur float64
+	Better    string
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.4g, current %.4g (%s is better)",
+		r.Name, r.Base, r.Cur, r.Better)
+}
+
+// Compare checks cur against base and returns every metric that regressed
+// by more than tol (a fraction: 0.10 = 10%) plus the metric's absolute
+// slack. Metrics present in base but missing from cur are regressions.
+// Timed (non-stable) metrics are compared only when timed is true.
+func Compare(base, cur Baseline, tol float64, timed bool) []Regression {
+	byName := make(map[string]Metric, len(cur.Metrics))
+	for _, m := range cur.Metrics {
+		byName[m.Name] = m
+	}
+	var regs []Regression
+	for _, b := range base.Metrics {
+		if !b.Stable && !timed {
+			continue
+		}
+		c, ok := byName[b.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: b.Name + " (missing)", Base: b.Value, Cur: 0, Better: b.Better})
+			continue
+		}
+		worse := false
+		switch b.Better {
+		case "higher":
+			worse = c.Value < b.Value*(1-tol)-b.Slack
+		default: // "lower"
+			worse = c.Value > b.Value*(1+tol)+b.Slack
+		}
+		if worse {
+			regs = append(regs, Regression{Name: b.Name, Base: b.Value, Cur: c.Value, Better: b.Better})
+		}
+	}
+	return regs
+}
+
+// WriteBaseline writes b to path as indented JSON.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline written by WriteBaseline.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// timeAndAllocs runs f(total) once after a warmup call and reports
+// wall-clock nanoseconds and heap allocations per operation. Mallocs are
+// process-global, so concurrent background work would pollute the count —
+// the collectors below run their workloads one at a time.
+func timeAndAllocs(total int, f func(int)) (nsPerOp, allocsPerOp float64) {
+	f(total / 10) // warm up pools, registries and the scheduler
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f(total)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(total),
+		float64(after.Mallocs-before.Mallocs) / float64(total)
+}
+
+// CollectRegressionMetrics measures the current build's metrics for the
+// regression baseline. Stable metrics use fixed sizes and seeds regardless
+// of quick so the values stay comparable across collections; quick only
+// shrinks the timed sweeps.
+func CollectRegressionMetrics(quick bool) Baseline {
+	o := Options{Quick: quick}
+	b := Baseline{
+		Schema: 1,
+		Note: "threadsbench regression baseline; stable metrics are " +
+			"machine-independent, timed metrics are enforced only with -timed",
+	}
+	add := func(name string, v float64, better string, stable bool, slack float64) {
+		b.Metrics = append(b.Metrics, Metric{Name: name, Value: v, Better: better, Stable: stable, Slack: slack})
+	}
+
+	// E1: the uncontended pair on the simulated Firefly — the paper's
+	// 5-instruction claim, exactly reproducible.
+	w, k := simthreads.NewWorld(sim.Config{Procs: 1})
+	m := w.NewMutex()
+	var pair uint64
+	k.Spawn("solo", func(e *sim.Env) {
+		before := e.Instret()
+		m.Acquire(e)
+		m.Release(e)
+		pair = e.Instret() - before
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	add("e1.sim_instr_pair", float64(pair), "lower", true, 0)
+
+	// E2: simulated fast-path rate at 5 processors × 8 threads, fixed
+	// seed and size — deterministic.
+	res, err := workload.SimMutexContention(workload.SimContentionConfig{
+		Procs: 5, Threads: 8, Iters: 100, CSWork: 20, Think: 200, Seed: 508,
+	})
+	if err != nil {
+		panic(err)
+	}
+	add("e2.sim_fastpath_frac_5p8t", res.FastPathRate(), "higher", true, 0.02)
+
+	// E11: contended Acquire/Release ladder at 8 goroutines.
+	ladderTotal := o.pick(200_000, 1_000_000)
+	ns, allocs := timeAndAllocs(ladderTotal, func(n int) { RunLadder(8, n) })
+	add("e11.ladder8_ns_per_op", ns, "lower", false, 0)
+	add("e11.ladder8_allocs_per_op", allocs, "lower", true, 0.05)
+
+	// E12: Signal/Broadcast storm at 8 waiters.
+	stormRounds := o.pick(20_000, 100_000)
+	ns, allocs = timeAndAllocs(stormRounds, func(n int) { RunSignalStorm(8, n) })
+	add("e12.storm8_ns_per_round", ns, "lower", false, 0)
+	add("e12.storm8_allocs_per_round", allocs, "lower", true, 0.10)
+
+	// E13: AlertP under contention at 8 workers.
+	alertTotal := o.pick(50_000, 200_000)
+	ns, allocs = timeAndAllocs(alertTotal, func(n int) { RunAlertPStorm(8, n) })
+	add("e13.alertp8_ns_per_op", ns, "lower", false, 0)
+	add("e13.alertp8_allocs_per_op", allocs, "lower", true, 0.10)
+
+	// Park-path allocations, measured directly: one Fork thread blocking
+	// repeatedly on a semaphore. Zero-allocation parking is the headline
+	// property; the cached waiter makes this exactly 0 in steady state,
+	// the slack absorbs runtime noise (timer and scheduler allocations).
+	parks := 20_000
+	nsPark, allocsPark := timeAndAllocs(parks, runParkPingPong)
+	add("park.ns_per_park", nsPark, "lower", false, 0)
+	add("park.allocs_per_park", allocsPark, "lower", true, 0.05)
+
+	return b
+}
+
+// runParkPingPong forces total real parks: two Fork threads alternating
+// through a pair of semaphores, so every P (after the first) blocks and
+// every episode goes through the full park/wake round-trip.
+func runParkPingPong(total int) {
+	var a, b core.Semaphore
+	b.P()
+	rounds := total / 2
+	if rounds == 0 {
+		rounds = 1
+	}
+	done := make(chan struct{})
+	core.Fork(func() {
+		for i := 0; i < rounds; i++ {
+			a.P()
+			b.V()
+		}
+	})
+	t2 := core.Fork(func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			b.P()
+			a.V()
+		}
+	})
+	<-done
+	_ = t2
+}

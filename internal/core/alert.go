@@ -26,14 +26,18 @@ var Alerted = errors.New("threads: alerted")
 // TestAlert, AlertWait or AlertP. Alerting a thread blocked in plain Wait,
 // P or Acquire does not disturb it — only the alertable operations respond.
 func Alert(t *Thread) {
-	statInc(&stats.alerts)
+	statIncT(t, statAlerts)
 	t.alerted.Store(true)
 	t.alertLock.Lock()
+	// The claim happens under alertLock, which every blocking path holds
+	// while registering and unregistering its waiter: while the lock is
+	// held and alertW is non-nil, the registered episode cannot end, so
+	// the claim cannot leak onto a reused waiter's later episode.
 	w := t.alertW
 	if w != nil && w.claim(reasonAlert) {
 		t.alertLock.Unlock()
 		w.wake()
-		statInc(&stats.alertWakes)
+		statIncT(t, statAlertWakes)
 		return
 	}
 	t.alertLock.Unlock()
@@ -49,7 +53,7 @@ func TestAlert() bool {
 	t := Self()
 	b := t.alerted.Swap(false)
 	if b {
-		statInc(&stats.testAlertTrue)
+		statIncT(t, statTestAlertTrue)
 	}
 	return b
 }

@@ -64,7 +64,7 @@ type Condition struct {
 // REQUIRES m = SELF. Return is a hint: the associated predicate must be
 // re-evaluated, and Wait called again if it does not hold.
 func (c *Condition) Wait(m *Mutex) {
-	statInc(&stats.waitCount)
+	statInc(statWaitCount)
 	c.committed.Add(1)
 	i := c.ec.Read()
 	m.Release()
@@ -73,47 +73,84 @@ func (c *Condition) Wait(m *Mutex) {
 	m.Acquire()
 }
 
+// spinBlock is Block's analogue of the gate's adaptive spin: before paying
+// for the Nub lock and a park/wake round-trip, briefly poll the eventcount
+// for the Signal or Broadcast that short critical sections deliver within
+// a few hundred nanoseconds. Returns true if the count advanced — the same
+// condition Block checks under the lock — so the wait is elided without
+// ever touching the queue. Skipped whenever another thread is committed to
+// the Wait protocol (the lock-free proxy for "the queue may be nonempty"):
+// an eventcount advance would resume that thread too, so spinning past it
+// cannot starve anyone, but it would make the spinner steal wakeups the
+// queued thread was closer to; lone-waiter spinning mirrors sync.Mutex's
+// empty-queue policy.
+func (c *Condition) spinBlock(i uint64) bool {
+	if !canSpin() {
+		return false
+	}
+	for r := 0; r < acquireSpinRounds; r++ {
+		if c.committed.Load() > 1 { // the caller itself is committed
+			return false
+		}
+		spinlock.Pause(spinPauseIters)
+		if c.ec.AdvancedSince(i) {
+			return true
+		}
+	}
+	return false
+}
+
 // block is the Nub's Block(c, i) subroutine plus the descheduling: under
 // the spin lock it compares i with the current eventcount; if unequal (an
 // intervening Signal or Broadcast) it returns at once, otherwise the
 // calling thread is added to c's queue and descheduled.
 //
-// For alertable waits, w carries the thread so Alert can claim it; block
-// returns the wake reason (reasonWake for signal/broadcast or elided
+// For alertable waits, t carries the thread so Alert can claim the wait;
+// block returns the wake reason (reasonWake for signal/broadcast or elided
 // waits, reasonAlert when Alert won).
-func (c *Condition) block(i uint64, t *Thread) uint32 {
-	var w *waiter
+func (c *Condition) block(i uint64, t *Thread) uint64 {
+	if t == nil && c.spinBlock(i) {
+		// The eventcount advanced while spinning: the wait is elided
+		// before the waiter is even prepared. Alertable waits skip the
+		// spin — they must register for Alert before any waiting, else
+		// a pending alert would sit undelivered for the spin's
+		// duration.
+		statInc(statWaitSpin)
+		return reasonWake
+	}
+	w := getWaiter(t)
 	if t != nil {
-		w = newWaiter(t)
 		t.setAlertWaiter(w)
 		// A pending alert satisfies the RAISES WHEN clause already;
 		// claim it and skip the queue entirely.
 		if t.alerted.Load() && w.claim(reasonAlert) {
 			t.clearAlertWaiter()
+			w.endEpisode()
 			return reasonAlert
 		}
 	}
 	c.nub.Lock()
 	if c.ec.AdvancedSince(i) {
 		c.nub.Unlock()
-		statInc(&stats.waitElided)
+		statInc(statWaitElided)
 		if t != nil {
 			t.clearAlertWaiter()
-			if w.reason.Load() == reasonAlert {
+			if w.reason() == reasonAlert {
 				// Alert claimed us in the window; both outcomes are
 				// specification-conformant, and honoring the alert
-				// keeps delivery prompt.
+				// keeps delivery prompt. Alert owes a wake token;
+				// consume it before the waiter can be reused.
+				w.drain()
+				w.endEpisode()
 				return reasonAlert
 			}
 		}
+		w.endEpisode()
 		return reasonWake
-	}
-	if w == nil {
-		w = newWaiter(nil)
 	}
 	c.q.Push(&w.node)
 	c.nub.Unlock()
-	statInc(&stats.waitPark)
+	statInc(statWaitPark)
 	reason := w.park()
 	if t != nil {
 		t.clearAlertWaiter()
@@ -128,6 +165,7 @@ func (c *Condition) block(i uint64, t *Thread) uint32 {
 		c.q.Remove(&w.node)
 		c.nub.Unlock()
 	}
+	w.endEpisode()
 	return reason
 }
 
@@ -141,10 +179,10 @@ func (c *Condition) Signal() {
 		// no Nub call. (Any thread that commits later will re-check the
 		// predicate before blocking — under the mutex its change is
 		// visible — so nothing is lost.)
-		statInc(&stats.signalFast)
+		statInc(statSignalFast)
 		return
 	}
-	statInc(&stats.signalNub)
+	statInc(statSignalNub)
 	c.nub.Lock()
 	c.ec.Advance()
 	for {
@@ -153,15 +191,18 @@ func (c *Condition) Signal() {
 			break
 		}
 		w := n.Value
+		// Claim under the Nub lock: a popped waiter's episode cannot end
+		// (its alerted path must reacquire this lock to leave c) before
+		// the claim resolves, so the claim addresses the right episode.
 		if w.claim(reasonWake) {
 			c.nub.Unlock()
 			w.wake()
-			statInc(&stats.signalWoke)
+			statInc(statSignalWoke)
 			return
 		}
 		// This waiter was already claimed by Alert; its wakeup belongs
 		// to another thread.
-		statInc(&stats.signalRepop)
+		statInc(statSignalRepop)
 	}
 	c.nub.Unlock()
 }
@@ -172,21 +213,26 @@ func (c *Condition) Signal() {
 // specification also satisfies Signal's.
 func (c *Condition) Broadcast() {
 	if c.committed.Load() == 0 {
-		statInc(&stats.bcastFast)
+		statInc(statBcastFast)
 		return
 	}
-	statInc(&stats.bcastNub)
+	statInc(statBcastNub)
+	var woke uint64
 	c.nub.Lock()
 	c.ec.Advance()
-	nodes := c.q.PopAll()
-	c.nub.Unlock()
-	for _, n := range nodes {
+	// Claim and wake under the Nub lock: wake never blocks (the parking
+	// place is buffered), claims stay within the popped episodes, and the
+	// drain allocates nothing — where the old PopAll built a slice per
+	// Broadcast.
+	c.q.Drain(func(n *queue.Node[*waiter]) {
 		w := n.Value
 		if w.claim(reasonWake) {
 			w.wake()
-			statInc(&stats.bcastWoke)
+			woke++
 		}
-	}
+	})
+	c.nub.Unlock()
+	statAdd(statBcastWoke, woke)
 }
 
 // AlertWait is Wait, except that it may return Alerted rather than nil.
@@ -216,7 +262,7 @@ func (c *Condition) Broadcast() {
 // observed (experiment E8).
 func (c *Condition) AlertWait(m *Mutex) error {
 	t := Self()
-	statInc(&stats.waitCount)
+	statIncT(t, statWaitCount)
 	c.committed.Add(1)
 	i := c.ec.Read()
 	m.Release()
@@ -225,7 +271,7 @@ func (c *Condition) AlertWait(m *Mutex) error {
 	m.Acquire()
 	if reason == reasonAlert {
 		t.alerted.Store(false)
-		statInc(&stats.alertedWait)
+		statIncT(t, statAlertedWait)
 		return Alerted
 	}
 	return nil

@@ -27,18 +27,20 @@ type gate struct {
 // gateStats routes the shared mechanism's counters to the mutex or
 // semaphore columns of Stats.
 type gateStats struct {
-	fast, nubEnter, park *atomic.Uint64
-	relFast, relNub      *atomic.Uint64
+	fast, spin, nubEnter, backout, park statID
+	relFast, relNub                     statID
 }
 
 var mutexGateStats = gateStats{
-	fast: &stats.acquireFast, nubEnter: &stats.acquireNub, park: &stats.acquirePark,
-	relFast: &stats.releaseFast, relNub: &stats.releaseNub,
+	fast: statAcquireFast, spin: statAcquireSpin, nubEnter: statAcquireNub,
+	backout: statAcquireBackout, park: statAcquirePark,
+	relFast: statReleaseFast, relNub: statReleaseNub,
 }
 
 var semGateStats = gateStats{
-	fast: &stats.pFast, nubEnter: &stats.pNub, park: &stats.pPark,
-	relFast: &stats.vFast, relNub: &stats.vNub,
+	fast: statPFast, spin: statPSpin, nubEnter: statPNub,
+	backout: statPBackout, park: statPPark,
+	relFast: statVFast, relNub: statVNub,
 }
 
 // tryAcquire is the user-code fast path: a single test-and-set.
@@ -46,11 +48,16 @@ func (g *gate) tryAcquire() bool {
 	return g.lockBit.CompareAndSwap(0, 1)
 }
 
-// acquire implements Acquire/P. The user code test-and-sets the lock bit
-// and calls the Nub subroutine only if the bit was already set.
+// acquire implements Acquire/P. The user code test-and-sets the lock bit,
+// then briefly spins for the holder to leave, and calls the Nub subroutine
+// only if the bit stays set.
 func (g *gate) acquire(st *gateStats) {
 	if g.tryAcquire() {
 		statInc(st.fast)
+		return
+	}
+	if g.spinAcquire() {
+		statInc(st.spin)
 		return
 	}
 	g.acquireNub(st)
@@ -61,10 +68,14 @@ func (g *gate) acquire(st *gateStats) {
 // is still set the thread is descheduled; otherwise it removes itself and
 // the entire Acquire operation — beginning at the test-and-set — is
 // retried. (SRC Report 20, §Implementation: Mutexes and semaphores.)
+//
+// One waiter serves every round of the retry loop; the enqueue and the
+// back-out happen under a single hold of the Nub lock, so a backed-out
+// waiter was never visible to releaseNub and its episode ends unclaimed.
 func (g *gate) acquireNub(st *gateStats) {
 	statInc(st.nubEnter)
+	w := getWaiter(nil)
 	for {
-		w := newWaiter(nil)
 		g.nub.Lock()
 		g.q.Push(&w.node)
 		g.qlen.Add(1)
@@ -74,14 +85,17 @@ func (g *gate) acquireNub(st *gateStats) {
 			g.q.Remove(&w.node)
 			g.qlen.Add(-1)
 			g.nub.Unlock()
+			statInc(st.backout)
 		} else {
 			g.nub.Unlock()
 			statInc(st.park)
 			w.park()
 		}
 		if g.tryAcquire() {
+			w.endEpisode()
 			return
 		}
+		w.begin()
 	}
 }
 
@@ -100,6 +114,11 @@ func (g *gate) release(st *gateStats) {
 // queue and make it ready. The woken thread retries its test-and-set and
 // may lose to a barging acquirer; the specification does not say which of
 // the blocked threads runs next, nor when.
+//
+// The claim happens while the Nub lock is still held: a popped waiter
+// cannot finish its episode (and be reused) before its thread reacquires
+// this lock on the alerted path, so the claim always addresses the episode
+// the pop belonged to.
 func (g *gate) releaseNub(st *gateStats) {
 	statInc(st.relNub)
 	g.nub.Lock()
@@ -129,17 +148,24 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 		// Both WHEN clauses of AlertP may be enabled at once (s
 		// available and SELF in alerts); the implementation is free to
 		// choose, and the fast path chooses to return normally.
-		statInc(st.fast)
+		statIncT(t, st.fast)
 		return false
 	}
-	statInc(st.nubEnter)
+	if !t.alerted.Load() && g.spinAcquire() {
+		statIncT(t, st.spin)
+		return false
+	}
+	statIncT(t, st.nubEnter)
+	w := getWaiter(t)
 	for {
-		w := newWaiter(t)
 		t.setAlertWaiter(w)
 		// A pending alert claims the wait immediately: the WHEN clause
-		// of the RAISES case is already true.
+		// of the RAISES case is already true. (If the self-claim loses
+		// to a concurrent Alert, the Alert's wake token is consumed by
+		// the park or drain below.)
 		if t.alerted.Load() && w.claim(reasonAlert) {
 			t.clearAlertWaiter()
+			w.endEpisode()
 			return true
 		}
 		g.nub.Lock()
@@ -149,18 +175,26 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 			g.q.Remove(&w.node)
 			g.qlen.Add(-1)
 			g.nub.Unlock()
+			statIncT(t, st.backout)
 			t.clearAlertWaiter()
-			if w.reason.Load() == reasonAlert {
-				// Alert claimed us while we backed out; honor it.
+			if w.reason() == reasonAlert {
+				// Alert claimed us while we backed out; honor it. The
+				// enqueue and back-out were one critical section, so
+				// only Alert can have claimed — and it owes a wake
+				// token, which must be consumed before reuse.
+				w.drain()
+				w.endEpisode()
 				return true
 			}
 			if g.tryAcquire() {
+				w.endEpisode()
 				return false
 			}
+			w.begin()
 			continue
 		}
 		g.nub.Unlock()
-		statInc(st.park)
+		statIncT(t, st.park)
 		reason := w.park()
 		t.clearAlertWaiter()
 		if reason == reasonAlert {
@@ -171,11 +205,14 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 				g.qlen.Add(-1)
 			}
 			g.nub.Unlock()
+			w.endEpisode()
 			return true
 		}
 		if g.tryAcquire() {
+			w.endEpisode()
 			return false
 		}
+		w.begin()
 	}
 }
 

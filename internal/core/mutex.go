@@ -65,7 +65,7 @@ func (m *Mutex) TryAcquire() bool {
 	if checking.Load() {
 		m.holder.Store(Self().id)
 	}
-	statInc(&stats.acquireFast)
+	statInc(statAcquireFast)
 	return true
 }
 

@@ -39,7 +39,7 @@ func (s *Semaphore) TryP() bool {
 	if !s.g.tryAcquire() {
 		return false
 	}
-	statInc(&stats.pFast)
+	statInc(statPFast)
 	return true
 }
 
@@ -69,7 +69,7 @@ func (s *Semaphore) AlertP() error {
 	t := Self()
 	if s.g.alertableAcquire(t, &semGateStats) {
 		t.alerted.Store(false)
-		statInc(&stats.alertedP)
+		statIncT(t, statAlertedP)
 		return Alerted
 	}
 	return nil

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
 
 // Stats is a snapshot of the package's contention counters. The paper
 // reports that the underlying implementation was reworked "to make it easy
@@ -8,19 +12,24 @@ import "sync/atomic"
 // these counters are that facility. They also drive experiments E2 and E3:
 // the fast-path hit rate and the multi-unblock behavior of Signal.
 type Stats struct {
-	AcquireFast uint64 // Acquire satisfied by the inline test-and-set
-	AcquireNub  uint64 // Acquire entered the Nub subroutine
-	AcquirePark uint64 // Acquire descheduled the caller
-	ReleaseFast uint64 // Release found the queue empty
-	ReleaseNub  uint64 // Release entered the Nub subroutine
+	AcquireFast    uint64 // Acquire satisfied by the inline test-and-set
+	AcquireSpin    uint64 // Acquire satisfied during the bounded active spin
+	AcquireNub     uint64 // Acquire entered the Nub subroutine
+	AcquireBackout uint64 // Nub enqueue backed out (lock bit observed clear)
+	AcquirePark    uint64 // Acquire descheduled the caller
+	ReleaseFast    uint64 // Release found the queue empty
+	ReleaseNub     uint64 // Release entered the Nub subroutine
 
-	PFast uint64 // P satisfied inline
-	PNub  uint64 // P entered the Nub
-	PPark uint64 // P descheduled the caller
-	VFast uint64 // V found the queue empty
-	VNub  uint64 // V entered the Nub
+	PFast    uint64 // P satisfied inline
+	PSpin    uint64 // P satisfied during the bounded active spin
+	PNub     uint64 // P entered the Nub
+	PBackout uint64 // Nub enqueue backed out (lock bit observed clear)
+	PPark    uint64 // P descheduled the caller
+	VFast    uint64 // V found the queue empty
+	VNub     uint64 // V entered the Nub
 
 	WaitCount   uint64 // Wait calls
+	WaitSpin    uint64 // Block satisfied during the bounded active spin
 	WaitElided  uint64 // Block returned without descheduling (eventcount advanced)
 	WaitPark    uint64 // Block descheduled the caller
 	SignalFast  uint64 // Signal with no committed waiters: no Nub call
@@ -38,23 +47,74 @@ type Stats struct {
 	TestAlertTrue uint64 // TestAlert returned true
 }
 
+// statID names one counter; it indexes into a shard's counter block.
+type statID int
+
+const (
+	statAcquireFast statID = iota
+	statAcquireSpin
+	statAcquireNub
+	statAcquireBackout
+	statAcquirePark
+	statReleaseFast
+	statReleaseNub
+	statPFast
+	statPSpin
+	statPNub
+	statPBackout
+	statPPark
+	statVFast
+	statVNub
+	statWaitCount
+	statWaitSpin
+	statWaitElided
+	statWaitPark
+	statSignalFast
+	statSignalNub
+	statSignalWoke
+	statSignalRepop
+	statBcastFast
+	statBcastNub
+	statBcastWoke
+	statAlerts
+	statAlertWakes
+	statAlertedWait
+	statAlertedP
+	statTestAlertTrue
+	numStats
+)
+
+const cacheLineSize = 64
+
+// statShard is one padded block of counters. Its size is rounded up to a
+// whole number of cache lines so counters in different shards never share
+// a line: with a single global block, enabling statistics made every fast
+// path bounce the same lines between processors.
+type statShard struct {
+	c [numStats]atomic.Uint64
+	_ [(cacheLineSize - (numStats*8)%cacheLineSize) % cacheLineSize]byte
+}
+
+// statShards holds one counter block per processor's worth of parallelism.
+// Sized (power of two) from GOMAXPROCS at init; a thread-identity hash
+// picks the shard, so concurrent updaters usually touch distinct lines.
+var (
+	statShards    []statShard
+	statShardMask uintptr
+)
+
+func init() {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	statShards = make([]statShard, n)
+	statShardMask = uintptr(n - 1)
+}
+
 // statsEnabled gates all counter updates; when false the counters cost one
 // predictable branch on the fast paths.
 var statsEnabled atomic.Bool
-
-var stats struct {
-	acquireFast, acquireNub, acquirePark atomic.Uint64
-	releaseFast, releaseNub              atomic.Uint64
-	pFast, pNub, pPark                   atomic.Uint64
-	vFast, vNub                          atomic.Uint64
-	waitCount, waitElided, waitPark      atomic.Uint64
-	signalFast, signalNub                atomic.Uint64
-	signalWoke, signalRepop              atomic.Uint64
-	bcastFast, bcastNub, bcastWoke       atomic.Uint64
-	alerts, alertWakes                   atomic.Uint64
-	alertedWait, alertedP                atomic.Uint64
-	testAlertTrue                        atomic.Uint64
-}
 
 // EnableStats turns contention statistics on or off and returns the
 // previous setting.
@@ -63,71 +123,84 @@ func EnableStats(on bool) bool { return statsEnabled.Swap(on) }
 // StatsEnabled reports whether statistics are being collected.
 func StatsEnabled() bool { return statsEnabled.Load() }
 
-func statAdd(c *atomic.Uint64, n uint64) {
+// statShardIdx hashes the calling thread's identity to a shard index. The
+// hot paths deliberately never compute SELF (recovering the goroutine id
+// costs a runtime.Stack call), so the hash input is the next best
+// per-thread value: the address of a stack variable. Goroutine stacks are
+// distinct multi-kilobyte allocations, so folding the sub-page bits away
+// spreads goroutines across shards while staying stable within one
+// goroutine. Only the numeric value of the pointer is used.
+func statShardIdx() uintptr {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	return ((p >> 10) ^ (p >> 16)) & statShardMask
+}
+
+func statAdd(id statID, n uint64) {
 	if statsEnabled.Load() {
-		c.Add(n)
+		statShards[statShardIdx()].c[id].Add(n)
 	}
 }
 
-func statInc(c *atomic.Uint64) { statAdd(c, 1) }
+func statInc(id statID) { statAdd(id, 1) }
 
-// SnapshotStats returns the current counter values.
+// statIncT is statInc for call sites that already hold a Thread: the shard
+// index hashes the thread id instead of re-deriving an identity.
+func statIncT(t *Thread, id statID) {
+	if statsEnabled.Load() {
+		statShards[uintptr(t.id*0x9e3779b9)&statShardMask].c[id].Add(1)
+	}
+}
+
+// SnapshotStats returns the current counter values, aggregated over all
+// shards. The snapshot is not atomic across counters (it never was), only
+// per counter.
 func SnapshotStats() Stats {
+	var c [numStats]uint64
+	for i := range statShards {
+		for id := statID(0); id < numStats; id++ {
+			c[id] += statShards[i].c[id].Load()
+		}
+	}
 	return Stats{
-		AcquireFast: stats.acquireFast.Load(),
-		AcquireNub:  stats.acquireNub.Load(),
-		AcquirePark: stats.acquirePark.Load(),
-		ReleaseFast: stats.releaseFast.Load(),
-		ReleaseNub:  stats.releaseNub.Load(),
-		PFast:       stats.pFast.Load(),
-		PNub:        stats.pNub.Load(),
-		PPark:       stats.pPark.Load(),
-		VFast:       stats.vFast.Load(),
-		VNub:        stats.vNub.Load(),
-		WaitCount:   stats.waitCount.Load(),
-		WaitElided:  stats.waitElided.Load(),
-		WaitPark:    stats.waitPark.Load(),
-		SignalFast:  stats.signalFast.Load(),
-		SignalNub:   stats.signalNub.Load(),
-		SignalWoke:  stats.signalWoke.Load(),
-		SignalRepop: stats.signalRepop.Load(),
-		BcastFast:   stats.bcastFast.Load(),
-		BcastNub:    stats.bcastNub.Load(),
-		BcastWoke:   stats.bcastWoke.Load(),
-
-		Alerts:        stats.alerts.Load(),
-		AlertWakes:    stats.alertWakes.Load(),
-		AlertedWait:   stats.alertedWait.Load(),
-		AlertedP:      stats.alertedP.Load(),
-		TestAlertTrue: stats.testAlertTrue.Load(),
+		AcquireFast:    c[statAcquireFast],
+		AcquireSpin:    c[statAcquireSpin],
+		AcquireNub:     c[statAcquireNub],
+		AcquireBackout: c[statAcquireBackout],
+		AcquirePark:    c[statAcquirePark],
+		ReleaseFast:    c[statReleaseFast],
+		ReleaseNub:     c[statReleaseNub],
+		PFast:          c[statPFast],
+		PSpin:          c[statPSpin],
+		PNub:           c[statPNub],
+		PBackout:       c[statPBackout],
+		PPark:          c[statPPark],
+		VFast:          c[statVFast],
+		VNub:           c[statVNub],
+		WaitCount:      c[statWaitCount],
+		WaitSpin:       c[statWaitSpin],
+		WaitElided:     c[statWaitElided],
+		WaitPark:       c[statWaitPark],
+		SignalFast:     c[statSignalFast],
+		SignalNub:      c[statSignalNub],
+		SignalWoke:     c[statSignalWoke],
+		SignalRepop:    c[statSignalRepop],
+		BcastFast:      c[statBcastFast],
+		BcastNub:       c[statBcastNub],
+		BcastWoke:      c[statBcastWoke],
+		Alerts:         c[statAlerts],
+		AlertWakes:     c[statAlertWakes],
+		AlertedWait:    c[statAlertedWait],
+		AlertedP:       c[statAlertedP],
+		TestAlertTrue:  c[statTestAlertTrue],
 	}
 }
 
 // ResetStats zeroes all counters.
 func ResetStats() {
-	stats.acquireFast.Store(0)
-	stats.acquireNub.Store(0)
-	stats.acquirePark.Store(0)
-	stats.releaseFast.Store(0)
-	stats.releaseNub.Store(0)
-	stats.pFast.Store(0)
-	stats.pNub.Store(0)
-	stats.pPark.Store(0)
-	stats.vFast.Store(0)
-	stats.vNub.Store(0)
-	stats.waitCount.Store(0)
-	stats.waitElided.Store(0)
-	stats.waitPark.Store(0)
-	stats.signalFast.Store(0)
-	stats.signalNub.Store(0)
-	stats.signalWoke.Store(0)
-	stats.signalRepop.Store(0)
-	stats.bcastFast.Store(0)
-	stats.bcastNub.Store(0)
-	stats.bcastWoke.Store(0)
-	stats.alerts.Store(0)
-	stats.alertWakes.Store(0)
-	stats.alertedWait.Store(0)
-	stats.alertedP.Store(0)
-	stats.testAlertTrue.Store(0)
+	for i := range statShards {
+		for id := statID(0); id < numStats; id++ {
+			statShards[i].c[id].Store(0)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"threads/internal/spinlock"
@@ -31,6 +32,12 @@ type Thread struct {
 	// unregister their waiter under it.
 	alertLock spinlock.Lock
 	alertW    *waiter
+
+	// parkW is the thread's cached waiter, reused by every blocking
+	// episode so the slow paths allocate nothing per park. Only threads
+	// created by Fork get one; adopted goroutines may be transient, so
+	// their episodes draw from the shared waiter pool instead.
+	parkW *waiter
 
 	// done is closed when a forked thread's function returns. Join
 	// receives on it. Adopted threads have a nil done channel.
@@ -105,10 +112,16 @@ func lookupThread(gid uint64) *Thread {
 	return t
 }
 
+// goidBufPool recycles the header buffers goid hands to runtime.Stack.
+// runtime.Stack stores its argument in the g (writebuf), so a local array
+// would escape and cost one heap allocation per Self() — pooling keeps the
+// identity lookup allocation-free in steady state.
+var goidBufPool = sync.Pool{New: func() any { return new([64]byte) }}
+
 // goid returns the current goroutine's id, parsed from the
 // "goroutine N [state]:" header runtime.Stack emits.
 func goid() uint64 {
-	var buf [64]byte
+	buf := goidBufPool.Get().(*[64]byte)
 	n := runtime.Stack(buf[:], false)
 	// Skip "goroutine ".
 	const prefix = len("goroutine ")
@@ -120,6 +133,7 @@ func goid() uint64 {
 		}
 		id = id*10 + uint64(c-'0')
 	}
+	goidBufPool.Put(buf)
 	return id
 }
 
@@ -154,6 +168,7 @@ func ForkNamed(name string, fn func()) *Thread {
 	if name != "" {
 		t.name = name
 	}
+	t.parkW = newWaiter()
 	t.done = make(chan struct{})
 	ready := make(chan struct{})
 	go func() {

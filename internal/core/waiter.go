@@ -1,59 +1,145 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"threads/internal/queue"
 )
 
-// Wake reasons. Wakers claim a parked waiter by compare-and-swapping its
-// reason from reasonNone; exactly one waker wins, so each waiter receives
-// exactly one wakeup. A Signal that loses the race to an Alert re-pops the
-// queue and wakes another thread instead — this is the implementation-level
-// counterpart of the corrected AlertWait specification, under which a
-// thread that raises Alerted leaves the condition variable rather than
-// silently absorbing a later Signal.
+// Wake reasons. Wakers claim a parked waiter by compare-and-swapping the
+// reason bits of its state word from reasonNone; exactly one waker wins, so
+// each waiter receives exactly one wakeup per blocking episode. A Signal
+// that loses the race to an Alert re-pops the queue and wakes another
+// thread instead — this is the implementation-level counterpart of the
+// corrected AlertWait specification, under which a thread that raises
+// Alerted leaves the condition variable rather than silently absorbing a
+// later Signal.
 const (
-	reasonNone  uint32 = iota
+	reasonNone  uint64 = iota
 	reasonWake         // Release, V, Signal or Broadcast
 	reasonAlert        // Alert
 )
 
+const (
+	// The low bits of the state word hold the wake reason; the rest is the
+	// episode generation. genStep advances the generation while clearing
+	// the reason bits.
+	reasonMask = 0x3
+	genStep    = reasonMask + 1
+)
+
 // waiter represents one blocked occurrence of a thread: a node on a mutex,
-// semaphore or condition queue plus a one-shot parking place. A fresh
-// waiter is allocated per blocking episode; the blocking paths are the slow
-// paths, and per-episode allocation keeps the wake/alert races free of
-// reuse hazards (a waker that loses the reason CAS may still hold a
-// reference after the blocked call has returned).
+// semaphore or condition queue plus a one-shot parking place. Waiters are
+// reused across blocking episodes — each Fork-created Thread caches one,
+// and anonymous or adopted blockers draw from a sync.Pool — so the slow
+// paths allocate nothing per park.
+//
+// Reuse makes the wake/alert claim races that per-episode allocation used
+// to paper over explicit: a waker that loses the reason CAS may still hold
+// a reference after the blocked call has returned and the waiter has begun
+// a new episode. The state word guards against that: it packs a generation
+// counter above the reason bits, begin() advances the generation, and a
+// claim succeeds only if the state still matches the epoch the claimer
+// captured while the waiter was provably current (under the lock guarding
+// the queue or alert registration the reference came from). A stale claim
+// therefore fails the CAS no matter when it lands.
 type waiter struct {
-	node   queue.Node[*waiter]
-	reason atomic.Uint32
+	node  queue.Node[*waiter]
+	state atomic.Uint64 // generation<<2 | reason
+	// parked is the one-shot parking place, reused across generations. Per
+	// episode at most one token is sent (by the winning claimer) and
+	// exactly one is consumed (by park, or by drain on the paths that
+	// back out after a claim), so the channel is always empty between
+	// episodes.
 	parked chan struct{}
-	// t is the thread blocked here, set only for alertable waits
-	// (AlertWait, AlertP); plain Acquire/Wait/P waiters are anonymous,
-	// just as the Firefly implementation records no identities on its
-	// queues.
-	t *Thread
+	// pooled marks waiters owned by waiterPool rather than cached on a
+	// Thread; endEpisode returns only those to the pool.
+	pooled bool
 }
 
-func newWaiter(t *Thread) *waiter {
-	w := &waiter{parked: make(chan struct{}, 1), t: t}
+func newWaiter() *waiter {
+	w := &waiter{parked: make(chan struct{}, 1)}
 	w.node.Value = w
 	return w
 }
 
-// park blocks until a waker claims and wakes this waiter, then returns the
-// claimed reason.
-func (w *waiter) park() uint32 {
-	<-w.parked
-	return w.reason.Load()
+var waiterPool = sync.Pool{New: func() any {
+	w := newWaiter()
+	w.pooled = true
+	return w
+}}
+
+// getWaiter returns a waiter ready for a new blocking episode. Fork-created
+// threads reuse the waiter cached on the Thread; anonymous blockers (plain
+// Acquire/P/Wait never compute SELF) and adopted goroutines take the pool
+// path.
+func getWaiter(t *Thread) *waiter {
+	var w *waiter
+	if t != nil && t.parkW != nil {
+		w = t.parkW
+	} else {
+		w = waiterPool.Get().(*waiter)
+	}
+	w.begin()
+	return w
 }
 
-// claim attempts to claim the waiter for the given reason and reports
-// whether the caller won. The winner must subsequently call wake exactly
-// once.
-func (w *waiter) claim(reason uint32) bool {
-	return w.reason.CompareAndSwap(reasonNone, reason)
+// endEpisode declares the current blocking episode over: every claim has
+// been resolved and any wake token has been consumed. The waiter may be
+// handed out again (possibly to another goroutine, via the pool) at any
+// moment after this call.
+func (w *waiter) endEpisode() {
+	if w.pooled {
+		waiterPool.Put(w)
+	}
+}
+
+// begin opens a new episode: the generation advances and the reason bits
+// clear in one store. Safe against stale claimers because their captured
+// epochs carry an older generation and their CASes fail; no claim with the
+// *current* generation can be in flight here, since the previous episode
+// resolved all of them before endEpisode.
+func (w *waiter) begin() {
+	w.state.Store((w.state.Load() &^ reasonMask) + genStep)
+}
+
+// epoch captures the current state word for a later claimAt, and reports
+// whether the waiter is still unclaimed. Callers must hold the lock that
+// makes their reference to w current (the Nub spin lock for queued
+// waiters, the thread's alertLock for alert registrations); the returned
+// epoch then stays valid for a claimAt issued after the lock is dropped.
+func (w *waiter) epoch() (e uint64, unclaimed bool) {
+	e = w.state.Load()
+	return e, e&reasonMask == reasonNone
+}
+
+// claimAt attempts to claim the waiter for reason against a captured
+// epoch, reporting whether the caller won. The winner must subsequently
+// call wake exactly once (self-claims, where the blocked thread claims its
+// own waiter before parking, skip the wake). A claim against a stale epoch
+// — the episode ended and a new one began — fails.
+func (w *waiter) claimAt(e uint64, reason uint64) bool {
+	return w.state.CompareAndSwap(e, e|reason)
+}
+
+// claim is epoch+claimAt for callers whose reference is current for the
+// whole call (they hold the guarding lock, or the waiter is their own).
+func (w *waiter) claim(reason uint64) bool {
+	e, unclaimed := w.epoch()
+	return unclaimed && w.claimAt(e, reason)
+}
+
+// reason returns the claimed reason bits (reasonNone if unclaimed).
+func (w *waiter) reason() uint64 {
+	return w.state.Load() & reasonMask
+}
+
+// park blocks until a waker claims and wakes this waiter, then returns the
+// claimed reason.
+func (w *waiter) park() uint64 {
+	<-w.parked
+	return w.reason()
 }
 
 // wake releases the parked thread. It must be called exactly once, by the
@@ -63,7 +149,11 @@ func (w *waiter) wake() {
 	w.parked <- struct{}{}
 }
 
-// claimed reports whether some waker has already claimed this waiter.
-func (w *waiter) claimed() bool {
-	return w.reason.Load() != reasonNone
+// drain consumes the wake token of a claim whose park was never reached —
+// the blocked call backed out (or elided the wait) after an Alert claimed
+// it. The token may still be in flight; drain blocks until it lands, so
+// the episode cannot end with a stray token that would corrupt the next
+// park on this (reused) waiter.
+func (w *waiter) drain() {
+	<-w.parked
 }

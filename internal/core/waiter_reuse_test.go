@@ -1,0 +1,219 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkThreadsUseCachedWaiter checks the fast half of the parking-reuse
+// split: a Fork-created thread owns a cached waiter, and its blocking
+// episodes use that waiter rather than the pool.
+func TestForkThreadsUseCachedWaiter(t *testing.T) {
+	release := make(chan struct{})
+	var sawCached atomic.Bool
+	th := Fork(func() {
+		self := Self()
+		w := getWaiter(self)
+		sawCached.Store(w == self.parkW && !w.pooled)
+		w.endEpisode()
+		<-release
+	})
+	if th.parkW == nil {
+		t.Fatal("Fork thread has no cached waiter")
+	}
+	if th.parkW.pooled {
+		t.Fatal("Fork thread's cached waiter is marked pooled")
+	}
+	close(release)
+	Join(th)
+	if !sawCached.Load() {
+		t.Fatal("getWaiter on a Fork thread did not return its cached waiter")
+	}
+}
+
+// TestAdoptedThreadsTakePoolPath checks the other half: a goroutine not
+// created by Fork is adopted without a cached waiter, and its episodes draw
+// from the shared pool (adopted goroutines may be transient, so caching on
+// the Thread would leak a waiter per adoption).
+func TestAdoptedThreadsTakePoolPath(t *testing.T) {
+	done := make(chan struct{})
+	var parkWNil, pooled atomic.Bool
+	go func() {
+		defer close(done)
+		defer Detach()
+		self := Self()
+		parkWNil.Store(self.parkW == nil)
+		w := getWaiter(self)
+		pooled.Store(w.pooled)
+		w.endEpisode()
+	}()
+	<-done
+	if !parkWNil.Load() {
+		t.Fatal("adopted goroutine unexpectedly has a cached waiter")
+	}
+	if !pooled.Load() {
+		t.Fatal("getWaiter on an adopted thread did not take the pool path")
+	}
+}
+
+// TestWaiterReuseGenerationsCondition stresses the Alert-vs-Signal claim
+// race on one cached waiter across at least 10k reuse generations: one
+// thread loops AlertWait while a signaller and an alerter race to claim
+// each episode. Every AlertWait round opens a fresh generation on the
+// thread's cached waiter, so a stale claim from round k that landed in
+// round k+1 would deliver a double wake — caught here as a stray token
+// corrupting a later park (the loop jams) or, under -race (the Makefile's
+// tier-1 runs this package with it), as a data race.
+func TestWaiterReuseGenerationsCondition(t *testing.T) {
+	const rounds = 12000
+	var (
+		m Mutex
+		c Condition
+	)
+	done := make(chan struct{})
+	start := make(chan struct{})
+	th := ForkNamed("reuse", func() {
+		defer close(done)
+		<-start
+		for i := 0; i < rounds; i++ {
+			m.Acquire()
+			_ = c.AlertWait(&m) // both outcomes are fine; the race is the point
+			m.Release()
+		}
+	})
+	startGen := th.parkW.state.Load() / genStep
+	close(start)
+	var alerts, signals atomic.Uint64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Signal()
+				signals.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Alert(th)
+				alerts.Add(1)
+				runtime.Gosched()
+			}
+		}
+	}()
+	<-done
+	close(stop)
+	Join(th)
+	gens := th.parkW.state.Load()/genStep - startGen
+	if gens < rounds {
+		t.Fatalf("cached waiter advanced %d generations, want >= %d", gens, rounds)
+	}
+	t.Logf("generations=%d signals=%d alerts=%d", gens, signals.Load(), alerts.Load())
+}
+
+// TestWaiterReuseGenerationsGate is the gate-side companion: AlertP rounds
+// on a mostly-unavailable semaphore, with V and Alert racing to claim the
+// parked waiter. The test asserts both WHEN clauses were actually taken,
+// so the claim race is known to have been exercised in both directions.
+func TestWaiterReuseGenerationsGate(t *testing.T) {
+	const rounds = 10000
+	var s Semaphore
+	s.P() // start unavailable so AlertP parks
+	var acquired, alerted atomic.Uint64
+	done := make(chan struct{})
+	th := ForkNamed("reuse-gate", func() {
+		defer close(done)
+		for i := 0; i < rounds; i++ {
+			if err := s.AlertP(); err != nil {
+				alerted.Add(1)
+			} else {
+				acquired.Add(1)
+				// Do not V: keep the semaphore unavailable so the next
+				// round parks again; the driver below supplies the Vs.
+			}
+		}
+	})
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.V()
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Alert(th)
+				runtime.Gosched()
+			}
+		}
+	}()
+	<-done
+	close(stop)
+	Join(th)
+	if acquired.Load() == 0 || alerted.Load() == 0 {
+		t.Fatalf("claim race not exercised both ways: acquired=%d alerted=%d",
+			acquired.Load(), alerted.Load())
+	}
+	t.Logf("acquired=%d alerted=%d", acquired.Load(), alerted.Load())
+}
+
+// TestParkPathZeroAlloc measures heap allocations across a run of forced
+// park/wake round-trips between two Fork threads: in steady state the
+// contended slow path must not allocate (the tentpole property). A small
+// absolute budget absorbs runtime-internal noise (GC, scheduler).
+func TestParkPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	const rounds = 5000
+	pingPong := func(rounds int) {
+		var a, b Semaphore
+		b.P()
+		done := make(chan struct{})
+		Fork(func() {
+			for i := 0; i < rounds; i++ {
+				a.P()
+				b.V()
+			}
+		})
+		Fork(func() {
+			defer close(done)
+			for i := 0; i < rounds; i++ {
+				b.P()
+				a.V()
+			}
+		})
+		<-done
+	}
+	pingPong(rounds) // warm the pools
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	pingPong(rounds)
+	runtime.ReadMemStats(&after)
+	allocs := after.Mallocs - before.Mallocs
+	// Setup (two Threads, channels, registry inserts) costs a fixed ~30
+	// allocations; 2*rounds parks must add nothing proportional.
+	if allocs > 200 {
+		t.Fatalf("%d allocations across %d parks; the park path is allocating", allocs, 2*rounds)
+	}
+	t.Logf("allocs=%d for %d parks", allocs, 2*rounds)
+}

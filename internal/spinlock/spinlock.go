@@ -30,24 +30,52 @@ type Lock struct {
 // wins; past that, the holder is likely descheduled and spinning is waste.
 const activeSpin = 16
 
+// pauseIters is how much Pause delay one active-spin iteration inserts
+// between observations of the lock bit.
+const pauseIters = 8
+
 // Lock acquires the spin lock, busy-waiting until the bit is clear.
 func (l *Lock) Lock() {
 	if l.bit.CompareAndSwap(0, 1) {
 		return // the common, uncontended path: one test-and-set
 	}
 	l.contention.Add(1)
-	spins := 0
 	for {
+		// The spin budget resets every round: it measures how long the
+		// *current* holder has kept us waiting. (Carrying it across
+		// rounds meant one long first wait degraded every later round
+		// to an immediate Gosched, even against holders that release
+		// within a few cycles.)
+		spins := 0
 		// Test before test-and-set: spin on a plain load so the
 		// cache line is not bounced by failed RMW operations.
 		for l.bit.Load() != 0 {
 			spins++
 			if spins > activeSpin {
 				runtime.Gosched()
+			} else {
+				Pause(pauseIters)
 			}
 		}
 		if l.bit.CompareAndSwap(0, 1) {
 			return
+		}
+	}
+}
+
+// pauseBeacon is always zero; reading it gives Pause a side effect the
+// compiler cannot delete without the loop itself doing any shared-memory
+// writes (which would defeat the point by bouncing a cache line).
+var pauseBeacon atomic.Uint32
+
+// Pause burns a few cycles off the processor's speculation budget between
+// polls of a contended location — the software stand-in for the PAUSE /
+// YIELD hint the hardware spin loop in the paper would use. Unlike
+// runtime.Gosched it does not deschedule the caller.
+func Pause(iters int) {
+	for i := 0; i < iters; i++ {
+		if pauseBeacon.Load() != 0 {
+			runtime.Gosched() // unreachable; keeps the loop material
 		}
 	}
 }

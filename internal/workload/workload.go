@@ -100,7 +100,12 @@ func ProducerConsumer(m baselines.Monitor, cfg PCConfig) PCResult {
 					}
 					atomic.AddUint64(&waits, 1)
 					nonEmpty.Wait()
-					if queue == 0 {
+					if queue == 0 && int(atomic.LoadInt64(&consumed)) < total {
+						// Only count a false predicate during operation:
+						// the shutdown Broadcast wakes blocked consumers
+						// to an empty queue by design, on every
+						// implementation — including Hoare's, whose
+						// guarantee is about Signal hand-offs.
 						atomic.AddUint64(&spurious, 1)
 					}
 				}
