@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-baseline bench-check
+.PHONY: tier1 build vet test race bench bench-baseline bench-check conformance
 
-tier1: build vet race test
+tier1: build vet race test conformance
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ race:
 
 test:
 	$(GO) test ./...
+
+# conformance replays linearization-point traces of the real runtime through
+# the specification's state machine: the trace/core conformance tests under
+# the race detector, then a larger un-instrumented replay via threadscheck.
+conformance:
+	$(GO) test -race -run 'TestRuntimeConformance|TestClaimRace|TestTraceStamp' ./internal/trace ./internal/core
+	$(GO) run ./cmd/threadscheck -runtime -events 300000
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

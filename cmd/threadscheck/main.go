@@ -1,7 +1,12 @@
-// Command threadscheck model-checks the formal specification: it explores
-// every interleaving of the litmus scenarios against a chosen historical
-// variant of the AlertWait specification and reports violations with their
-// shortest counterexample traces.
+// Command threadscheck checks the specification and the implementation.
+//
+// In its model-checking modes it explores every interleaving of the litmus
+// scenarios against a chosen historical variant of the AlertWait
+// specification and reports violations with their shortest counterexample
+// traces. In -runtime mode it runs the real concurrent runtime
+// (internal/core) with conformance tracing enabled and replays the recorded
+// linearization-point trace through the specification's state machine —
+// experiment E9 extended from the simulator to the implementation.
 //
 // Usage:
 //
@@ -10,6 +15,15 @@
 //	threadscheck -bug mnil           # just the E7a scenario
 //	threadscheck -bug unchangedc     # just the E7b scenario
 //	threadscheck -mutex 3,2          # mutual-exclusion litmus: 3 threads × 2 CS
+//	threadscheck -mutex 3,2 -variant no-m-nil   # same, with the injected bug
+//	threadscheck -runtime            # trace & replay the real runtime
+//	threadscheck -runtime -events 2000000       # larger replay target
+//
+// Exit status is nonzero whenever a checked property fails: any violation in
+// -mutex or -runtime mode (the user asked about that exact configuration),
+// and any violation under the final specification variant in the scenario
+// modes (the historical variants are expected to violate — that is the
+// demonstration — so only final-variant failures are regressions).
 package main
 
 import (
@@ -19,15 +33,21 @@ import (
 	"strconv"
 	"strings"
 
+	"threads/internal/baselines"
 	"threads/internal/checker"
+	"threads/internal/core"
 	"threads/internal/spec"
+	"threads/internal/trace"
+	"threads/internal/workload"
 )
 
 func main() {
 	var (
-		variantFlag = flag.String("variant", "", "spec variant: final, no-m-nil, unchanged-c (default: all)")
+		variantFlag = flag.String("variant", "", "spec variant: final, no-m-nil, unchanged-c (default: all; -mutex default: final)")
 		bug         = flag.String("bug", "", "scenario: mnil (E7a), unchangedc (E7b) (default: both)")
 		mutex       = flag.String("mutex", "", "run the mutual-exclusion litmus: THREADS,ITERS")
+		runtimeCk   = flag.Bool("runtime", false, "trace the real runtime and replay it through the spec")
+		events      = flag.Uint64("events", 1_200_000, "minimum linearized events to replay in -runtime mode")
 	)
 	flag.Parse()
 
@@ -43,8 +63,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "threadscheck: bad -mutex arguments")
 			os.Exit(2)
 		}
-		report(fmt.Sprintf("mutual exclusion, %d threads × %d critical sections", n, iters),
+		// -mutex checks the configuration the user named, so any violation
+		// is a nonzero exit — this branch previously discarded the result
+		// and always exited 0, which let a failing run look clean in CI.
+		v := spec.VariantFinal
+		if *variantFlag != "" {
+			var err error
+			if v, err = parseVariant(*variantFlag); err != nil {
+				fmt.Fprintln(os.Stderr, "threadscheck:", err)
+				os.Exit(2)
+			}
+		}
+		bad := report(fmt.Sprintf("mutual exclusion, %d threads × %d critical sections", n, iters),
 			checker.Run(checker.MutualExclusion(n, iters)))
+		bad = report(fmt.Sprintf("mutual exclusion with AlertWait, %d threads × %d critical sections [variant %s]", n, iters, v),
+			checker.Run(checker.MutualExclusionAlert(v, n, iters))) || bad
+		if bad {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *runtimeCk {
+		if err := runRuntime(*events); err != nil {
+			fmt.Fprintln(os.Stderr, "threadscheck:", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -66,14 +110,14 @@ func main() {
 	bad := false
 	for _, v := range variants {
 		if runMNil {
-			res := checker.Run(checker.AlertSeizesHeldMutex(v))
-			report(fmt.Sprintf("E7a mutual exclusion under AlertWait [variant %s]", v), res)
-			bad = bad || (v == spec.VariantFinal && res.Violation != nil)
+			violated := report(fmt.Sprintf("E7a mutual exclusion under AlertWait [variant %s]", v),
+				checker.Run(checker.AlertSeizesHeldMutex(v)))
+			bad = bad || (v == spec.VariantFinal && violated)
 		}
 		if runUnchanged {
-			res := checker.Run(checker.SignalAbsorbedByDepartedThread(v))
-			report(fmt.Sprintf("E7b absorbed signal [variant %s]", v), res)
-			bad = bad || (v == spec.VariantFinal && res.Violation != nil)
+			violated := report(fmt.Sprintf("E7b absorbed signal [variant %s]", v),
+				checker.Run(checker.SignalAbsorbedByDepartedThread(v)))
+			bad = bad || (v == spec.VariantFinal && violated)
 		}
 	}
 	if bad {
@@ -81,6 +125,47 @@ func main() {
 		// regression in this repository.
 		os.Exit(1)
 	}
+}
+
+// runRuntime runs the producer-consumer and alert-storm workloads on the
+// real runtime with conformance tracing on, episodically: run a bounded
+// burst, quiesce (all workers joined), collect the sharded rings, merge by
+// stamp and feed the checker, until at least target events have replayed.
+// Episodic collection bounds memory while the global stamp counter keeps
+// the stream strictly ordered across episodes.
+func runRuntime(target uint64) error {
+	const perShardCap = 1 << 17
+	core.StartTracing(perShardCap)
+	defer core.StopTracing()
+
+	ck := trace.New()
+	var replayed uint64
+	episode := 0
+	for replayed < target {
+		episode++
+		pcRes := workload.ProducerConsumer(baselines.NewThreadsMonitor(), workload.PCConfig{
+			Producers: 4, Consumers: 4, ItemsPerProducer: 4000, Capacity: 8, Work: 0,
+		})
+		asRes := workload.AlertStorm(workload.AlertStormConfig{
+			Victims: 8, Stormers: 2, Episodes: 200,
+		})
+		shards, dropped := core.CollectTrace()
+		if dropped > 0 {
+			return fmt.Errorf("episode %d overflowed the trace rings (%d records dropped): raise perShardCap or shrink the burst", episode, dropped)
+		}
+		evs, err := trace.FromCore(trace.Merge(shards))
+		if err != nil {
+			return err
+		}
+		if err := ck.Feed(evs); err != nil {
+			return err
+		}
+		replayed += uint64(len(evs))
+		fmt.Printf("episode %2d: %7d events (pc %d items, storm %d alerts/%d raised) — %d/%d replayed, clean\n",
+			episode, len(evs), pcRes.Items, asRes.Alerts, asRes.Raised, replayed, target)
+	}
+	fmt.Printf("runtime conformance: %d linearized events replayed through the specification, zero violations\n", replayed)
+	return nil
 }
 
 func parseVariant(s string) (spec.Variant, error) {
@@ -96,12 +181,14 @@ func parseVariant(s string) (spec.Variant, error) {
 	}
 }
 
-func report(title string, res checker.Result) {
+// report prints one model-checking result and returns whether it violated
+// its property — the caller decides what that means for the exit status.
+func report(title string, res checker.Result) bool {
 	fmt.Printf("== %s\n", title)
 	fmt.Printf("   states %d, transitions %d, terminal %d\n", res.States, res.Transitions, res.Terminal)
 	if res.Violation == nil {
 		fmt.Printf("   property holds over the full state space\n\n")
-		return
+		return false
 	}
 	fmt.Printf("   %s VIOLATION: %s\n", strings.ToUpper(res.Violation.Kind), res.Violation.Msg)
 	fmt.Printf("   shortest counterexample (%d steps):\n", len(res.Violation.Trace))
@@ -109,4 +196,5 @@ func report(title string, res checker.Result) {
 		fmt.Printf("     %2d. %s\n", i+1, step)
 	}
 	fmt.Println()
+	return true
 }

@@ -72,6 +72,10 @@ func main() {
 	// inside critical sections of other mutexes — which is exactly why it
 	// may only use V.
 	go func() {
+		// This goroutine was not created by Fork; if a primitive path ever
+		// adopts it (V with tracing on, for example), detaching on exit
+		// keeps the goroutine→Thread registry from growing.
+		defer threads.Detach()
 		for _, b := range message {
 			time.Sleep(2 * time.Millisecond)
 			d.interrupt(b)

@@ -57,7 +57,7 @@ func withTimeout(d time.Duration, call func() (string, error)) (string, error) {
 		v, err := call()
 		results <- outcome{v, err}
 	})
-	timer := time.AfterFunc(d, func() { threads.Alert(worker) })
+	timer := time.AfterFunc(d, func() { defer threads.Detach(); threads.Alert(worker) })
 	defer timer.Stop()
 	threads.Join(worker)
 	res := <-results
@@ -68,6 +68,9 @@ func main() {
 	// Case 1: the reply arrives in time.
 	fast := &rpc{}
 	go func() {
+		// Raw goroutine using the primitives: detach the adopted Thread on
+		// exit (complete's Acquire/Signal adopt it under checking/tracing).
+		defer threads.Detach()
 		time.Sleep(10 * time.Millisecond)
 		fast.complete("pong")
 	}()

@@ -73,6 +73,61 @@ func MutualExclusion(n, iters int) Config {
 	}
 }
 
+// MutualExclusionAlert is MutualExclusion with the alerting facility in the
+// loop — the litmus that makes -mutex sensitive to the specification
+// Variant. Thread 1 enters its critical sections through AlertWait's resume
+// (Enqueue, then AlertResume), threads 2..n through plain Acquire, and an
+// extra thread supplies the Alerts that enable the Raise path. Under
+// spec.VariantNoMNil the Raise's missing "m = NIL &" guard lets thread 1
+// seize the mutex while a worker is inside — the ExclusionInvariant
+// violation the first released specification permitted; under the final
+// variant the state space is clean.
+//
+// Alerts form a set, so two Alerts delivered before one is consumed
+// collapse into one and thread 1 can starve in a later round; those are
+// ordinary terminal states, which is why the config does not require
+// progress (same as AlertSeizesHeldMutex).
+func MutualExclusionAlert(v spec.Variant, n, iters int) Config {
+	const (
+		m = spec.MutexID(1)
+		c = spec.CondID(1)
+	)
+	prog := Program{Name: fmt.Sprintf("mutex-alert-%dx%d-%s", n, iters, v)}
+	alertee := Thread{ID: 1, Name: "t1"}
+	for j := 0; j < iters; j++ {
+		alertee.Steps = append(alertee.Steps,
+			Do(spec.Acquire{T: 1, M: m}),
+			Do(spec.Enqueue{T: 1, M: m, C: c}),
+			Step{Label: "cs", Alternatives: []spec.Action{
+				spec.AlertResumeReturn{T: 1, M: m, C: c},
+				spec.AlertResumeRaise{T: 1, M: m, C: c, Variant: v},
+			}},
+			Do(spec.Release{T: 1, M: m}),
+		)
+	}
+	prog.Threads = append(prog.Threads, alertee)
+	for i := 1; i < n; i++ {
+		tid := spec.ThreadID(i + 1)
+		th := Thread{ID: tid, Name: fmt.Sprintf("t%d", tid)}
+		for j := 0; j < iters; j++ {
+			th.Steps = append(th.Steps,
+				DoLabeled("cs", spec.Acquire{T: tid, M: m}),
+				Do(spec.Release{T: tid, M: m}),
+			)
+		}
+		prog.Threads = append(prog.Threads, th)
+	}
+	alerter := Thread{ID: spec.ThreadID(n + 1), Name: "alerter"}
+	for j := 0; j < iters; j++ {
+		alerter.Steps = append(alerter.Steps, Do(spec.Alert{T: spec.ThreadID(n + 1), Target: 1}))
+	}
+	prog.Threads = append(prog.Threads, alerter)
+	return Config{
+		Program:   prog,
+		Invariant: ExclusionInvariant("cs", m),
+	}
+}
+
 // ExclusionInvariant returns an invariant: at most one thread occupies the
 // labeled region, and it is exactly the abstract holder of m.
 func ExclusionInvariant(label string, m spec.MutexID) func(Snapshot) error {

@@ -27,8 +27,23 @@ var Alerted = errors.New("threads: alerted")
 // P or Acquire does not disturb it — only the alertable operations respond.
 func Alert(t *Thread) {
 	statIncT(t, statAlerts)
-	t.alerted.Store(true)
+	traced := traceOn.Load()
+	var seq, tid uint64
+	if traced {
+		tid = Self().id
+	} else {
+		// Setting the flag before taking the lock narrows the window in
+		// which a concurrent blocking path tests it; traced, the store
+		// moves under the lock so the stamp and the insertion are one
+		// critical section (the flag is also re-stored below, which is
+		// idempotent — alerts is a set).
+		t.alerted.Store(true)
+	}
 	t.alertLock.Lock()
+	if traced {
+		t.alerted.Store(true)
+		seq = nextTraceSeq()
+	}
 	// The claim happens under alertLock, which every blocking path holds
 	// while registering and unregistering its waiter: while the lock is
 	// held and alertW is non-nil, the registered episode cannot end, so
@@ -36,11 +51,17 @@ func Alert(t *Thread) {
 	w := t.alertW
 	if w != nil && w.claim(reasonAlert) {
 		t.alertLock.Unlock()
+		if traced {
+			traceEmit(seq, TraceAlert, tid, 0, t.id, false)
+		}
 		w.wake()
 		statIncT(t, statAlertWakes)
 		return
 	}
 	t.alertLock.Unlock()
+	if traced {
+		traceEmit(seq, TraceAlert, tid, 0, t.id, false)
+	}
 }
 
 // TestAlert reports whether there is a pending request for the calling
@@ -51,7 +72,19 @@ func Alert(t *Thread) {
 //	  ENSURES (b = (SELF IN alerts)) & (alerts' = delete(alerts, SELF))
 func TestAlert() bool {
 	t := Self()
-	b := t.alerted.Swap(false)
+	var b bool
+	if traceOn.Load() {
+		// Stamp the read-and-delete under alertLock so it cannot straddle a
+		// concurrent Alert's insertion: the trace shows either the alert
+		// consumed (Alert before TestAlert) or pending (after), never both.
+		t.alertLock.Lock()
+		b = t.alerted.Swap(false)
+		seq := nextTraceSeq()
+		t.alertLock.Unlock()
+		traceEmit(seq, TraceTestAlert, t.id, 0, 0, b)
+	} else {
+		b = t.alerted.Swap(false)
+	}
 	if b {
 		statIncT(t, statTestAlertTrue)
 	}
@@ -76,4 +109,21 @@ func (t *Thread) clearAlertWaiter() {
 	t.alertLock.Lock()
 	t.alertW = nil
 	t.alertLock.Unlock()
+}
+
+// consumeAlertEmit deletes SELF from the alerts set on an Alerted return
+// (AlertP.Raise, AlertResume.Raise) and, when tracing, stamps the deletion
+// under t's alertLock — the lock that serializes every transition of this
+// thread's membership bit — so the Raise event cannot invert with a
+// concurrent Alert or TestAlert.
+func (t *Thread) consumeAlertEmit(kind TraceKind, obj, obj2 uint64) {
+	if !traceOn.Load() {
+		t.alerted.Store(false)
+		return
+	}
+	t.alertLock.Lock()
+	t.alerted.Store(false)
+	seq := nextTraceSeq()
+	t.alertLock.Unlock()
+	traceEmit(seq, kind, t.id, obj, obj2, false)
 }

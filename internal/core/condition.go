@@ -54,6 +54,27 @@ type Condition struct {
 	// eventcount that the thread's Block will re-check — no wakeup is
 	// lost in the window (the "wakeup-waiting race", experiment E4).
 	committed atomic.Int32
+	traceID   atomic.Uint64 // conformance-trace identity, assigned lazily
+}
+
+// enqueueTraced is the traced prologue shared by Wait and AlertWait: it
+// reads the eventcount and draws the Enqueue stamp in one Nub critical
+// section (so the stamp orders against every Signal/Broadcast advance),
+// emits the Enqueue event, and releases the mutex with the stamp embedded
+// in its word — Enqueue's ENSURES covers m' = NIL, so no separate Release
+// event is emitted, and the embedded stamp keeps the mutex word's
+// never-repeating regime (a plain 0 would reopen the ABA window the
+// stamping scheme closes; see trace.go).
+func (c *Condition) enqueueTraced(m *Mutex, t *Thread) (i, mObj, cObj uint64) {
+	mObj = traceObjID(&m.g.traceID)
+	cObj = traceObjID(&c.traceID)
+	c.nub.Lock()
+	i = c.ec.Read()
+	seq := nextTraceSeq()
+	c.nub.Unlock()
+	traceEmit(seq, TraceEnqueue, t.id, mObj, cObj, false)
+	m.releaseEnqueue(seq)
+	return i, mObj, cObj
 }
 
 // Wait atomically ends the caller's critical section on m and suspends the
@@ -65,6 +86,17 @@ type Condition struct {
 // re-evaluated, and Wait called again if it does not hold.
 func (c *Condition) Wait(m *Mutex) {
 	statInc(statWaitCount)
+	if traceOn.Load() {
+		t := Self()
+		c.committed.Add(1)
+		i, _, cObj := c.enqueueTraced(m, t)
+		c.block(i, nil)
+		c.committed.Add(-1)
+		// The Resume action (WHEN m = NIL & NOT SELF IN c, ENSURES
+		// m' = SELF) is stamped at the reacquiring CAS.
+		m.acquireResume(traceCtx{kind: TraceResume, tid: t.id, obj2: cObj})
+		return
+	}
 	c.committed.Add(1)
 	i := c.ec.Read()
 	m.Release()
@@ -178,13 +210,26 @@ func (c *Condition) Signal() {
 		// User-code optimization: no thread is committed to waiting, so
 		// no Nub call. (Any thread that commits later will re-check the
 		// predicate before blocking — under the mutex its change is
-		// visible — so nothing is lost.)
+		// visible — so nothing is lost.) No trace event either: this path
+		// neither advances the eventcount nor touches the queue, so it can
+		// unblock nothing, and Signal with c' = c is always admitted.
 		statInc(statSignalFast)
 		return
 	}
 	statInc(statSignalNub)
+	var tid uint64
+	traced := traceOn.Load()
+	if traced {
+		tid = Self().id
+	}
 	c.nub.Lock()
 	c.ec.Advance()
+	if traced {
+		// Stamped inside the same critical section as the advance, so the
+		// Signal orders correctly against every Enqueue stamp (drawn under
+		// this lock at the eventcount read) and every other advance.
+		traceEmit(nextTraceSeq(), TraceSignal, tid, traceObjID(&c.traceID), 0, false)
+	}
 	for {
 		n := c.q.Pop()
 		if n == nil {
@@ -217,9 +262,17 @@ func (c *Condition) Broadcast() {
 		return
 	}
 	statInc(statBcastNub)
+	var tid uint64
+	traced := traceOn.Load()
+	if traced {
+		tid = Self().id
+	}
 	var woke uint64
 	c.nub.Lock()
 	c.ec.Advance()
+	if traced {
+		traceEmit(nextTraceSeq(), TraceBroadcast, tid, traceObjID(&c.traceID), 0, false)
+	}
 	// Claim and wake under the Nub lock: wake never blocks (the parking
 	// place is buffered), claims stay within the popped episodes, and the
 	// drain allocates nothing — where the old PopAll built a slice per
@@ -264,6 +317,28 @@ func (c *Condition) AlertWait(m *Mutex) error {
 	t := Self()
 	statIncT(t, statWaitCount)
 	c.committed.Add(1)
+	if traceOn.Load() {
+		i, mObj, cObj := c.enqueueTraced(m, t)
+		reason := c.block(i, t)
+		c.committed.Add(-1)
+		if reason == reasonAlert {
+			// AlertResume's RAISES case is stamped in the alerts domain
+			// (under t's alertLock, where the alerts-set deletion is
+			// serialized), not at the mutex CAS, so the reacquisition
+			// itself is silent. That is safe: between this thread's
+			// winning CAS and the Raise stamp no other thread can emit a
+			// mutex event — Acquire/Resume CASes fail while the mutex is
+			// held, and only the holder may Release — so the Raise still
+			// lands between the previous holder's event and this thread's
+			// next one in stamp order.
+			m.acquireResume(traceCtx{})
+			t.consumeAlertEmit(TraceAlertResumeRaise, mObj, cObj)
+			statIncT(t, statAlertedWait)
+			return Alerted
+		}
+		m.acquireResume(traceCtx{kind: TraceAlertResumeReturn, tid: t.id, obj2: cObj})
+		return nil
+	}
 	i := c.ec.Read()
 	m.Release()
 	reason := c.block(i, t)

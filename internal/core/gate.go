@@ -13,54 +13,85 @@ import (
 // types differ only in specification (Release has a REQUIRES clause, V does
 // not, and only semaphores have AlertP).
 //
-// Representation, per the paper: a pair (lock bit, queue). The lock bit is
-// 1 iff a thread is inside (mutex held / semaphore unavailable). The queue
-// holds threads blocked awaiting their WHEN condition, and is manipulated
-// only under the Nub spin lock.
+// Representation, per the paper: a pair (lock bit, queue). Bit 0 of word is
+// 1 iff a thread is inside (mutex held / semaphore unavailable); with
+// conformance tracing enabled, bits 1..63 carry the stamp of the transition
+// that produced the current value (see trace.go for the full argument). The
+// queue holds threads blocked awaiting their WHEN condition, and is
+// manipulated only under the Nub spin lock.
 type gate struct {
-	lockBit atomic.Uint32
+	word    atomic.Uint64
 	qlen    atomic.Int32 // mirror of q.Len(), readable outside the spin lock
 	nub     spinlock.Lock
 	q       queue.FIFO[*waiter]
+	traceID atomic.Uint64 // conformance-trace identity, assigned lazily
 }
 
+// gateLockedBit is bit 0 of the gate word.
+const gateLockedBit = 1
+
 // gateStats routes the shared mechanism's counters to the mutex or
-// semaphore columns of Stats.
+// semaphore columns of Stats, and its trace events to the mutex or
+// semaphore action kinds.
 type gateStats struct {
 	fast, spin, nubEnter, backout, park statID
 	relFast, relNub                     statID
+	tkRel                               TraceKind // Release or V
 }
 
 var mutexGateStats = gateStats{
 	fast: statAcquireFast, spin: statAcquireSpin, nubEnter: statAcquireNub,
 	backout: statAcquireBackout, park: statAcquirePark,
 	relFast: statReleaseFast, relNub: statReleaseNub,
+	tkRel: TraceRelease,
 }
 
 var semGateStats = gateStats{
 	fast: statPFast, spin: statPSpin, nubEnter: statPNub,
 	backout: statPBackout, park: statPPark,
 	relFast: statVFast, relNub: statVNub,
+	tkRel: TraceV,
 }
 
-// tryAcquire is the user-code fast path: a single test-and-set.
-func (g *gate) tryAcquire() bool {
-	return g.lockBit.CompareAndSwap(0, 1)
+// tryAcquire is the user-code fast path: a single test-and-set when
+// untraced. Traced, the transition is load → draw stamp → CAS, so the stamp
+// is certified against any concurrent transition on this gate (trace.go).
+func (g *gate) tryAcquire(tc traceCtx) bool {
+	if tc.kind == TraceNone {
+		if g.word.CompareAndSwap(0, gateLockedBit) {
+			return true
+		}
+		// The word may carry stale stamp bits from a traced period; one
+		// successful untraced transition returns it to the plain 0/1
+		// regime.
+		w := g.word.Load()
+		return w != 0 && w&gateLockedBit == 0 && g.word.CompareAndSwap(w, gateLockedBit)
+	}
+	w := g.word.Load()
+	if w&gateLockedBit != 0 {
+		return false
+	}
+	seq := nextTraceSeq()
+	if !g.word.CompareAndSwap(w, seq<<1|gateLockedBit) {
+		return false
+	}
+	traceEmit(seq, tc.kind, tc.tid, traceObjID(&g.traceID), tc.obj2, false)
+	return true
 }
 
 // acquire implements Acquire/P. The user code test-and-sets the lock bit,
 // then briefly spins for the holder to leave, and calls the Nub subroutine
 // only if the bit stays set.
-func (g *gate) acquire(st *gateStats) {
-	if g.tryAcquire() {
+func (g *gate) acquire(st *gateStats, tc traceCtx) {
+	if g.tryAcquire(tc) {
 		statInc(st.fast)
 		return
 	}
-	if g.spinAcquire() {
+	if g.spinAcquire(tc) {
 		statInc(st.spin)
 		return
 	}
-	g.acquireNub(st)
+	g.acquireNub(st, tc)
 }
 
 // acquireNub is the Nub subroutine for Acquire. Under the spin lock it adds
@@ -72,14 +103,14 @@ func (g *gate) acquire(st *gateStats) {
 // One waiter serves every round of the retry loop; the enqueue and the
 // back-out happen under a single hold of the Nub lock, so a backed-out
 // waiter was never visible to releaseNub and its episode ends unclaimed.
-func (g *gate) acquireNub(st *gateStats) {
+func (g *gate) acquireNub(st *gateStats, tc traceCtx) {
 	statInc(st.nubEnter)
 	w := getWaiter(nil)
 	for {
 		g.nub.Lock()
 		g.q.Push(&w.node)
 		g.qlen.Add(1)
-		if g.lockBit.Load() == 0 {
+		if !g.locked() {
 			// A Release slipped in before we enqueued; back out and
 			// retry from the test-and-set.
 			g.q.Remove(&w.node)
@@ -91,7 +122,7 @@ func (g *gate) acquireNub(st *gateStats) {
 			statInc(st.park)
 			w.park()
 		}
-		if g.tryAcquire() {
+		if g.tryAcquire(tc) {
 			w.endEpisode()
 			return
 		}
@@ -100,9 +131,46 @@ func (g *gate) acquireNub(st *gateStats) {
 }
 
 // release implements Release/V. The user code clears the lock bit and calls
-// the Nub subroutine only if the queue is not empty.
-func (g *gate) release(st *gateStats) {
-	g.lockBit.Store(0)
+// the Nub subroutine only if the queue is not empty. Traced, the clearing
+// transition draws a stamp inside its CAS window and emits the
+// Release/V event; the loop only retries when a concurrent transition
+// intervened (possible for semaphores, whose V has no REQUIRES clause).
+func (g *gate) release(st *gateStats, tc traceCtx) {
+	if tc.kind == TraceNone {
+		g.word.Store(0)
+	} else {
+		for {
+			w := g.word.Load()
+			seq := nextTraceSeq()
+			if g.word.CompareAndSwap(w, seq<<1) {
+				traceEmit(seq, tc.kind, tc.tid, traceObjID(&g.traceID), 0, false)
+				break
+			}
+		}
+	}
+	g.releaseCommon(st)
+}
+
+// releaseEmbed is release for Wait's mutex hand-off: the caller has already
+// emitted an Enqueue event (which subsumes the specification-level Release)
+// with the given stamp, and the stamp is embedded in the word so any later
+// Acquire of this mutex outranks the Enqueue. seq == 0 means untraced.
+// Only mutex holders call this, so the CAS cannot race another transition.
+func (g *gate) releaseEmbed(st *gateStats, seq uint64) {
+	if seq == 0 {
+		g.word.Store(0)
+	} else {
+		for {
+			w := g.word.Load()
+			if g.word.CompareAndSwap(w, seq<<1) {
+				break
+			}
+		}
+	}
+	g.releaseCommon(st)
+}
+
+func (g *gate) releaseCommon(st *gateStats) {
 	if g.qlen.Load() == 0 {
 		statInc(st.relFast)
 		return
@@ -142,16 +210,19 @@ func (g *gate) releaseNub(st *gateStats) {
 
 // alertableAcquire implements AlertP's blocking discipline: like acquire,
 // but the wait can be claimed by Alert(t), in which case the thread leaves
-// the queue and reports the alert instead of acquiring.
-func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
-	if g.tryAcquire() {
+// the queue and reports the alert instead of acquiring. tc carries the
+// normal-return event (AlertP.Return); on the alerted paths no gate event
+// is emitted — the caller records AlertP.Raise under t's alertLock, where
+// the alerts-set deletion is serialized against Alert and TestAlert.
+func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted bool) {
+	if g.tryAcquire(tc) {
 		// Both WHEN clauses of AlertP may be enabled at once (s
 		// available and SELF in alerts); the implementation is free to
 		// choose, and the fast path chooses to return normally.
 		statIncT(t, st.fast)
 		return false
 	}
-	if !t.alerted.Load() && g.spinAcquire() {
+	if !t.alerted.Load() && g.spinAcquire(tc) {
 		statIncT(t, st.spin)
 		return false
 	}
@@ -171,7 +242,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 		g.nub.Lock()
 		g.q.Push(&w.node)
 		g.qlen.Add(1)
-		if g.lockBit.Load() == 0 {
+		if !g.locked() {
 			g.q.Remove(&w.node)
 			g.qlen.Add(-1)
 			g.nub.Unlock()
@@ -186,7 +257,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 				w.endEpisode()
 				return true
 			}
-			if g.tryAcquire() {
+			if g.tryAcquire(tc) {
 				w.endEpisode()
 				return false
 			}
@@ -208,7 +279,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 			w.endEpisode()
 			return true
 		}
-		if g.tryAcquire() {
+		if g.tryAcquire(tc) {
 			w.endEpisode()
 			return false
 		}
@@ -217,7 +288,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats) (alerted bool) {
 }
 
 // locked reports the lock bit (true = held/unavailable).
-func (g *gate) locked() bool { return g.lockBit.Load() != 0 }
+func (g *gate) locked() bool { return g.word.Load()&gateLockedBit != 0 }
 
 // waiters returns the current queue length (advisory).
 func (g *gate) waiters() int { return int(g.qlen.Load()) }

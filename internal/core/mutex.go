@@ -43,23 +43,24 @@ func Checking() bool { return checking.Load() }
 // Acquire, exactly one of them proceeds per Release, because the winner's
 // ENSURES falsifies the others' WHEN clauses.
 func (m *Mutex) Acquire() {
+	tc := traceAcquireCtx(TraceAcquire)
 	if checking.Load() {
 		self := Self()
 		if m.holder.Load() == self.id {
 			panic("threads: recursive Acquire would deadlock: " + self.name + " already holds the mutex")
 		}
-		m.g.acquire(&mutexGateStats)
+		m.g.acquire(&mutexGateStats, tc)
 		m.holder.Store(self.id)
 		return
 	}
-	m.g.acquire(&mutexGateStats)
+	m.g.acquire(&mutexGateStats, tc)
 }
 
 // TryAcquire acquires the mutex if it is NIL and reports whether it did.
 // (An extension: the Firefly interface had no TryAcquire, but the fast path
 // makes it free and tests and examples use it.)
 func (m *Mutex) TryAcquire() bool {
-	if !m.g.tryAcquire() {
+	if !m.g.tryAcquire(traceAcquireCtx(TraceAcquire)) {
 		return false
 	}
 	if checking.Load() {
@@ -74,6 +75,7 @@ func (m *Mutex) TryAcquire() bool {
 // with checking disabled a violation is not detected, matching the paper's
 // implementation, which keeps no holder.
 func (m *Mutex) Release() {
+	tc := traceAcquireCtx(TraceRelease)
 	if checking.Load() {
 		self := Self()
 		if h := m.holder.Load(); h != self.id {
@@ -81,7 +83,31 @@ func (m *Mutex) Release() {
 		}
 		m.holder.Store(0)
 	}
-	m.g.release(&mutexGateStats)
+	m.g.release(&mutexGateStats, tc)
+}
+
+// releaseEnqueue is Wait's mutex hand-off: the caller already emitted an
+// Enqueue event with stamp seq (0 when untraced), which subsumes the
+// specification-level Release. Holder bookkeeping matches Release.
+func (m *Mutex) releaseEnqueue(seq uint64) {
+	if checking.Load() {
+		self := Self()
+		if h := m.holder.Load(); h != self.id {
+			panic("threads: Wait REQUIRES m = SELF violated by " + self.name)
+		}
+		m.holder.Store(0)
+	}
+	m.g.releaseEmbed(&mutexGateStats, seq)
+}
+
+// acquireResume is Wait's mutex reacquisition: like Acquire, but the trace
+// event (Resume or AlertResume.Return, carrying the condition in obj2) is
+// supplied by the caller. A zero tc reacquires silently.
+func (m *Mutex) acquireResume(tc traceCtx) {
+	m.g.acquire(&mutexGateStats, tc)
+	if checking.Load() {
+		m.holder.Store(Self().id)
+	}
 }
 
 // Held reports whether some thread holds the mutex. Advisory: the answer

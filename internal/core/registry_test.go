@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// registrySize counts live goroutine→Thread registry entries across all
+// shards.
+func registrySize() int {
+	n := 0
+	for _, s := range registry {
+		s.lock.Lock()
+		n += len(s.m)
+		s.lock.Unlock()
+	}
+	return n
+}
+
+// TestAdoptedGoroutinesDetachWithoutRegistryGrowth is the regression test
+// for the Detach audit: every raw goroutine that touches a primitive is
+// adopted into the registry by Self(), and without a matching Detach those
+// entries outlive the goroutine — goroutine ids are not reused promptly, so
+// a long-lived program leaks an entry (and pins a Thread) per worker. The
+// test adopts a burst of transient goroutines, verifies they really were
+// registered while alive, and asserts the registry returns to its baseline
+// once they Detach.
+func TestAdoptedGoroutinesDetachWithoutRegistryGrowth(t *testing.T) {
+	base := registrySize()
+	const n = 128
+	var (
+		m       Mutex
+		adopted sync.WaitGroup
+		release = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	adopted.Add(n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			defer Detach()
+			Self() // adopt (uncontended Acquire never computes SELF)
+			m.Acquire()
+			m.Release()
+			adopted.Done()
+			<-release // hold the registration until the mid-flight count
+		}()
+	}
+	adopted.Wait()
+	if got := registrySize(); got < base+n {
+		t.Fatalf("registry holds %d entries with %d adopted goroutines alive, want >= %d", got, n, base+n)
+	}
+	close(release)
+	wg.Wait()
+	if got := registrySize(); got > base {
+		t.Fatalf("registry grew from %d to %d after all adopted goroutines detached", base, got)
+	}
+}

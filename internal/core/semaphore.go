@@ -30,13 +30,13 @@ type Semaphore struct {
 
 // P blocks until the semaphore is available and makes it unavailable.
 func (s *Semaphore) P() {
-	s.g.acquire(&semGateStats)
+	s.g.acquire(&semGateStats, traceAcquireCtx(TraceP))
 }
 
 // TryP makes the semaphore unavailable if it is available and reports
 // whether it did (extension, mirroring Mutex.TryAcquire).
 func (s *Semaphore) TryP() bool {
-	if !s.g.tryAcquire() {
+	if !s.g.tryAcquire(traceAcquireCtx(TraceP)) {
 		return false
 	}
 	statInc(statPFast)
@@ -47,7 +47,7 @@ func (s *Semaphore) TryP() bool {
 // one of them ready. V never blocks and may be called from any context,
 // including the simulated interrupt routines in the examples.
 func (s *Semaphore) V() {
-	s.g.release(&semGateStats)
+	s.g.release(&semGateStats, traceAcquireCtx(TraceV))
 }
 
 // AlertP is P, except that it may return Alerted instead of acquiring.
@@ -67,8 +67,19 @@ func (s *Semaphore) V() {
 // and was weakened to match the more efficient implementation).
 func (s *Semaphore) AlertP() error {
 	t := Self()
-	if s.g.alertableAcquire(t, &semGateStats) {
-		t.alerted.Store(false)
+	var tc traceCtx
+	if traceOn.Load() {
+		tc = traceCtx{kind: TraceAlertPReturn, tid: t.id}
+	}
+	if s.g.alertableAcquire(t, &semGateStats, tc) {
+		// The alerts-set deletion is the linearization point of the RAISES
+		// case; consume the flag and stamp it under t's alertLock, which
+		// serializes it against Alert's insertion.
+		var obj uint64
+		if tc.kind != TraceNone {
+			obj = traceObjID(&s.g.traceID)
+		}
+		t.consumeAlertEmit(TraceAlertPRaise, obj, 0)
 		statIncT(t, statAlertedP)
 		return Alerted
 	}

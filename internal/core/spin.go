@@ -38,7 +38,7 @@ func canSpin() bool {
 // spinAcquire polls the gate's lock bit a bounded number of times,
 // returning true if it won the test-and-set while spinning. It bails out
 // as soon as a thread is queued.
-func (g *gate) spinAcquire() bool {
+func (g *gate) spinAcquire(tc traceCtx) bool {
 	if !canSpin() {
 		return false
 	}
@@ -47,7 +47,7 @@ func (g *gate) spinAcquire() bool {
 			return false
 		}
 		spinlock.Pause(spinPauseIters)
-		if g.lockBit.Load() == 0 && g.tryAcquire() {
+		if !g.locked() && g.tryAcquire(tc) {
 			return true
 		}
 	}

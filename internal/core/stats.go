@@ -153,8 +153,20 @@ func statIncT(t *Thread, id statID) {
 }
 
 // SnapshotStats returns the current counter values, aggregated over all
-// shards. The snapshot is not atomic across counters (it never was), only
-// per counter.
+// shards.
+//
+// The snapshot is atomic per counter but NOT across counters: each shard
+// cell is read with an individual atomic load while updaters may be
+// running, so a snapshot taken concurrently with work in flight can
+// observe one side of a pairing without the other. Cross-counter
+// invariants — SignalWoke <= SignalNub, AcquireFast+AcquireSpin+
+// AcquireNub equal to the number of Acquire calls, AlertedWait+AlertedP
+// <= AlertWakes+TestAlertTrue-adjusted alert deliveries, and so on — are
+// therefore only meaningful when the snapshot is taken at quiescence
+// (every worker joined, no call in flight). Tests and experiments that
+// assert relationships between counters must quiesce first; a snapshot
+// taken mid-run is suitable only for monotone progress monitoring of a
+// single counter.
 func SnapshotStats() Stats {
 	var c [numStats]uint64
 	for i := range statShards {

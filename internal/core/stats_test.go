@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStatsCrossCounterInvariantsAtQuiescence asserts the relationships
+// between counters that SnapshotStats documents as meaningful only at
+// quiescence: the test joins every worker before snapshotting, so each
+// completed operation has incremented exactly one counter of its outcome
+// partition. (A mid-run snapshot can legitimately violate all of these —
+// see the SnapshotStats doc comment — which is why the assertions live
+// after the joins and why no other stats test samples while workers run.)
+func TestStatsCrossCounterInvariantsAtQuiescence(t *testing.T) {
+	defer EnableStats(EnableStats(true))
+	ResetStats()
+
+	const (
+		goroutines = 8
+		iters      = 2000
+		waiters    = 6
+	)
+	var (
+		m  Mutex
+		wg sync.WaitGroup
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		Fork(func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Acquire()
+				m.Release()
+			}
+		})
+	}
+
+	var (
+		cm   Mutex
+		c    Condition
+		gate bool
+		cwg  sync.WaitGroup
+	)
+	cwg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		Fork(func() {
+			defer cwg.Done()
+			cm.Acquire()
+			for !gate {
+				c.Wait(&cm)
+			}
+			cm.Release()
+		})
+	}
+	wg.Wait()
+	for {
+		cm.Acquire()
+		if c.Waiters() == waiters {
+			gate = true
+			c.Broadcast()
+			cm.Release()
+			break
+		}
+		cm.Release()
+	}
+	cwg.Wait() // quiesce: every worker joined before the snapshot
+
+	s := SnapshotStats()
+	acquires := uint64(goroutines*iters) + s.WaitCount // each Wait reacquires
+	if got := s.AcquireFast + s.AcquireSpin + s.AcquireNub; got < acquires {
+		t.Errorf("fast+spin+nub = %d, want >= %d completed Acquires", got, acquires)
+	}
+	if s.AcquireBackout+s.AcquirePark < s.AcquireNub {
+		t.Errorf("backout(%d)+park(%d) < nub entries(%d): a Nub round resolved without an outcome",
+			s.AcquireBackout, s.AcquirePark, s.AcquireNub)
+	}
+	if s.ReleaseFast+s.ReleaseNub < uint64(goroutines*iters) {
+		t.Errorf("releases fast(%d)+nub(%d) < %d completed Releases",
+			s.ReleaseFast, s.ReleaseNub, goroutines*iters)
+	}
+	if s.WaitSpin+s.WaitElided+s.WaitPark != s.WaitCount {
+		t.Errorf("wait outcomes spin(%d)+elided(%d)+park(%d) != WaitCount(%d)",
+			s.WaitSpin, s.WaitElided, s.WaitPark, s.WaitCount)
+	}
+	if s.SignalWoke > s.SignalNub {
+		t.Errorf("SignalWoke(%d) > SignalNub(%d)", s.SignalWoke, s.SignalNub)
+	}
+	if s.WaitCount < waiters {
+		t.Errorf("WaitCount = %d, want >= %d", s.WaitCount, waiters)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"threads/internal/core"
+	"threads/internal/spec"
+)
+
+// Runtime-trace ingestion: converting internal/core's sharded TraceRecord
+// rings into the Event stream the Checker replays. The sharded streams are
+// each in ring write order, which is only nearly stamp-sorted — two
+// operations can draw stamps and then write to the same shard in opposite
+// orders, and distinct shards interleave arbitrarily — so Merge re-sorts the
+// concatenation by Seq. Stamps are globally unique (a single fetch-add
+// counter), so the sort is a total order and ties cannot arise.
+
+// Merge flattens the per-shard record slices from core.CollectTrace into a
+// single stamp-ordered slice.
+func Merge(shards [][]core.TraceRecord) []core.TraceRecord {
+	var n int
+	for _, s := range shards {
+		n += len(s)
+	}
+	out := make([]core.TraceRecord, 0, n)
+	for _, s := range shards {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FromCore converts stamp-ordered runtime records into checker events.
+// Object identities translate positionally: core assigns mutexes,
+// semaphores and conditions IDs from one counter, and the spec's MutexID /
+// SemID / CondID spaces are independent, so the raw value is used in the
+// space the record's kind selects — distinct objects never collide within a
+// space. Signal and Broadcast events carry Removed = nil: the runtime does
+// not observe which threads a wakeup removes (return from Wait is a hint),
+// and the Checker's no-wakeup-out-of-thin-air rule is exactly the check
+// Signal's weak postcondition permits. AlertResume.Raise events replay
+// against the final specification variant, the one internal/core
+// implements.
+func FromCore(recs []core.TraceRecord) ([]Event, error) {
+	events := make([]Event, 0, len(recs))
+	for _, r := range recs {
+		var a spec.Action
+		t := spec.ThreadID(r.TID)
+		switch r.Kind {
+		case core.TraceAcquire:
+			a = spec.Acquire{T: t, M: spec.MutexID(r.Obj)}
+		case core.TraceRelease:
+			a = spec.Release{T: t, M: spec.MutexID(r.Obj)}
+		case core.TraceEnqueue:
+			a = spec.Enqueue{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2)}
+		case core.TraceResume:
+			a = spec.Resume{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2)}
+		case core.TraceSignal:
+			a = spec.Signal{T: t, C: spec.CondID(r.Obj)}
+		case core.TraceBroadcast:
+			a = spec.Broadcast{T: t, C: spec.CondID(r.Obj)}
+		case core.TraceP:
+			a = spec.P{T: t, S: spec.SemID(r.Obj)}
+		case core.TraceV:
+			a = spec.V{T: t, S: spec.SemID(r.Obj)}
+		case core.TraceAlert:
+			a = spec.Alert{T: t, Target: spec.ThreadID(r.Obj2)}
+		case core.TraceTestAlert:
+			a = spec.TestAlert{T: t, Result: r.Result}
+		case core.TraceAlertPReturn:
+			a = spec.AlertPReturn{T: t, S: spec.SemID(r.Obj)}
+		case core.TraceAlertPRaise:
+			a = spec.AlertPRaise{T: t, S: spec.SemID(r.Obj)}
+		case core.TraceAlertResumeReturn:
+			a = spec.AlertResumeReturn{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2)}
+		case core.TraceAlertResumeRaise:
+			a = spec.AlertResumeRaise{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2), Variant: spec.VariantFinal}
+		default:
+			return nil, fmt.Errorf("trace: record %d has unknown kind %d", r.Seq, r.Kind)
+		}
+		events = append(events, Event{Seq: r.Seq, Thread: fmt.Sprintf("t%d", r.TID), Action: a})
+	}
+	return events, nil
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"threads/internal/baselines"
+	"threads/internal/core"
+	"threads/internal/spec"
+	"threads/internal/workload"
+)
+
+// Runtime conformance (experiment E9 on the real implementation): run
+// internal/core under load with linearization-point tracing enabled,
+// merge the sharded rings by stamp, and replay through the specification's
+// state machine. These tests are the -race complement of
+// `threadscheck -runtime`.
+//
+// Tracing state is process-global, so the runtime conformance tests share
+// one mutex and never run in parallel with each other.
+var runtimeTraceMu sync.Mutex
+
+// collectRuntime drains the rings and replays them into ck, failing the
+// test on overflow or a conformance violation. It returns the number of
+// events replayed.
+func collectRuntime(t *testing.T, ck *Checker) int {
+	t.Helper()
+	shards, dropped := core.CollectTrace()
+	if dropped > 0 {
+		t.Fatalf("trace rings overflowed: %d records dropped", dropped)
+	}
+	evs, err := FromCore(Merge(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Feed(evs); err != nil {
+		t.Fatalf("conformance violation: %v", err)
+	}
+	return len(evs)
+}
+
+func withRuntimeTracing(t *testing.T, perShardCap int, fn func()) {
+	t.Helper()
+	runtimeTraceMu.Lock()
+	t.Cleanup(runtimeTraceMu.Unlock)
+	core.StartTracing(perShardCap)
+	t.Cleanup(core.StopTracing)
+	fn()
+}
+
+func TestRuntimeConformanceProducerConsumer(t *testing.T) {
+	withRuntimeTracing(t, 1<<16, func() {
+		ck := New()
+		total := 0
+		for episode := 0; episode < 3; episode++ {
+			res := workload.ProducerConsumer(baselines.NewThreadsMonitor(), workload.PCConfig{
+				Producers: 3, Consumers: 3, ItemsPerProducer: 500, Capacity: 4,
+			})
+			if res.Items != 1500 {
+				t.Fatalf("episode %d: items = %d, want 1500", episode, res.Items)
+			}
+			total += collectRuntime(t, ck)
+		}
+		if total == 0 {
+			t.Fatal("no events recorded")
+		}
+		t.Logf("replayed %d events over 3 episodes", total)
+	})
+}
+
+func TestRuntimeConformanceMutexContention(t *testing.T) {
+	withRuntimeTracing(t, 1<<16, func() {
+		ck := New()
+		workload.MutexContention(baselines.NewThreadsMonitor(), workload.ContentionConfig{
+			Threads: 8, Iters: 2000,
+		})
+		n := collectRuntime(t, ck)
+		if n < 8*2000*2 {
+			t.Fatalf("replayed %d events, want at least %d (an Acquire and Release per op)", n, 8*2000*2)
+		}
+	})
+}
+
+func TestRuntimeConformanceAlertStorm(t *testing.T) {
+	withRuntimeTracing(t, 1<<16, func() {
+		ck := New()
+		res := workload.AlertStorm(workload.AlertStormConfig{
+			Victims: 4, Stormers: 2, Episodes: 50,
+		})
+		if res.Raised != 4*50 {
+			t.Fatalf("raised = %d, want %d", res.Raised, 4*50)
+		}
+		n := collectRuntime(t, ck)
+		if n == 0 {
+			t.Fatal("no events recorded")
+		}
+		t.Logf("replayed %d events (%d alerts, %d raised, %d normal)", n, res.Alerts, res.Raised, res.Normal)
+	})
+}
+
+// TestRuntimeConformanceReadersWriters covers Broadcast-heavy traffic.
+func TestRuntimeConformanceReadersWriters(t *testing.T) {
+	withRuntimeTracing(t, 1<<16, func() {
+		ck := New()
+		workload.ReadersWriters(baselines.NewThreadsMonitor(), workload.RWConfig{
+			Readers: 4, Writers: 2, OpsPerThread: 300,
+		})
+		if n := collectRuntime(t, ck); n == 0 {
+			t.Fatal("no events recorded")
+		}
+	})
+}
+
+// TestClaimRaceNoThinAirResume stresses the generation-stamped wake-claim
+// protocol where it is sharpest: threads blocked in AlertWait whose pooled
+// waiters are reused every episode, with an alerter and a signaller racing
+// their claim CASes on them continuously. The recorded trace is replayed
+// through the checker, whose Resume rule (some Signal/Broadcast on c after
+// this thread's Enqueue) is exactly the no-wakeup-out-of-thin-air property:
+// a claim that leaked onto a reused waiter's later episode would surface
+// here as a Resume with no justifying unblock, or a Raise with no pending
+// alert. ≥10k episodes, run under -race in `make conformance`.
+func TestClaimRaceNoThinAirResume(t *testing.T) {
+	const (
+		nWaiters = 4
+		episodes = 2500 // × nWaiters = 10k alertable wait episodes
+	)
+	withRuntimeTracing(t, 1<<17, func() {
+		var (
+			mu   core.Mutex
+			cond core.Condition
+
+			raisedN, signalledN atomic.Uint64
+			remaining           atomic.Int64
+		)
+		remaining.Store(nWaiters)
+		done := make([]atomic.Bool, nWaiters)
+		waiters := make([]*core.Thread, nWaiters)
+		for i := 0; i < nWaiters; i++ {
+			i := i
+			waiters[i] = core.ForkNamed("claimrace-waiter", func() {
+				for e := 0; e < episodes; e++ {
+					mu.Acquire()
+					if cond.AlertWait(&mu) != nil {
+						raisedN.Add(1)
+					} else {
+						signalledN.Add(1)
+					}
+					mu.Release()
+				}
+				done[i].Store(true)
+				remaining.Add(-1)
+				core.TestAlert()
+			})
+		}
+		alerter := core.ForkNamed("claimrace-alerter", func() {
+			for remaining.Load() > 0 {
+				for i, w := range waiters {
+					if !done[i].Load() && !core.AlertPending(w) {
+						core.Alert(w)
+					}
+				}
+				runtime.Gosched()
+			}
+		})
+		signaller := core.ForkNamed("claimrace-signaller", func() {
+			// Bounded so the recorded Signal traffic cannot overflow the
+			// rings; once it stops, the alerter alone finishes the waiters.
+			for n := 0; n < nWaiters*episodes && remaining.Load() > 0; n++ {
+				mu.Acquire()
+				cond.Signal()
+				mu.Release()
+				runtime.Gosched()
+			}
+		})
+		for _, w := range waiters {
+			core.Join(w)
+		}
+		core.Join(alerter)
+		core.Join(signaller)
+
+		ck := New()
+		n := collectRuntime(t, ck)
+		if got := raisedN.Load() + signalledN.Load(); got != nWaiters*episodes {
+			t.Fatalf("episodes completed = %d, want %d", got, nWaiters*episodes)
+		}
+		t.Logf("replayed %d events: %d raised, %d signalled", n, raisedN.Load(), signalledN.Load())
+	})
+}
+
+// TestRuntimeTraceFeedRejectsReplayedSeqs pins Feed's well-formedness
+// check: feeding a batch whose seqs do not advance past the previous batch
+// must be reported as a trace defect, not replayed into nonsense.
+func TestRuntimeTraceFeedRejectsReplayedSeqs(t *testing.T) {
+	ck := New()
+	evs := []Event{
+		{Seq: 1, Action: spec.Acquire{T: 1, M: 1}},
+		{Seq: 2, Action: spec.Release{T: 1, M: 1}},
+	}
+	if err := ck.Feed(evs); err != nil {
+		t.Fatalf("clean batch rejected: %v", err)
+	}
+	if err := ck.Feed(evs); err == nil {
+		t.Fatal("replayed batch accepted: Feed must require strictly increasing seqs")
+	}
+}

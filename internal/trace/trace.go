@@ -62,6 +62,7 @@ type Checker struct {
 	conds   map[spec.CondID]*condState
 	alerts  map[spec.ThreadID]bool
 	applied int
+	lastSeq uint64
 }
 
 // New returns a Checker in the initial state (every mutex NIL, every
@@ -218,6 +219,31 @@ func (c *Checker) applyResume(ev Event, t spec.ThreadID, m spec.MutexID, cid spe
 	delete(cs.members, t) // departure from c (for raise: c' = delete(c, SELF))
 	c.mutexes[m] = t
 	c.applied++
+	return nil
+}
+
+// Feed streams one stamp-ordered batch into the checker, carrying state
+// across batches: episodic collection (run, quiesce, collect, feed, repeat)
+// replays arbitrarily long executions in bounded memory. Seqs must be
+// strictly increasing within and across batches — the global stamp counter
+// guarantees this for honestly merged runtime traces, so a regression
+// (records lost, shards merged unsorted, a ring collected twice) surfaces
+// here instead of as a meaningless state-machine verdict.
+func (c *Checker) Feed(events []Event) error {
+	for _, ev := range events {
+		if ev.Seq <= c.lastSeq {
+			return &Violation{
+				Seq:    ev.Seq,
+				Action: ev.Action.String(),
+				Clause: "trace well-formedness",
+				Detail: fmt.Sprintf("seq %d not greater than previously fed seq %d", ev.Seq, c.lastSeq),
+			}
+		}
+		c.lastSeq = ev.Seq
+		if err := c.Apply(ev); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

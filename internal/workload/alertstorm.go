@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"threads/internal/core"
+)
+
+// AlertStormConfig parameterizes the alert-storm workload: victim threads
+// blocking alertably (alternating AlertP on a drained semaphore and
+// AlertWait on a condition) while stormer threads pepper them with Alert
+// and a churn thread delivers normal wakeups (V, Signal), so alerted and
+// non-alerted completions race on every primitive the alerting facility
+// touches. This is the adversarial counterpart to ProducerConsumer for the
+// runtime conformance runs: it drives exactly the claim races (Alert vs
+// Signal vs V on a reused waiter) that the generation-stamped wake protocol
+// exists to resolve.
+type AlertStormConfig struct {
+	Victims  int // alertably blocking threads
+	Stormers int // threads calling Alert
+	Episodes int // Alerted deliveries each victim must accumulate
+}
+
+// AlertStormResult reports an alert-storm run.
+type AlertStormResult struct {
+	Alerts  uint64 // Alert calls issued
+	Raised  uint64 // Alerted returns observed by victims
+	Normal  uint64 // non-alerted completions (P succeeded / Wait signalled)
+	Elapsed time.Duration
+}
+
+// AlertStorm runs the workload on the real runtime until every victim has
+// observed cfg.Episodes Alerted returns, then stops the stormers and churn
+// and joins everything; on return the primitives are quiescent (required
+// between tracing episodes).
+func AlertStorm(cfg AlertStormConfig) AlertStormResult {
+	if cfg.Victims < 1 {
+		cfg.Victims = 1
+	}
+	if cfg.Stormers < 1 {
+		cfg.Stormers = 1
+	}
+	if cfg.Episodes < 1 {
+		cfg.Episodes = 1
+	}
+
+	var (
+		sem  core.Semaphore
+		mu   core.Mutex
+		cond core.Condition
+
+		alerts, raised, normal atomic.Uint64
+	)
+	sem.P() // drain the initial availability so AlertP blocks
+
+	done := make([]atomic.Bool, cfg.Victims)
+	var remaining atomic.Int64
+	remaining.Store(int64(cfg.Victims))
+
+	start := time.Now()
+	victims := make([]*core.Thread, cfg.Victims)
+	for i := 0; i < cfg.Victims; i++ {
+		i := i
+		victims[i] = core.ForkNamed("victim", func() {
+			got := 0
+			for got < cfg.Episodes {
+				if i%2 == 0 {
+					if sem.AlertP() != nil {
+						raised.Add(1)
+						got++
+					} else {
+						// Acquired a churn token for real. Consume it —
+						// handing it straight back would keep the
+						// semaphore available, and a victim with a
+						// pending alert would then livelock on AlertP's
+						// available fast path (both WHEN clauses enabled;
+						// the implementation picks the normal return).
+						normal.Add(1)
+					}
+				} else {
+					mu.Acquire()
+					if cond.AlertWait(&mu) != nil {
+						raised.Add(1)
+						got++
+					} else {
+						normal.Add(1)
+					}
+					mu.Release()
+				}
+			}
+			done[i].Store(true)
+			remaining.Add(-1)
+			// Consume any alert that landed after the final episode, so a
+			// victim never exits with a pending flag the next run's Self()
+			// could never see (threads are per-run, but tidiness is free).
+			core.TestAlert()
+		})
+	}
+
+	stormers := make([]*core.Thread, cfg.Stormers)
+	for s := 0; s < cfg.Stormers; s++ {
+		s := s
+		stormers[s] = core.ForkNamed("stormer", func() {
+			for remaining.Load() > 0 {
+				for i, t := range victims {
+					// Victims are partitioned across stormers so every
+					// victim has a dedicated alerter (no lost victims),
+					// while distinct stormers still race on the shared
+					// alert machinery via the churn and done flags. A
+					// victim whose previous alert is still pending is
+					// skipped: alerts form a set, so re-alerting is a
+					// no-op, and skipping keeps the Alert count (and the
+					// recorded trace) proportional to deliveries instead
+					// of to the stormers' spin rate.
+					if i%cfg.Stormers == s && !done[i].Load() && !core.AlertPending(t) {
+						core.Alert(t)
+						alerts.Add(1)
+					}
+				}
+				runtime.Gosched()
+			}
+		})
+	}
+
+	churn := core.ForkNamed("churn", func() {
+		// Normal wakeups raced against the alerts, bounded so the events
+		// they record stay proportional to the episode count rather than
+		// the spin rate (the storm terminates on alerts alone).
+		maxChurn := cfg.Victims * cfg.Episodes
+		for n := 0; n < maxChurn && remaining.Load() > 0; n++ {
+			sem.V() // may complete an AlertP normally
+			mu.Acquire()
+			cond.Signal() // may complete an AlertWait normally
+			mu.Release()
+			runtime.Gosched()
+		}
+	})
+
+	for _, t := range victims {
+		core.Join(t)
+	}
+	for _, t := range stormers {
+		core.Join(t)
+	}
+	core.Join(churn)
+	return AlertStormResult{
+		Alerts:  alerts.Load(),
+		Raised:  raised.Load(),
+		Normal:  normal.Load(),
+		Elapsed: time.Since(start),
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"threads/internal/baselines"
+	"threads/internal/core"
 )
 
 // PCConfig parameterizes the bounded-buffer workload.
@@ -68,6 +69,12 @@ func ProducerConsumer(m baselines.Monitor, cfg PCConfig) PCResult {
 	for p := 0; p < cfg.Producers; p++ {
 		go func() {
 			defer wg.Done()
+			// These workers are raw goroutines; when m is the paper's
+			// runtime, any primitive path that needs SELF (checking mode,
+			// conformance tracing, alertable waits) adopts them into the
+			// goroutine→Thread registry, so they must detach on exit or a
+			// long experiment sweep leaks one registry entry per worker.
+			defer core.Detach()
 			for i := 0; i < cfg.ItemsPerProducer; i++ {
 				busy(cfg.Work)
 				m.Acquire()
@@ -90,6 +97,7 @@ func ProducerConsumer(m baselines.Monitor, cfg PCConfig) PCResult {
 	for c := 0; c < cfg.Consumers; c++ {
 		go func() {
 			defer wg.Done()
+			defer core.Detach()
 			for {
 				m.Acquire()
 				for queue == 0 {
@@ -191,6 +199,7 @@ func MutexContention(m baselines.Monitor, cfg ContentionConfig) ContentionResult
 	for i := 0; i < cfg.Threads; i++ {
 		go func() {
 			defer wg.Done()
+			defer core.Detach() // see ProducerConsumer: adopted by tracing/checking paths
 			for j := 0; j < cfg.Iters; j++ {
 				m.Acquire()
 				busy(cfg.CSWork)
@@ -246,6 +255,7 @@ func ReadersWriters(m baselines.Monitor, cfg RWConfig) RWResult {
 	for i := 0; i < cfg.Readers; i++ {
 		go func() {
 			defer wg.Done()
+			defer core.Detach() // see ProducerConsumer: adopted by tracing/checking paths
 			for j := 0; j < cfg.OpsPerThread; j++ {
 				m.Acquire()
 				for writing {
@@ -271,6 +281,7 @@ func ReadersWriters(m baselines.Monitor, cfg RWConfig) RWResult {
 	for i := 0; i < cfg.Writers; i++ {
 		go func() {
 			defer wg.Done()
+			defer core.Detach() // see ProducerConsumer: adopted by tracing/checking paths
 			for j := 0; j < cfg.OpsPerThread; j++ {
 				m.Acquire()
 				for writing || readers > 0 {
