@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-baseline bench-check conformance
+.PHONY: tier1 build vet test race bench bench-baseline bench-check conformance lint explore fuzz
 
 tier1: build vet race test conformance
 
@@ -25,6 +25,37 @@ test:
 conformance:
 	$(GO) test -race -run 'TestRuntimeConformance|TestClaimRace|TestTraceStamp' ./internal/trace ./internal/core
 	$(GO) run ./cmd/threadscheck -runtime -events 300000
+
+# lint gates on formatting and static analysis: gofmt must report nothing,
+# go vet must pass, and staticcheck runs when installed (CI and dev images
+# without it still get the first two).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped"; \
+	fi
+
+# explore is the CI-sized schedule-space sweep: every litmus program,
+# all schedules with at most EXPLORE_K preemptions, hard wall-clock cap.
+# Failing schedules are written to $(CERT_DIR) as replayable certificates.
+EXPLORE_K ?= 1
+EXPLORE_BUDGET ?= 90s
+CERT_DIR ?= certs
+explore:
+	$(GO) run ./cmd/threadsim -explore -maxk $(EXPLORE_K) -budget $(EXPLORE_BUDGET) -cert $(CERT_DIR)
+
+# fuzz samples weighted-random schedules beyond the exhaustive bound.
+FUZZ_RUNS ?= 2000
+fuzz:
+	$(GO) run ./cmd/threadsim -fuzz -runs $(FUZZ_RUNS) -cert $(CERT_DIR)
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

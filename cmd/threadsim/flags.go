@@ -1,0 +1,218 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"threads/internal/checker"
+)
+
+// mode is what one threadsim invocation does. Exactly one is selected;
+// mixing mode flags (or passing a flag that belongs to another mode) is a
+// usage error — a silently ignored flag means the user measured something
+// other than what they asked for.
+type mode int
+
+const (
+	modeWorkload mode = iota // run a workload and print statistics
+	modeTrace                // run the mixed traced workload, check conformance
+	modeReplay               // replay a certificate or re-check a recorded trace
+	modeExplore              // bounded-exhaustive schedule enumeration
+	modeFuzz                 // weighted-random schedule sampling
+)
+
+func (m mode) String() string {
+	switch m {
+	case modeTrace:
+		return "-trace"
+	case modeReplay:
+		return "-replay"
+	case modeExplore:
+		return "-explore"
+	case modeFuzz:
+		return "-fuzz"
+	default:
+		return "-workload"
+	}
+}
+
+// config is a fully validated invocation.
+type config struct {
+	mode mode
+
+	// Workload mode.
+	workload  string
+	procs     int
+	threads   int
+	iters     int
+	csWork    int
+	think     int
+	producers int
+	consumers int
+	items     int
+	capacity  int
+	seed      int64
+
+	// Trace mode.
+	record string
+
+	// Replay mode.
+	replayPath string
+
+	// Explore / fuzz modes.
+	litmus  string // registry name, or "all"
+	maxK    int
+	budget  time.Duration
+	runs    int
+	certDir string
+}
+
+// flagOwner maps each flag to the only modes allowed to set it.
+var flagOwner = map[string][]mode{
+	"workload":  {modeWorkload},
+	"threads":   {modeWorkload},
+	"iters":     {modeWorkload},
+	"cswork":    {modeWorkload},
+	"think":     {modeWorkload},
+	"producers": {modeWorkload},
+	"consumers": {modeWorkload},
+	"items":     {modeWorkload},
+	"capacity":  {modeWorkload},
+	"procs":     {modeWorkload, modeTrace},
+	"seed":      {modeWorkload, modeTrace, modeFuzz},
+	"record":    {modeTrace},
+	"litmus":    {modeExplore, modeFuzz},
+	"budget":    {modeExplore, modeFuzz},
+	"cert":      {modeExplore, modeFuzz},
+	"maxk":      {modeExplore},
+	"runs":      {modeFuzz},
+}
+
+// contentionOnly / prodconsOnly split the workload flags by workload.
+var (
+	contentionOnly = []string{"threads", "iters", "cswork"}
+	prodconsOnly   = []string{"producers", "consumers", "items", "capacity"}
+)
+
+// parseFlags parses and validates an argument list (without the program
+// name). It returns a usage error — never calls os.Exit — so main can
+// exit nonzero and tests can assert on the message.
+func parseFlags(args []string, usageOut io.Writer) (*config, error) {
+	c := &config{}
+	fs := flag.NewFlagSet("threadsim", flag.ContinueOnError)
+	fs.SetOutput(usageOut)
+
+	fs.StringVar(&c.workload, "workload", "contention", "contention or prodcons")
+	fs.IntVar(&c.procs, "procs", 5, "simulated processors (the Firefly had 5)")
+	fs.IntVar(&c.threads, "threads", 8, "threads (contention workload)")
+	fs.IntVar(&c.iters, "iters", 500, "critical sections per thread (contention)")
+	fs.IntVar(&c.csWork, "cswork", 20, "instructions inside the critical section (contention)")
+	fs.IntVar(&c.think, "think", 200, "instructions outside the critical section")
+	fs.IntVar(&c.producers, "producers", 4, "producers (prodcons workload)")
+	fs.IntVar(&c.consumers, "consumers", 4, "consumers (prodcons workload)")
+	fs.IntVar(&c.items, "items", 200, "items per producer (prodcons)")
+	fs.IntVar(&c.capacity, "capacity", 8, "buffer capacity (prodcons)")
+	fs.Int64Var(&c.seed, "seed", 1, "scheduling seed (workload/trace) or base fuzz seed")
+	traced := fs.Bool("trace", false, "run the mixed workload, record the action trace, check it against the formal specification")
+	fs.StringVar(&c.record, "record", "", "with -trace: also write the trace to this file (JSON Lines)")
+	fs.StringVar(&c.replayPath, "replay", "", "replay a schedule certificate (or re-check a recorded trace) and exit")
+	explore := fs.Bool("explore", false, "bounded-exhaustive schedule exploration of the litmus registry")
+	fuzz := fs.Bool("fuzz", false, "weighted-random schedule sampling of the litmus registry")
+	fs.StringVar(&c.litmus, "litmus", "all", "litmus program to explore/fuzz, or \"all\": "+strings.Join(checker.LitmusNames(), ", "))
+	fs.IntVar(&c.maxK, "maxk", 2, "context bound: explore all schedules with at most this many preemptions")
+	fs.DurationVar(&c.budget, "budget", 0, "wall-clock budget for -explore/-fuzz (0 = none)")
+	fs.IntVar(&c.runs, "runs", 2000, "schedules to sample per litmus (-fuzz)")
+	fs.StringVar(&c.certDir, "cert", "", "directory to write failing schedule certificates to (-explore/-fuzz)")
+
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	// Exactly one mode. The mode flags themselves are mutually exclusive.
+	var modes []string
+	if *traced {
+		c.mode = modeTrace
+		modes = append(modes, "-trace")
+	}
+	if c.replayPath != "" {
+		c.mode = modeReplay
+		modes = append(modes, "-replay")
+	}
+	if *explore {
+		c.mode = modeExplore
+		modes = append(modes, "-explore")
+	}
+	if *fuzz {
+		c.mode = modeFuzz
+		modes = append(modes, "-fuzz")
+	}
+	if len(modes) > 1 {
+		return nil, fmt.Errorf("%s are mutually exclusive", strings.Join(modes, " and "))
+	}
+
+	// Every explicitly set flag must belong to the selected mode.
+	var stray []string
+	for name := range set {
+		owners, owned := flagOwner[name]
+		if !owned {
+			continue // the mode selector flags themselves
+		}
+		ok := false
+		for _, m := range owners {
+			if m == c.mode {
+				ok = true
+			}
+		}
+		if !ok {
+			stray = append(stray, "-"+name)
+		}
+	}
+	if len(stray) > 0 {
+		sort.Strings(stray)
+		return nil, fmt.Errorf("%s cannot be used with %s", strings.Join(stray, " "), c.mode)
+	}
+
+	switch c.mode {
+	case modeWorkload:
+		switch c.workload {
+		case "contention":
+			for _, f := range prodconsOnly {
+				if set[f] {
+					return nil, fmt.Errorf("-%s only applies to -workload prodcons", f)
+				}
+			}
+		case "prodcons":
+			for _, f := range contentionOnly {
+				if set[f] {
+					return nil, fmt.Errorf("-%s only applies to -workload contention", f)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("unknown workload %q (want contention or prodcons)", c.workload)
+		}
+		if c.procs < 1 {
+			return nil, fmt.Errorf("-procs must be at least 1")
+		}
+	case modeExplore, modeFuzz:
+		if c.litmus != "all" && checker.LitmusByName(c.litmus) == nil {
+			return nil, fmt.Errorf("unknown litmus %q (want all, %s)", c.litmus, strings.Join(checker.LitmusNames(), ", "))
+		}
+		if c.mode == modeExplore && c.maxK < 0 {
+			return nil, fmt.Errorf("-maxk must be nonnegative")
+		}
+		if c.mode == modeFuzz && c.runs < 1 && c.budget <= 0 {
+			return nil, fmt.Errorf("-fuzz needs -runs or -budget")
+		}
+	}
+	return c, nil
+}

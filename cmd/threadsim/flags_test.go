@@ -1,0 +1,110 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) (*config, error) {
+	t.Helper()
+	return parseFlags(args, io.Discard)
+}
+
+func TestParseDefaultsToContention(t *testing.T) {
+	c, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.mode != modeWorkload || c.workload != "contention" || c.procs != 5 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestParseModes(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want mode
+	}{
+		{[]string{"-workload", "prodcons", "-producers", "2"}, modeWorkload},
+		{[]string{"-trace", "-record", "out.jsonl"}, modeTrace},
+		{[]string{"-replay", "x.json"}, modeReplay},
+		{[]string{"-explore", "-maxk", "1", "-litmus", "mutex"}, modeExplore},
+		{[]string{"-fuzz", "-runs", "10", "-seed", "3"}, modeFuzz},
+		{[]string{"-explore", "-budget", "90s", "-cert", "out"}, modeExplore},
+	} {
+		c, err := parse(t, tc.args...)
+		if err != nil {
+			t.Errorf("%v: unexpected error %v", tc.args, err)
+			continue
+		}
+		if c.mode != tc.want {
+			t.Errorf("%v: mode = %v, want %v", tc.args, c.mode, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsCrossModeFlags(t *testing.T) {
+	for _, tc := range []struct {
+		args    []string
+		wantErr string
+	}{
+		// The ISSUE's canonical example: a prodcons run with
+		// contention-only flags must fail loudly, not silently ignore them.
+		{[]string{"-workload", "prodcons", "-threads", "8"}, "-threads only applies to -workload contention"},
+		{[]string{"-workload", "prodcons", "-iters", "10"}, "-iters only applies"},
+		{[]string{"-workload", "prodcons", "-cswork", "5"}, "-cswork only applies"},
+		{[]string{"-workload", "contention", "-producers", "2"}, "-producers only applies to -workload prodcons"},
+		{[]string{"-capacity", "4"}, "-capacity only applies"},
+		{[]string{"-workload", "nosuch"}, "unknown workload"},
+		{[]string{"-explore", "-threads", "4"}, "-threads cannot be used with -explore"},
+		{[]string{"-fuzz", "-maxk", "2"}, "-maxk cannot be used with -fuzz"},
+		{[]string{"-explore", "-runs", "5"}, "-runs cannot be used with -explore"},
+		{[]string{"-explore", "-record", "f"}, "-record cannot be used with -explore"},
+		{[]string{"-record", "f"}, "-record cannot be used with -workload"},
+		{[]string{"-replay", "x", "-litmus", "mutex"}, "-litmus cannot be used with -replay"},
+		{[]string{"-explore", "-fuzz"}, "mutually exclusive"},
+		{[]string{"-trace", "-replay", "x"}, "mutually exclusive"},
+		{[]string{"-explore", "-litmus", "nosuch"}, "unknown litmus"},
+		{[]string{"-explore", "-maxk", "-1"}, "-maxk must be nonnegative"},
+		{[]string{"-fuzz", "-runs", "0"}, "-fuzz needs -runs or -budget"},
+		{[]string{"-procs", "0"}, "-procs must be at least 1"},
+		{[]string{"extra"}, "unexpected arguments"},
+		{[]string{"-nosuchflag"}, "flag provided but not defined"},
+	} {
+		_, err := parse(t, tc.args...)
+		if err == nil {
+			t.Errorf("%v: no error, want %q", tc.args, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%v: error %q does not contain %q", tc.args, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseSharedFlagsStayLegal(t *testing.T) {
+	// -seed is shared between workload, trace and fuzz modes; -procs
+	// between workload and trace; -budget between explore and fuzz.
+	for _, args := range [][]string{
+		{"-seed", "9"},
+		{"-trace", "-seed", "9", "-procs", "3"},
+		{"-fuzz", "-seed", "9"},
+		{"-fuzz", "-budget", "1s", "-runs", "0"},
+	} {
+		if _, err := parse(t, args...); err != nil {
+			t.Errorf("%v: unexpected error %v", args, err)
+		}
+	}
+}
+
+func TestParseExploreValues(t *testing.T) {
+	c, err := parse(t, "-explore", "-maxk", "3", "-litmus", "prodcons", "-budget", "2m", "-cert", "certs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.maxK != 3 || c.litmus != "prodcons" || c.budget != 2*time.Minute || c.certDir != "certs" {
+		t.Fatalf("parsed %+v", c)
+	}
+}

@@ -1,23 +1,31 @@
 // Command threadsim runs workloads on the simulated Firefly multiprocessor
-// and prints instruction-level statistics: makespan, fast-path rates, Nub
-// entries, parks, signal behavior. It is the interactive companion to the
-// E2/E10 sweeps in threadsbench.
+// and prints instruction-level statistics, and fronts the schedule-space
+// model checker in internal/explore.
 //
 // Usage:
 //
 //	threadsim -workload contention -procs 5 -threads 8 -iters 500
 //	threadsim -workload prodcons -procs 5 -producers 4 -consumers 4
-//	threadsim -workload contention -trace   # check the trace against the spec
-//	threadsim -trace -record run.jsonl      # also save the trace (JSON Lines)
+//	threadsim -trace -record run.jsonl      # run traced, save + spec-check the trace
+//	threadsim -explore -maxk 2              # enumerate all ≤2-preemption schedules
+//	threadsim -fuzz -runs 5000 -cert out/   # sample random schedules, save failures
+//	threadsim -replay out/mutex.cert.json   # replay a schedule certificate
 //	threadsim -replay run.jsonl             # re-check a recorded trace
+//
+// Flag combinations are validated strictly: a flag belonging to another
+// mode (for example -producers with -workload contention, or -maxk with
+// -fuzz) is rejected with a usage error and exit status 2.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
+	"threads/internal/checker"
+	"threads/internal/explore"
 	"threads/internal/sim"
 	"threads/internal/simthreads"
 	"threads/internal/spec"
@@ -26,62 +34,231 @@ import (
 )
 
 func main() {
-	var (
-		wl        = flag.String("workload", "contention", "contention or prodcons")
-		procs     = flag.Int("procs", 5, "simulated processors (the Firefly had 5)")
-		threads   = flag.Int("threads", 8, "threads (contention workload)")
-		iters     = flag.Int("iters", 500, "critical sections per thread")
-		csWork    = flag.Int("cswork", 20, "instructions inside the critical section")
-		think     = flag.Int("think", 200, "instructions outside")
-		producers = flag.Int("producers", 4, "producers (prodcons workload)")
-		consumers = flag.Int("consumers", 4, "consumers (prodcons workload)")
-		items     = flag.Int("items", 200, "items per producer")
-		capacity  = flag.Int("capacity", 8, "buffer capacity")
-		seed      = flag.Int64("seed", 1, "scheduling seed")
-		traced    = flag.Bool("trace", false, "record the action trace and check it against the formal specification")
-		record    = flag.String("record", "", "with -trace: also write the trace to this file (JSON Lines)")
-		replay    = flag.String("replay", "", "check a previously recorded trace file and exit")
-	)
-	flag.Parse()
-
-	if *replay != "" {
-		f, err := os.Open(*replay)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "threadsim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		events, err := trace.Read(f)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "threadsim:", err)
-			os.Exit(1)
-		}
-		n, err := trace.CheckAll(events)
-		if err != nil {
-			fmt.Printf("CONFORMANCE VIOLATION after %d events:\n  %v\n", n, err)
-			os.Exit(1)
-		}
-		fmt.Printf("%s: all %d actions conform to the formal specification\n", *replay, n)
-		return
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "threadsim:", err)
+		fmt.Fprintln(os.Stderr, "run threadsim -h for usage")
+		os.Exit(2)
 	}
-
-	if *traced {
-		runTraced(*seed, *procs, *record)
-		return
+	switch cfg.mode {
+	case modeReplay:
+		os.Exit(runReplay(cfg))
+	case modeExplore:
+		os.Exit(runExplore(cfg))
+	case modeFuzz:
+		os.Exit(runFuzz(cfg))
+	case modeTrace:
+		runTraced(cfg.seed, cfg.procs, cfg.record)
+	default:
+		runWorkload(cfg)
 	}
+}
 
-	switch *wl {
+// selected returns the litmus programs an explore/fuzz invocation covers.
+func selected(c *config) []*checker.Litmus {
+	if c.litmus == "all" {
+		return checker.Registry()
+	}
+	return []*checker.Litmus{checker.LitmusByName(c.litmus)}
+}
+
+// remaining splits a total wall-clock budget across the remaining
+// litmuses; zero means unbudgeted.
+func remaining(deadline time.Time, left int) time.Duration {
+	if deadline.IsZero() {
+		return 0
+	}
+	d := time.Until(deadline)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d / time.Duration(left)
+}
+
+// writeCert saves a failing schedule certificate, returning its path.
+func writeCert(dir string, cert *explore.Certificate) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := cert.Encode()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, cert.Litmus+".cert.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func runExplore(c *config) int {
+	lits := selected(c)
+	var deadline time.Time
+	if c.budget > 0 {
+		deadline = time.Now().Add(c.budget)
+	}
+	fail := 0
+	for i, lit := range lits {
+		rep := explore.Explore(lit, explore.Options{
+			MaxPreemptions: c.maxK,
+			Budget:         remaining(deadline, len(lits)-i),
+		})
+		status := "ok"
+		if !rep.Ok() {
+			status = "FAIL"
+			fail++
+		}
+		rate := float64(rep.Runs) / rep.Elapsed.Seconds()
+		fmt.Printf("%-14s %-4s %7d schedules, %9d decisions, %8.0f sched/s, %v\n",
+			lit.Name, status, rep.Runs, rep.Decisions, rate, rep.Elapsed.Round(time.Millisecond))
+		for _, ks := range rep.PerK {
+			fmt.Printf("    k=%d: %6d schedules, deepest %d decision points\n", ks.K, ks.Schedules, ks.MaxDepth)
+		}
+		if rep.Partial {
+			fmt.Printf("    partial: budget exhausted before the space\n")
+		}
+		if rep.Violation != nil {
+			fmt.Printf("    violation (%s): %s\n", rep.Violation.Kind, rep.Violation.Detail)
+			if rep.Certificate != nil {
+				fmt.Printf("    certificate: %d forced decisions (minimized from %d)\n",
+					len(rep.Certificate.Choices), rep.MinimizedFrom)
+				if c.certDir != "" {
+					path, err := writeCert(c.certDir, rep.Certificate)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "threadsim:", err)
+						return 1
+					}
+					fmt.Printf("    saved: %s (threadsim -replay %s)\n", path, path)
+				}
+			}
+			if lit.ExpectViolation {
+				fmt.Printf("    expected: this litmus is intentionally broken; the checker has teeth\n")
+			}
+		} else if lit.ExpectViolation {
+			fmt.Printf("    FAIL: intentionally broken litmus explored clean — checker regression\n")
+		}
+	}
+	if fail > 0 {
+		fmt.Printf("explore: %d of %d litmus programs FAILED\n", fail, len(lits))
+		return 1
+	}
+	fmt.Printf("explore: all %d litmus programs ok at k<=%d\n", len(lits), c.maxK)
+	return 0
+}
+
+func runFuzz(c *config) int {
+	lits := selected(c)
+	var deadline time.Time
+	if c.budget > 0 {
+		deadline = time.Now().Add(c.budget)
+	}
+	fail := 0
+	for i, lit := range lits {
+		rep := explore.Fuzz(lit, explore.FuzzOptions{
+			Runs:   c.runs,
+			Budget: remaining(deadline, len(lits)-i),
+			Seed:   c.seed,
+		})
+		status := "ok"
+		if !rep.Ok() {
+			status = "FAIL"
+			fail++
+		}
+		rate := float64(rep.Runs) / rep.Elapsed.Seconds()
+		fmt.Printf("%-14s %-4s %7d schedules, %9d decisions, %8.0f sched/s, %v\n",
+			lit.Name, status, rep.Runs, rep.Decisions, rate, rep.Elapsed.Round(time.Millisecond))
+		if rep.Violation != nil {
+			fmt.Printf("    violation (%s) at seed %d: %s\n", rep.Violation.Kind, rep.FailingSeed, rep.Violation.Detail)
+			if rep.Certificate != nil {
+				fmt.Printf("    certificate: %d forced decisions (minimized from %d)\n",
+					len(rep.Certificate.Choices), rep.MinimizedFrom)
+				if c.certDir != "" {
+					path, err := writeCert(c.certDir, rep.Certificate)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "threadsim:", err)
+						return 1
+					}
+					fmt.Printf("    saved: %s (threadsim -replay %s)\n", path, path)
+				}
+			}
+			if lit.ExpectViolation {
+				fmt.Printf("    expected: this litmus is intentionally broken; the sampler has teeth\n")
+			}
+		} else if lit.ExpectViolation {
+			fmt.Printf("    FAIL: intentionally broken litmus sampled clean — increase -runs\n")
+		}
+	}
+	if fail > 0 {
+		fmt.Printf("fuzz: %d of %d litmus programs FAILED\n", fail, len(lits))
+		return 1
+	}
+	fmt.Printf("fuzz: all %d litmus programs ok\n", len(lits))
+	return 0
+}
+
+// runReplay handles -replay for both artifact kinds: a schedule
+// certificate re-executes its litmus under the recorded schedule and must
+// reproduce the recorded violation; a JSON-Lines trace is re-checked
+// against the specification.
+func runReplay(c *config) int {
+	data, err := os.ReadFile(c.replayPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "threadsim:", err)
+		return 1
+	}
+	if explore.IsCertificate(data) {
+		cert, _ := explore.DecodeCertificate(data)
+		lit := checker.LitmusByName(cert.Litmus)
+		if lit == nil {
+			fmt.Fprintf(os.Stderr, "threadsim: certificate names unknown litmus %q\n", cert.Litmus)
+			return 1
+		}
+		res := explore.Replay(lit, cert)
+		fmt.Printf("%s: litmus %s, %d forced decisions, %d decision points, %d instructions\n",
+			c.replayPath, cert.Litmus, len(cert.Choices), len(res.Decisions), res.Steps)
+		switch {
+		case res.Violation == nil && cert.Violation == "":
+			fmt.Printf("schedule replayed clean\n")
+			return 0
+		case res.Violation != nil && res.Violation.Kind == cert.Violation:
+			fmt.Printf("reproduced the recorded %s violation:\n  %s\n", res.Violation.Kind, res.Violation.Detail)
+			return 0
+		case res.Violation != nil:
+			fmt.Printf("violation (%s), but the certificate recorded %q:\n  %s\n",
+				res.Violation.Kind, cert.Violation, res.Violation.Detail)
+			return 1
+		default:
+			fmt.Printf("FAILED to reproduce the recorded %q violation (litmus changed since recording?)\n", cert.Violation)
+			return 1
+		}
+	}
+	events, err := trace.Read(strings.NewReader(string(data)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "threadsim:", err)
+		return 1
+	}
+	n, err := trace.CheckAll(events)
+	if err != nil {
+		fmt.Printf("CONFORMANCE VIOLATION after %d events:\n  %v\n", n, err)
+		return 1
+	}
+	fmt.Printf("%s: all %d actions conform to the formal specification\n", c.replayPath, n)
+	return 0
+}
+
+func runWorkload(c *config) {
+	switch c.workload {
 	case "contention":
 		res, err := workload.SimMutexContention(workload.SimContentionConfig{
-			Procs: *procs, Threads: *threads, Iters: *iters,
-			CSWork: *csWork, Think: *think, Seed: *seed,
+			Procs: c.procs, Threads: c.threads, Iters: c.iters,
+			CSWork: c.csWork, Think: c.think, Seed: c.seed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "threadsim:", err)
 			os.Exit(1)
 		}
-		ops := float64((*threads) * (*iters))
-		fmt.Printf("contention: %d procs, %d threads, %d iterations each\n", *procs, *threads, *iters)
+		ops := float64(c.threads * c.iters)
+		fmt.Printf("contention: %d procs, %d threads, %d iterations each\n", c.procs, c.threads, c.iters)
 		fmt.Printf("  makespan          %d instructions (%.0f µs MicroVAX II)\n", res.Makespan, res.Micros)
 		fmt.Printf("  per operation     %.2f µs\n", res.Micros/ops)
 		fmt.Printf("  fast-path rate    %.1f%%\n", res.FastPathRate()*100)
@@ -91,15 +268,15 @@ func main() {
 		fmt.Printf("  processor util    %s\n", formatUtil(res.Utilization))
 	case "prodcons":
 		res, err := workload.SimProducerConsumer(workload.SimPCConfig{
-			Procs: *procs, Producers: *producers, Consumers: *consumers,
-			ItemsPerProducer: *items, Capacity: *capacity, Work: *think, Seed: *seed,
+			Procs: c.procs, Producers: c.producers, Consumers: c.consumers,
+			ItemsPerProducer: c.items, Capacity: c.capacity, Work: c.think, Seed: c.seed,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "threadsim:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("prodcons: %d procs, %d producers, %d consumers, %d items\n",
-			*procs, *producers, *consumers, res.Items)
+			c.procs, c.producers, c.consumers, res.Items)
 		fmt.Printf("  makespan        %d instructions (%.0f µs MicroVAX II)\n", res.Makespan, res.Micros)
 		fmt.Printf("  throughput      %.0f items per simulated second\n", res.ItemsPerSecond())
 		fmt.Printf("  waits parked    %d, elided %d\n", res.Stats.WaitPark, res.Stats.WaitElided)
@@ -107,9 +284,6 @@ func main() {
 			res.Stats.SignalFast, res.Stats.SignalNub, res.Stats.SignalWoke)
 		fmt.Printf("  broadcasts      fast %d, nub %d, woke %d\n",
 			res.Stats.BcastFast, res.Stats.BcastNub, res.Stats.BcastWoke)
-	default:
-		fmt.Fprintf(os.Stderr, "threadsim: unknown workload %q\n", *wl)
-		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,353 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/spec"
+)
+
+// This file is the litmus registry: the table of named scenarios that both
+// verification engines draw from. Each Litmus has up to two faces:
+//
+//   - Spec: a spec-level Config this package's explicit-state checker
+//     explores exhaustively (every interleaving of the abstract atomic
+//     actions);
+//   - Sim: an implementation-level program internal/explore drives through
+//     the simulated Firefly under controlled scheduling, replaying every
+//     schedule's linearization trace through internal/trace.
+//
+// Registering a scenario here is all it takes to have it model-checked and
+// schedule-explored: the checker tests, `threadsim -explore`, `threadsim
+// -fuzz` and the CI pipelines all iterate the registry. A new derived
+// primitive gets coverage by adding one entry whose Build expresses it with
+// the simulated primitives (see "rwlock" below for the pattern).
+
+// SimProgram is the implementation-level face of a litmus: a program on the
+// simulated multiprocessor, sized so bounded-exhaustive schedule
+// enumeration stays tractable.
+type SimProgram struct {
+	// Procs is the processor count to run with — at least the thread
+	// count, so every ready thread is a scheduling candidate and the
+	// explorer controls the full interleaving space.
+	Procs int
+	// Opts configures the World (the broken litmus turns on
+	// BuggyAlertSeize). The explorer adds NubAwait itself.
+	Opts simthreads.WorldOptions
+	// Build creates the program's primitives and threads (each thread
+	// must have a unique name — schedule certificates refer to threads by
+	// name) and returns a check run after the kernel stops: nil means the
+	// outcome is correct. Check functions use Peek only.
+	Build func(w *simthreads.World, k *simthreads.Kernel) (check func() error)
+}
+
+// Litmus is one named scenario in the registry.
+type Litmus struct {
+	Name string
+	Desc string
+	// ExpectViolation marks intentionally broken scenarios: exploration
+	// MUST find a violation (not finding one is a checker regression).
+	ExpectViolation bool
+	// Spec returns the spec-level model-checking config; nil if the
+	// scenario only exists at the implementation level.
+	Spec func() Config
+	Sim  SimProgram
+}
+
+// Registry returns the litmus table, in deterministic order.
+func Registry() []*Litmus {
+	return []*Litmus{
+		{
+			Name: "mutex",
+			Desc: "3 threads x 2 critical sections on one mutex; lost-update and overlap detectors",
+			Spec: func() Config { return MutualExclusion(3, 2) },
+			Sim:  simMutex(3, 2),
+		},
+		{
+			Name: "sem",
+			Desc: "2 threads x 2 critical sections guarded by P/V on one binary semaphore",
+			Spec: func() Config { return SemaphoreMutualExclusion(2, 2) },
+			Sim:  simSemMutex(2, 2),
+		},
+		{
+			Name: "prodcons",
+			Desc: "2 producers x 2 items, 1 consumer, capacity-1 bounded buffer (Wait/Signal both directions)",
+			Sim:  simProdCons(2, 2, 1),
+		},
+		{
+			Name: "alert",
+			Desc: "AlertWait ended by Alert while a worker contends for the mutex (corrected semantics)",
+			Spec: func() Config { return AlertSeizesHeldMutex(spec.VariantFinal) },
+			Sim:  simAlert(false),
+		},
+		{
+			Name:            "alert-broken",
+			Desc:            "the no-m-nil AlertWait bug: an alerted thread seizes a held mutex (violation expected)",
+			ExpectViolation: true,
+			Spec:            func() Config { return MutualExclusionAlert(spec.VariantNoMNil, 2, 1) },
+			Sim:             simAlert(true),
+		},
+		{
+			Name: "rwlock",
+			Desc: "readers-writer lock derived from mutex+condition: 2 readers, 1 writer",
+			Sim:  simRWLock(2),
+		},
+	}
+}
+
+// LitmusByName returns the named litmus, or nil.
+func LitmusByName(name string) *Litmus {
+	for _, l := range Registry() {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// LitmusNames returns the sorted registry names.
+func LitmusNames() []string {
+	var out []string
+	for _, l := range Registry() {
+		out = append(out, l.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// simMutex: each thread performs iters critical sections incrementing a
+// shared counter with a non-atomic load-work-store — the update a mutex
+// exists to protect — plus an in-region occupancy counter that catches
+// overlap the moment it happens.
+func simMutex(threads, iters int) SimProgram {
+	return SimProgram{
+		Procs: threads,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			var counter, inCS, overlap sim.Word
+			for i := 0; i < threads; i++ {
+				k.Spawn(fmt.Sprintf("t%d", i+1), func(e *sim.Env) {
+					for n := 0; n < iters; n++ {
+						m.Acquire(e)
+						if e.Add(&inCS, 1) != 1 {
+							e.Store(&overlap, 1)
+						}
+						v := e.Load(&counter)
+						e.Work(1)
+						e.Store(&counter, v+1)
+						e.Add(&inCS, ^uint64(0))
+						m.Release(e)
+					}
+				})
+			}
+			total := uint64(threads * iters)
+			return func() error {
+				if overlap.Peek() != 0 {
+					return fmt.Errorf("two threads inside the mutex critical section")
+				}
+				if got := counter.Peek(); got != total {
+					return fmt.Errorf("lost update: counter = %d, want %d", got, total)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simSemMutex is simMutex with P/V on a binary semaphore as the guard.
+func simSemMutex(threads, iters int) SimProgram {
+	return SimProgram{
+		Procs: threads,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			s := w.NewSemaphore()
+			var counter, inCS, overlap sim.Word
+			for i := 0; i < threads; i++ {
+				k.Spawn(fmt.Sprintf("t%d", i+1), func(e *sim.Env) {
+					for n := 0; n < iters; n++ {
+						s.P(e)
+						if e.Add(&inCS, 1) != 1 {
+							e.Store(&overlap, 1)
+						}
+						v := e.Load(&counter)
+						e.Store(&counter, v+1)
+						e.Add(&inCS, ^uint64(0))
+						s.V(e)
+					}
+				})
+			}
+			total := uint64(threads * iters)
+			return func() error {
+				if overlap.Peek() != 0 {
+					return fmt.Errorf("two threads inside the P/V critical section")
+				}
+				if got := counter.Peek(); got != total {
+					return fmt.Errorf("lost update: counter = %d, want %d", got, total)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simProdCons is the bounded buffer with a condition per direction; the
+// consumer drains exactly producers*items items, so every schedule must
+// terminate — a deadlock is a lost wakeup.
+func simProdCons(producers, items, capacity int) SimProgram {
+	return SimProgram{
+		Procs: producers + 1,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			nonEmpty := w.NewCondition()
+			nonFull := w.NewCondition()
+			var queue sim.Word
+			total := producers * items
+			for i := 0; i < producers; i++ {
+				k.Spawn(fmt.Sprintf("prod%d", i+1), func(e *sim.Env) {
+					for n := 0; n < items; n++ {
+						m.Acquire(e)
+						for e.Load(&queue) == uint64(capacity) {
+							nonFull.Wait(e, m)
+						}
+						e.Add(&queue, 1)
+						m.Release(e)
+						nonEmpty.Signal(e)
+					}
+				})
+			}
+			k.Spawn("cons", func(e *sim.Env) {
+				for got := 0; got < total; got++ {
+					m.Acquire(e)
+					for e.Load(&queue) == 0 {
+						nonEmpty.Wait(e, m)
+					}
+					e.Add(&queue, ^uint64(0))
+					m.Release(e)
+					nonFull.Signal(e)
+				}
+			})
+			return func() error {
+				if q := queue.Peek(); q != 0 {
+					return fmt.Errorf("%d items left in the buffer after all threads finished", q)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simAlert is the MutualExclusionAlert scenario on the simulator: the
+// alertee's critical section is entered through AlertWait's resume, a
+// worker takes plain critical sections, an alerter supplies the Alert that
+// enables the Raise path. With buggy=true the World runs the no-m-nil
+// semantics and some schedule lets the alertee seize the worker's held
+// mutex — the violation the first released specification permitted.
+func simAlert(buggy bool) SimProgram {
+	return SimProgram{
+		Procs: 3,
+		Opts:  simthreads.WorldOptions{BuggyAlertSeize: buggy},
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			c := w.NewCondition()
+			var inCS, overlap, sawAlert sim.Word
+			enter := func(e *sim.Env) {
+				if e.Add(&inCS, 1) != 1 {
+					e.Store(&overlap, 1)
+				}
+			}
+			exit := func(e *sim.Env) { e.Add(&inCS, ^uint64(0)) }
+			alertee := k.Spawn("alertee", func(e *sim.Env) {
+				m.Acquire(e)
+				alerted := c.AlertWait(e, m)
+				enter(e)
+				e.Work(2)
+				exit(e)
+				m.Release(e)
+				if alerted {
+					e.Store(&sawAlert, 1)
+				}
+			})
+			k.Spawn("worker", func(e *sim.Env) {
+				m.Acquire(e)
+				enter(e)
+				e.Work(2)
+				exit(e)
+				m.Release(e)
+			})
+			k.Spawn("alerter", func(e *sim.Env) {
+				w.Alert(e, alertee)
+			})
+			return func() error {
+				if overlap.Peek() != 0 {
+					return fmt.Errorf("alertee and worker overlapped inside the mutex critical section")
+				}
+				if sawAlert.Peek() == 0 {
+					return fmt.Errorf("the alert was never delivered")
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simRWLock derives a readers-writer lock from one mutex and one condition
+// — the registry's demonstration that new primitives built on the paper's
+// interface get schedule-explored by adding a table entry.
+func simRWLock(readers int) SimProgram {
+	return SimProgram{
+		Procs: readers + 1,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			cv := w.NewCondition()
+			var nreaders, writing sim.Word // guarded state
+			var inR, inW, bad sim.Word     // detectors
+			for i := 0; i < readers; i++ {
+				k.Spawn(fmt.Sprintf("r%d", i+1), func(e *sim.Env) {
+					m.Acquire(e)
+					for e.Load(&writing) != 0 {
+						cv.Wait(e, m)
+					}
+					e.Add(&nreaders, 1)
+					m.Release(e)
+					// Read region: no writer may be inside.
+					e.Add(&inR, 1)
+					if e.Load(&inW) != 0 {
+						e.Store(&bad, 1)
+					}
+					e.Add(&inR, ^uint64(0))
+					m.Acquire(e)
+					last := e.Add(&nreaders, ^uint64(0)) == 0
+					m.Release(e)
+					if last {
+						cv.Broadcast(e)
+					}
+				})
+			}
+			k.Spawn("writer", func(e *sim.Env) {
+				m.Acquire(e)
+				for e.Load(&nreaders) != 0 || e.Load(&writing) != 0 {
+					cv.Wait(e, m)
+				}
+				e.Store(&writing, 1)
+				m.Release(e)
+				// Write region: no reader may be inside.
+				e.Store(&inW, 1)
+				if e.Load(&inR) != 0 {
+					e.Store(&bad, 1)
+				}
+				e.Store(&inW, 0)
+				m.Acquire(e)
+				e.Store(&writing, 0)
+				m.Release(e)
+				cv.Broadcast(e)
+			})
+			return func() error {
+				if bad.Peek() != 0 {
+					return fmt.Errorf("reader and writer overlapped")
+				}
+				return nil
+			}
+		},
+	}
+}

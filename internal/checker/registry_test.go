@@ -1,0 +1,98 @@
+package checker
+
+import (
+	"fmt"
+	"testing"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+// TestRegistryShape: names are unique and resolvable, every entry has a
+// sim face, and the lookup helpers agree with the table.
+func TestRegistryShape(t *testing.T) {
+	seen := map[string]bool{}
+	for _, lit := range Registry() {
+		if lit.Name == "" {
+			t.Fatal("litmus with empty name")
+		}
+		if seen[lit.Name] {
+			t.Fatalf("duplicate litmus name %q", lit.Name)
+		}
+		seen[lit.Name] = true
+		if lit.Sim.Build == nil || lit.Sim.Procs < 1 {
+			t.Errorf("%s: malformed sim program", lit.Name)
+		}
+		if got := LitmusByName(lit.Name); got == nil || got.Name != lit.Name {
+			t.Errorf("LitmusByName(%q) did not resolve", lit.Name)
+		}
+	}
+	if LitmusByName("no-such-litmus") != nil {
+		t.Error("LitmusByName returned an entry for an unknown name")
+	}
+	if len(LitmusNames()) != len(Registry()) {
+		t.Error("LitmusNames and Registry disagree on entry count")
+	}
+}
+
+// TestRegistrySimPrograms runs each litmus's sim face once under the
+// default (seeded) scheduler: correct programs must terminate and pass
+// their own outcome check on an arbitrary fair schedule; thread names must
+// be unique because schedule certificates address threads by name.
+func TestRegistrySimPrograms(t *testing.T) {
+	for _, lit := range Registry() {
+		lit := lit
+		t.Run(lit.Name, func(t *testing.T) {
+			opts := lit.Sim.Opts
+			opts.NubAwait = true
+			cfg := sim.Config{Procs: lit.Sim.Procs, Seed: 7, MaxSteps: 2_000_000}
+			w, k := simthreads.NewWorldOpts(cfg, opts)
+			check := lit.Sim.Build(w, k)
+			if err := dupThreadNames(k); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			// A single arbitrary schedule may or may not trip a broken
+			// litmus; only correct ones are held to a clean outcome.
+			if check != nil && !lit.ExpectViolation {
+				if err := check(); err != nil {
+					t.Fatalf("outcome: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func dupThreadNames(k *simthreads.Kernel) error {
+	seen := map[string]bool{}
+	for _, th := range k.Threads() {
+		if seen[th.Name()] {
+			return fmt.Errorf("duplicate thread name %q", th.Name())
+		}
+		seen[th.Name()] = true
+	}
+	return nil
+}
+
+// TestRegistrySpecFaces model-checks the spec face of each litmus that has
+// one, asserting the expected verdict: correct scenarios verify, broken
+// ones yield a counterexample.
+func TestRegistrySpecFaces(t *testing.T) {
+	for _, lit := range Registry() {
+		if lit.Spec == nil {
+			continue
+		}
+		lit := lit
+		t.Run(lit.Name, func(t *testing.T) {
+			res := Run(lit.Spec())
+			if lit.ExpectViolation && res.Violation == nil {
+				t.Fatalf("spec-level checker found no violation (%d states)", res.States)
+			}
+			if !lit.ExpectViolation && res.Violation != nil {
+				t.Fatalf("spec-level violation in a correct scenario: %v", res.Violation)
+			}
+		})
+	}
+}

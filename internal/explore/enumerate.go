@@ -1,0 +1,166 @@
+package explore
+
+import (
+	"time"
+
+	"threads/internal/checker"
+)
+
+// Options parameterizes bounded-exhaustive exploration.
+type Options struct {
+	// MaxPreemptions is the context bound: Explore widens k = 0, 1, …,
+	// MaxPreemptions, enumerating at each bound every schedule with at
+	// most k preemptions.
+	MaxPreemptions int
+	// Budget, if positive, stops exploration (marking the report partial)
+	// once that much wall-clock time has elapsed.
+	Budget time.Duration
+	// MaxSchedules, if positive, caps the schedules run per bound.
+	MaxSchedules int
+}
+
+// KStats is one row of the context-bound coverage table.
+type KStats struct {
+	K         int
+	Schedules int // complete schedules enumerated at this bound (cost ≤ K)
+	MaxDepth  int // decision points in the deepest schedule
+}
+
+// Report summarizes an exploration of one litmus program.
+type Report struct {
+	Litmus          string
+	ExpectViolation bool
+	PerK            []KStats
+	Runs            int // total runs (bounds re-cover their predecessors)
+	Decisions       int // decision points evaluated across all runs
+	Violation       *Violation
+	Certificate     *Certificate // minimized witness, when a violation was found
+	MinimizedFrom   int          // certificate choices before minimization
+	Partial         bool         // budget or schedule cap hit
+	Elapsed         time.Duration
+}
+
+// Ok reports whether the exploration's verdict matches the litmus's
+// expectation: clean programs must have no violation, intentionally broken
+// ones must have one (a broken litmus explored cleanly means the checker
+// lost its teeth). A partial clean result is not Ok for a broken litmus.
+func (r *Report) Ok() bool {
+	if r.ExpectViolation {
+		return r.Violation != nil
+	}
+	return r.Violation == nil
+}
+
+// Explore enumerates lit's schedule space depth-first with iterative
+// context-bound widening, stopping at the first violating schedule (which
+// it returns as a minimized certificate).
+//
+// The enumeration is an odometer over the decision tree: each run replays
+// a forced prefix of choices and extends it with the default policy; the
+// next prefix is found by scanning the recorded decisions backwards for
+// the deepest point with an untried alternative whose preemption cost
+// still fits the bound. Every maximal path with at most k preemptions is
+// visited exactly once per bound.
+func Explore(lit *checker.Litmus, o Options) *Report {
+	start := time.Now()
+	rep := &Report{Litmus: lit.Name, ExpectViolation: lit.ExpectViolation}
+	for k := 0; k <= o.MaxPreemptions; k++ {
+		ks := KStats{K: k}
+		var forced []int
+		for {
+			if o.Budget > 0 && time.Since(start) > o.Budget {
+				rep.Partial = true
+				break
+			}
+			if o.MaxSchedules > 0 && ks.Schedules >= o.MaxSchedules {
+				rep.Partial = true
+				break
+			}
+			rec := &recorder{forced: forced}
+			res := runProgram(lit, rec)
+			rep.Runs++
+			rep.Decisions += len(res.Decisions)
+			ks.Schedules++
+			if d := len(res.Decisions); d > ks.MaxDepth {
+				ks.MaxDepth = d
+			}
+			if res.Violation != nil {
+				rep.Violation = res.Violation
+				cert := certificateFromRun(lit, res)
+				rep.MinimizedFrom = len(cert.Choices)
+				rep.Certificate = Minimize(lit, cert)
+				rep.PerK = append(rep.PerK, ks)
+				rep.Elapsed = time.Since(start)
+				return rep
+			}
+			next, ok := nextPrefix(res.Decisions, k)
+			if !ok {
+				break
+			}
+			forced = next
+		}
+		rep.PerK = append(rep.PerK, ks)
+		if rep.Partial {
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// nextPrefix computes the next forced prefix in the depth-first
+// enumeration of all schedules with at most k preemptions, or ok=false
+// when the bound's space is exhausted. decisions is the full decision
+// record of the run just completed.
+func nextPrefix(decisions []Decision, k int) (forced []int, ok bool) {
+	// cum[i] = preemptions spent strictly before decision i.
+	cum := make([]int, len(decisions)+1)
+	for i, d := range decisions {
+		c := 0
+		if d.Preempted() {
+			c = 1
+		}
+		cum[i+1] = cum[i] + c
+	}
+	for i := len(decisions) - 1; i >= 0; i-- {
+		d := decisions[i]
+		for alt, more := nextAlt(d.Cands, d.Default, d.Chosen); more; alt, more = nextAlt(d.Cands, d.Default, alt) {
+			cost := 0
+			if d.PrevRunnable && alt != d.Default {
+				cost = 1
+			}
+			if cum[i]+cost > k {
+				continue
+			}
+			forced = make([]int, i+1)
+			for j := 0; j < i; j++ {
+				forced[j] = decisions[j].Chosen
+			}
+			forced[i] = alt
+			return forced, true
+		}
+	}
+	return nil, false
+}
+
+// nextAlt returns the alternative after cur in a decision point's
+// exploration order — the default choice first, then the remaining
+// candidates in canonical order — or more=false when exhausted.
+func nextAlt(cands []string, def, cur int) (next int, more bool) {
+	ord := make([]int, 0, len(cands))
+	ord = append(ord, def)
+	for i := range cands {
+		if i != def {
+			ord = append(ord, i)
+		}
+	}
+	for p, idx := range ord {
+		if idx == cur {
+			if p+1 < len(ord) {
+				return ord[p+1], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}

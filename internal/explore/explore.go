@@ -1,0 +1,202 @@
+// Package explore is a schedule-space model checker for the simulated
+// implementation: it drives internal/sim's kernel through controlled
+// scheduling decisions instead of seeded randomness, enumerating or
+// sampling the interleavings of the litmus programs registered in
+// internal/checker and replaying every explored schedule's linearization
+// trace through the formal specification (internal/trace).
+//
+// The simulator executes exactly one thread between yield points, and
+// every shared-memory access is a yield point, so a run is a deterministic
+// function of the sequence of scheduling decisions — "which runnable
+// thread executes its next instruction". That sequence is the package's
+// object of study:
+//
+//   - Explore performs bounded-exhaustive enumeration with iterative
+//     context-bound widening: all schedules with at most k preemptions (a
+//     switch away from a thread that could have kept running), for
+//     k = 0, 1, 2, … — the CHESS insight that real concurrency bugs
+//     almost always need only a few preemptions.
+//   - Fuzz samples weighted-random schedules from the same decision tree,
+//     for the tail the bound does not reach.
+//
+// A failing schedule — a conformance divergence from the specification, a
+// deadlock, a livelock, or a wrong outcome — is serialized as a replayable
+// Certificate: the sparse list of decisions that differed from the default
+// policy. Certificates are automatically minimized (decision points are
+// dropped while the failure still reproduces) and replay byte-identically,
+// so a CI failure travels as a small JSON file that reproduces locally
+// with `threadsim -replay`.
+package explore
+
+import (
+	"errors"
+	"math/rand"
+
+	"threads/internal/checker"
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+	"threads/internal/spec"
+	"threads/internal/trace"
+)
+
+// Violation is one failing schedule's diagnosis.
+type Violation struct {
+	// Kind is "conformance" (the linearization trace diverges from the
+	// formal specification), "deadlock", "livelock" (step limit), or
+	// "outcome" (the litmus's own post-run check failed).
+	Kind   string
+	Detail string
+}
+
+func (v *Violation) Error() string { return v.Kind + ": " + v.Detail }
+
+// Decision records one controlled scheduling decision: the runnable
+// candidates (thread names in canonical ascending-ID order), which the
+// default policy would have picked, and which was picked.
+type Decision struct {
+	Cands        []string
+	Chosen       int
+	Default      int
+	PrevRunnable bool // the previously-running thread was a candidate
+}
+
+// Preempted reports whether this decision switched away from a thread
+// that could have kept running — the context switches the k-bound counts.
+func (d Decision) Preempted() bool { return d.PrevRunnable && d.Chosen != d.Default }
+
+// recorder implements sim.Config.Choose for one run, recording every
+// decision and delegating the choice to whichever mode is set: a forced
+// prefix of canonical indices (exhaustive enumeration), per-step thread
+// name overrides (certificate replay), or a seeded sampler (fuzzing).
+// Past or absent all modes, the default policy applies: keep running the
+// previous thread if it is still runnable, else the lowest-ID candidate.
+type recorder struct {
+	forced      []int
+	overrides   map[int]string
+	rng         *rand.Rand
+	preemptProb float64
+
+	decisions []Decision
+	diverged  bool // a forced index exceeded the candidate count
+}
+
+func (r *recorder) choose(prev *sim.T, cands []*sim.T) int {
+	step := len(r.decisions)
+	names := make([]string, len(cands))
+	for i, t := range cands {
+		names[i] = t.Name()
+	}
+	def := 0
+	prevRunnable := false
+	if prev != nil {
+		for i, t := range cands {
+			if t == prev {
+				def, prevRunnable = i, true
+				break
+			}
+		}
+	}
+	chosen := def
+	switch {
+	case step < len(r.forced):
+		chosen = r.forced[step]
+		if chosen < 0 || chosen >= len(cands) {
+			// The decision tree changed under a stale prefix; this never
+			// happens for prefixes recorded from the same litmus, and is
+			// surfaced as a diagnostic rather than a crash.
+			r.diverged = true
+			chosen = def
+		}
+	case r.overrides != nil:
+		if name, ok := r.overrides[step]; ok {
+			for i, n := range names {
+				if n == name {
+					chosen = i
+					break
+				}
+			}
+		}
+	case r.rng != nil:
+		if prevRunnable {
+			if len(cands) > 1 && r.rng.Float64() < r.preemptProb {
+				o := r.rng.Intn(len(cands) - 1)
+				if o >= def {
+					o++
+				}
+				chosen = o
+			}
+		} else {
+			chosen = r.rng.Intn(len(cands))
+		}
+	}
+	r.decisions = append(r.decisions, Decision{
+		Cands:        names,
+		Chosen:       chosen,
+		Default:      def,
+		PrevRunnable: prevRunnable,
+	})
+	return chosen
+}
+
+// RunResult is one controlled run of a litmus program.
+type RunResult struct {
+	Decisions   []Decision
+	Preemptions int
+	Events      []trace.Event // the linearization trace
+	RunErr      error
+	Violation   *Violation
+	Steps       uint64
+	Diverged    bool
+}
+
+// maxRunSteps cuts off livelocked schedules; litmus runs are a few
+// thousand instructions, so the margin is enormous.
+const maxRunSteps = 2_000_000
+
+// runProgram executes lit's simulator program once under rec's schedule,
+// replays the linearization trace through the specification, and applies
+// the litmus's own outcome check.
+func runProgram(lit *checker.Litmus, rec *recorder) RunResult {
+	var events []trace.Event
+	opts := lit.Sim.Opts
+	opts.NubAwait = true // finite decision tree; see WorldOptions.NubAwait
+	cfg := sim.Config{
+		Procs:    lit.Sim.Procs,
+		MaxSteps: maxRunSteps,
+		Choose:   rec.choose,
+		Trace: func(ev sim.Event) {
+			if a, ok := ev.Payload.(spec.Action); ok {
+				events = append(events, trace.Event{Seq: ev.Seq, Thread: ev.Thread.Name(), Action: a})
+			}
+		},
+	}
+	w, k := simthreads.NewWorldOpts(cfg, opts)
+	check := lit.Sim.Build(w, k)
+	err := k.Run()
+	res := RunResult{
+		Decisions: rec.decisions,
+		Events:    events,
+		RunErr:    err,
+		Steps:     k.Steps(),
+		Diverged:  rec.diverged,
+	}
+	for _, d := range rec.decisions {
+		if d.Preempted() {
+			res.Preemptions++
+		}
+	}
+	if _, verr := trace.CheckAll(events); verr != nil {
+		res.Violation = &Violation{Kind: "conformance", Detail: verr.Error()}
+	} else if err != nil {
+		kind := "deadlock"
+		if errors.Is(err, sim.ErrStepLimit) {
+			kind = "livelock"
+		}
+		res.Violation = &Violation{Kind: kind, Detail: err.Error()}
+	} else if check != nil {
+		if cerr := check(); cerr != nil {
+			res.Violation = &Violation{Kind: "outcome", Detail: cerr.Error()}
+		}
+	}
+	return res
+}

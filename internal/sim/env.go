@@ -53,6 +53,9 @@ func (e *Env) Load(w *Word) uint64 {
 func (e *Env) Store(w *Word, v uint64) {
 	e.yieldPoint(opInstr, e.k.cost.Store)
 	w.v = v
+	if v == 0 {
+		e.wakeAwaiters(w)
+	}
 }
 
 // TAS is the hardware test-and-set: atomically sets the word to 1 and
@@ -70,7 +73,63 @@ func (e *Env) TAS(w *Word) uint64 {
 func (e *Env) Add(w *Word, d uint64) uint64 {
 	e.yieldPoint(opInstr, e.k.cost.Store)
 	w.v += d
+	if w.v == 0 {
+		e.wakeAwaiters(w)
+	}
 	return w.v
+}
+
+// TASAwait is TAS that blocks instead of busy-waiting: if the word is set,
+// the calling thread deschedules until some thread stores (or adds) zero to
+// it, then retries. Semantically it is the WHEN-guarded atomic action a
+// test-and-set spin loop implements — the thread makes no progress and
+// touches nothing until the word clears — but because the waiting is
+// blocking rather than spinning, a controlled scheduler (Config.Choose)
+// sees a finite decision tree instead of an unbounded spin. Instruction
+// accounting differs from an explicit spin loop (the retries are not
+// charged), so performance experiments should keep the spin.
+func (e *Env) TASAwait(w *Word) {
+	for {
+		e.yieldPoint(opInstr, e.k.cost.TAS)
+		if w.v == 0 {
+			w.v = 1
+			return
+		}
+		if e.k.awaiting == nil {
+			e.k.awaiting = make(map[*Word][]*T)
+		}
+		e.k.awaiting[w] = append(e.k.awaiting[w], e.t)
+		e.t.blockReason = "awaiting word clear"
+		e.yieldPoint(opBlock, 0)
+		e.t.blockReason = ""
+		// Deregister in case the deschedule was consumed by a pending
+		// wakeup that arrived for another reason; a stale registration
+		// would later wake us out of thin air.
+		e.unawait(w)
+	}
+}
+
+// wakeAwaiters readies every thread blocked in TASAwait on w.
+func (e *Env) wakeAwaiters(w *Word) {
+	ts := e.k.awaiting[w]
+	if len(ts) == 0 {
+		return
+	}
+	delete(e.k.awaiting, w)
+	for _, t := range ts {
+		e.MakeReady(t)
+	}
+}
+
+// unawait removes the calling thread from w's await list if still present.
+func (e *Env) unawait(w *Word) {
+	ts := e.k.awaiting[w]
+	for i, t := range ts {
+		if t == e.t {
+			e.k.awaiting[w] = append(ts[:i], ts[i+1:]...)
+			return
+		}
+	}
 }
 
 // Work charges n units of local computation without touching shared

@@ -73,6 +73,16 @@ type Config struct {
 	MaxSteps uint64
 	// Trace, if non-nil, receives every Event the run produces.
 	Trace func(Event)
+	// Choose, if non-nil, replaces Policy entirely with an external
+	// scheduling decision: whenever more than one thread could execute its
+	// next instruction, the kernel calls Choose with the thread that
+	// executed the previous instruction (nil before the first) and the
+	// runnable candidates in ascending thread-ID order, and advances the
+	// candidate whose index Choose returns. Every shared-memory access is
+	// a yield point, so Choose sees — and controls — every interleaving
+	// decision of the run; internal/explore drives it to enumerate
+	// schedule spaces. With Choose set the Seed is never consulted.
+	Choose func(prev *T, cands []*T) int
 }
 
 // CostProfile gives the instruction cost of each simulated operation.
@@ -194,6 +204,11 @@ type Kernel struct {
 	lastEvt uint64 // clock of the most recent instruction, for idle procs
 	seq     uint64
 	stopped bool
+	// lastRun is the thread that executed the previous instruction; the
+	// Choose hook uses it to tell voluntary switches from preemptions.
+	lastRun *T
+	// awaiting maps a Word to the threads blocked in TASAwait on it.
+	awaiting map[*Word][]*T
 }
 
 // NewKernel builds a machine from cfg.
@@ -316,6 +331,7 @@ func (k *Kernel) Run() error {
 		}
 		p := k.pick(cand)
 		t := p.cur
+		k.lastRun = t
 
 		// Let the thread run from its current yield point to the next.
 		// Only granted threads send on k.yield and none is running now,
@@ -375,6 +391,20 @@ func (k *Kernel) Run() error {
 func (k *Kernel) pick(cand []*proc) *proc {
 	if len(cand) == 1 {
 		return cand[0]
+	}
+	if k.cfg.Choose != nil {
+		// Canonical order: ascending thread ID, so a decision index means
+		// the same thread on every run with the same prefix of choices.
+		sort.Slice(cand, func(i, j int) bool { return cand[i].cur.id < cand[j].cur.id })
+		ts := make([]*T, len(cand))
+		for i, p := range cand {
+			ts[i] = p.cur
+		}
+		i := k.cfg.Choose(k.lastRun, ts)
+		if i < 0 || i >= len(cand) {
+			panic(fmt.Sprintf("sim: Choose returned index %d with %d candidates", i, len(cand)))
+		}
+		return cand[i]
 	}
 	if k.cfg.Policy == PolicyRandom {
 		return cand[k.rng.Intn(len(cand))]

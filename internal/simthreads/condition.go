@@ -204,6 +204,17 @@ func (c *Condition) AlertWait(e *sim.Env, m *Mutex) (alerted bool) {
 	alerted = c.blockAlertable(e, i, "AlertWait(c"+strconv.Itoa(int(c.id))+")")
 	e.Add(&c.committed, ^uint64(0))
 	st := c.w.state(e.Self())
+	if alerted && c.w.opts.BuggyAlertSeize {
+		// The first released specification's Raise path (VariantNoMNil):
+		// no "m = NIL &" guard, so the alerted thread returns — believing
+		// it holds m — without waiting for the holder. It barges into the
+		// guarded region, and its later Release clears a lock bit it
+		// never owned.
+		st.alerted = false
+		c.w.emit(e, spec.AlertResumeRaise{T: self, M: m.id, C: c.id, Variant: spec.VariantNoMNil})
+		e.Work(branchCost)
+		return true
+	}
 	m.acquireSilent(e, func() {
 		if alerted {
 			st.alerted = false

@@ -18,6 +18,23 @@ type WorldOptions struct {
 	// Broadcast avoid calling the Nub if there are no threads to
 	// unblock").
 	NoSignalFastPath bool
+	// NubAwait makes the Nub spin lock block on the lock word (an await)
+	// instead of busy-waiting on test-and-set. Acquisition order and
+	// visible behavior are unchanged — a spinning thread makes no progress
+	// either way — but the schedule explorer (internal/explore) needs the
+	// blocking form so its controlled decision tree is finite; a busy-wait
+	// under an adversarial scheduler is an unbounded chain of decision
+	// points. Leave it off for performance experiments: awaits are not
+	// charged the spin instructions.
+	NubAwait bool
+	// BuggyAlertSeize reintroduces, at the implementation level, the bug
+	// the first released specification permitted (spec.VariantNoMNil):
+	// AlertWait's Raise path returns without waiting for the mutex to be
+	// free — the alerted thread barges into the region the mutex guards
+	// even while another thread holds it. The schedule explorer uses it as
+	// the known-broken litmus whose violation every exploration must
+	// rediscover (experiment E7 at the schedule level).
+	BuggyAlertSeize bool
 }
 
 // NewWorldOpts is NewWorld with ablation options.

@@ -161,10 +161,16 @@ func (w *World) state(t *sim.T) *tstate {
 func (w *World) SpecID(t *sim.T) spec.ThreadID { return w.state(t).id }
 
 // nubLock busy-waits on the global spin-lock bit and disables preemption
-// for the critical section, mirroring kernel-mode execution.
+// for the critical section, mirroring kernel-mode execution. Under
+// WorldOptions.NubAwait the busy-wait is replaced by a blocking await with
+// identical semantics (see the option's comment).
 func (w *World) nubLock(e *sim.Env) {
-	for e.TAS(&w.nub) != 0 {
-		// spin: each iteration is one TAS instruction
+	if w.opts.NubAwait {
+		e.TASAwait(&w.nub)
+	} else {
+		for e.TAS(&w.nub) != 0 {
+			// spin: each iteration is one TAS instruction
+		}
 	}
 	e.SetPreemptible(false)
 }
