@@ -3,15 +3,26 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench bench-baseline bench-check conformance lint explore fuzz
+.PHONY: tier1 build examples vet test race bench bench-baseline bench-check conformance lint threadsvet explore fuzz
 
-tier1: build vet race test conformance
+tier1: build examples vet race test conformance threadsvet
 
 build:
 	$(GO) build ./...
 
+# examples must always compile (go build ./... covers them, but a separate
+# target keeps the failure attributable when one rots).
+examples:
+	$(GO) build ./examples/...
+
 vet:
 	$(GO) vet ./...
+
+# threadsvet runs the repo's own static usage-discipline analyzers
+# (internal/analysis) over every package; see README "Static analysis".
+THREADSVET_FLAGS ?=
+threadsvet:
+	$(GO) run ./cmd/threadsvet $(THREADSVET_FLAGS) ./...
 
 race:
 	$(GO) test -race ./internal/core/...
@@ -27,9 +38,9 @@ conformance:
 	$(GO) run ./cmd/threadscheck -runtime -events 300000
 
 # lint gates on formatting and static analysis: gofmt must report nothing,
-# go vet must pass, and staticcheck runs when installed (CI and dev images
-# without it still get the first two).
-lint:
+# go vet and threadsvet must pass, and staticcheck runs when installed (CI
+# and dev images without it still get the rest).
+lint: threadsvet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: the following files need formatting:"; \

@@ -1,0 +1,190 @@
+// Command threadsvet runs the static usage-discipline checks for the
+// threads API (internal/analysis) over package patterns, in the style of
+// go vet:
+//
+//	threadsvet ./...
+//	threadsvet -only waitloop,lockpair ./internal/workload
+//	threadsvet -lockorder.interprocedural -report vet.txt ./...
+//
+// Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+// load errors. Findings silenced by //threadsvet:ignore directives are
+// counted in the summary but do not fail the run; a malformed, unknown or
+// stale directive is itself a finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"threads/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("threadsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		only   = fs.String("only", "", "comma-separated analyzers to run (default: all)")
+		skip   = fs.String("skip", "", "comma-separated analyzers to skip")
+		tests  = fs.Bool("tests", false, "also analyze _test.go files")
+		inter  = fs.Bool("lockorder.interprocedural", false, "close lock-order edges through same-package calls (slower; CI runs this nightly)")
+		report = fs.String("report", "", "also write every finding (suppressed included) to this file")
+		list   = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: threadsvet [flags] [package patterns]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := selectAnalyzers(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+		return 2
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := loader.ExpandPatterns(".", patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "threadsvet: no packages match %v\n", patterns)
+		return 2
+	}
+
+	opts := map[string]string{}
+	if *inter {
+		opts["lockorder.interprocedural"] = "true"
+	}
+	driver := &analysis.Driver{Analyzers: analyzers, Options: opts}
+
+	cwd, _ := os.Getwd()
+	var reportLines []string
+	total, suppressed := 0, 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+			return 2
+		}
+		findings, err := driver.Run(pkg)
+		if err != nil {
+			fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+			if f.Suppressed {
+				suppressed++
+				reportLines = append(reportLines,
+					fmt.Sprintf("suppressed: %s: reason: %s", f, f.Reason))
+				continue
+			}
+			total++
+			fmt.Fprintln(stdout, f)
+			reportLines = append(reportLines, f.String())
+		}
+	}
+
+	if *report != "" {
+		body := strings.Join(reportLines, "\n")
+		if body != "" {
+			body += "\n"
+		}
+		if err := os.WriteFile(*report, []byte(body), 0o644); err != nil {
+			fmt.Fprintf(stderr, "threadsvet: %v\n", err)
+			return 2
+		}
+	}
+	fmt.Fprintf(stderr, "threadsvet: %d packages, %d findings, %d suppressed\n",
+		len(dirs), total, suppressed)
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -only and -skip to the suite.
+func selectAnalyzers(only, skip string) ([]*analysis.Analyzer, error) {
+	chosen := analysis.All()
+	if only != "" {
+		chosen = nil
+		for _, name := range splitNames(only) {
+			a, ok := analysis.ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			chosen = append(chosen, a)
+		}
+	}
+	if skip != "" {
+		drop := make(map[string]bool)
+		for _, name := range splitNames(skip) {
+			if _, ok := analysis.ByName(name); !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			}
+			drop[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range chosen {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		chosen = kept
+	}
+	if len(chosen) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].Name < chosen[j].Name })
+	return chosen, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// relPath shortens absolute finding positions relative to the working
+// directory when that makes them shorter (go vet prints relative paths).
+func relPath(cwd, path string) string {
+	if cwd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(cwd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}

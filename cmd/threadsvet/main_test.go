@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"threads/internal/analysis"
+)
+
+func TestSelectAnalyzers(t *testing.T) {
+	all, err := selectAnalyzers("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("suite has %d analyzers, want 6", len(all))
+	}
+
+	only, err := selectAnalyzers("waitloop, lockpair", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 || only[0].Name != "lockpair" || only[1].Name != "waitloop" {
+		t.Errorf("-only selection = %v", names(only))
+	}
+
+	skipped, err := selectAnalyzers("", "lockorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 5 {
+		t.Errorf("-skip lockorder left %v", names(skipped))
+	}
+	for _, a := range skipped {
+		if a.Name == "lockorder" {
+			t.Errorf("-skip did not drop lockorder: %v", names(skipped))
+		}
+	}
+
+	if _, err := selectAnalyzers("nosuch", ""); err == nil {
+		t.Error("-only nosuch: want error")
+	}
+	if _, err := selectAnalyzers("", "nosuch"); err == nil {
+		t.Error("-skip nosuch: want error")
+	}
+	if _, err := selectAnalyzers("waitloop", "waitloop"); err == nil {
+		t.Error("selecting then skipping everything: want error")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"waitloop", "condmutex", "lockpair", "alerted", "lockorder", "nubdiscipline"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "bogus", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown -only analyzer exited %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+}
+
+// TestRunCleanPackage drives the whole pipeline over a small package that
+// must be clean (internal/spinlock: nubdiscipline exempts the lock's own
+// implementation and nothing else applies).
+func TestRunCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"../../internal/spinlock"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected findings:\n%s", stdout.String())
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}

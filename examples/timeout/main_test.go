@@ -1,0 +1,46 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"threads"
+)
+
+// TestTimeoutAlertedPath pins the behavior the example demonstrates: a
+// reply that never arrives is cut short by the timer's Alert, and the
+// worker surfaces it as threads.Alerted (the specification's EXCEPTION
+// Alerted) rather than blocking forever.
+func TestTimeoutAlertedPath(t *testing.T) {
+	slow := &rpc{}
+	start := time.Now()
+	v, err := withTimeout(30*time.Millisecond, slow.await)
+	if !errors.Is(err, threads.Alerted) {
+		t.Fatalf("await after timeout: v=%q err=%v, want threads.Alerted", v, err)
+	}
+	if v != "" {
+		t.Errorf("alerted await returned value %q, want empty", v)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout path took %v; the Alert did not unblock AlertWait", elapsed)
+	}
+}
+
+// TestTimeoutReplyInTime is the complementary case: when the reply beats
+// the deadline, no alert fires and the value comes through.
+func TestTimeoutReplyInTime(t *testing.T) {
+	fast := &rpc{}
+	go func() {
+		defer threads.Detach()
+		time.Sleep(5 * time.Millisecond)
+		fast.complete("pong")
+	}()
+	v, err := withTimeout(5*time.Second, fast.await)
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if v != "pong" {
+		t.Fatalf("await = %q, want pong", v)
+	}
+}

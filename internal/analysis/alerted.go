@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Alerted enforces the client half of the alerting contract: AlertWait and
+// AlertP exist only because they can return Alerted instead of the normal
+// resumption ("EXCEPTION Alerted" in the specification), and TestAlert's
+// whole effect is its boolean. Discarding these results turns an alertable
+// wait into a plain wait whose abort path silently vanishes — the timeout
+// or abort the alert was supposed to deliver never reaches the caller.
+//
+// A call used in any expression context counts as handled; assigning to
+// the blank identifier (`_ = s.AlertP()`) is accepted as an explicit,
+// visible decision to discard.
+var Alerted = &Analyzer{
+	Name: "alerted",
+	Doc: "check that the Alerted result of AlertWait/AlertP/TestAlert is not " +
+		"discarded (paper, Alerts: EXCEPTION Alerted is the operation's point)",
+	Run: runAlerted,
+}
+
+func runAlerted(pass *Pass) error {
+	for _, site := range pass.Calls {
+		switch site.Op {
+		case OpAlertWait, OpAlertP, OpTestAlert:
+		default:
+			continue
+		}
+		// Climb through parens to the node that consumes the call's value.
+		n := ast.Node(site.Call)
+		parent := pass.Parent(n)
+		for {
+			if pe, ok := parent.(*ast.ParenExpr); ok {
+				n, parent = pe, pass.Parent(pe)
+				continue
+			}
+			break
+		}
+		switch parent.(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(site.Call.Pos(),
+				"result of %s is discarded: it reports whether the wait was alerted "+
+					"(the specification's EXCEPTION Alerted); handle it, or assign to _ "+
+					"to discard explicitly", callLabel(site))
+		case *ast.GoStmt, *ast.DeferStmt:
+			pass.Reportf(site.Call.Pos(),
+				"result of %s is unobservable in go/defer position: the Alerted outcome "+
+					"(specification EXCEPTION Alerted) is lost", callLabel(site))
+		}
+	}
+	return nil
+}

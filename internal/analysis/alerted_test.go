@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestAlerted(t *testing.T) {
+	runFixture(t, "alerted", Alerted, nil)
+}

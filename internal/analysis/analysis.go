@@ -1,0 +1,268 @@
+// Package analysis statically enforces the usage discipline the paper's
+// specification assumes of client code. The specification is sound only
+// under obligations it states in prose — return from Wait is only a hint,
+// a Condition is protected by exactly one Mutex, Release is called only by
+// the holder, AlertWait callers must handle Alerted — and the dynamic
+// checkers (internal/checker, internal/trace, internal/explore) verify them
+// only on schedules that actually execute. The analyzers here turn each
+// obligation into a compile-time diagnostic over `threads` call sites, in
+// the spirit of golang.org/x/tools/go/analysis.
+//
+// The framework mirrors the x/tools Analyzer/Pass shape but is built
+// entirely on the standard library (go/ast, go/types, and the source
+// importer), so it needs no module dependencies; see Loader. The analyzers
+// could be ported to real go/analysis Analyzers (and run under
+// `go vet -vettool`) by swapping the driver, which is deliberately thin.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one usage rule. Doc cites the paper clause the rule
+// encodes.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's syntax, types and pre-resolved threads-API
+// call sites to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *Package
+
+	// Calls lists every resolved call to the threads API (all faces) in
+	// source order. Sites returns the per-CallExpr index.
+	Calls []*CallSite
+	// MethodVals lists references to tracked methods as method values
+	// (w := c.Wait): uses the resolver cannot follow.
+	MethodVals []*MethodValue
+
+	// Options carries driver flags ("lockorder.interprocedural": "true").
+	Options map[string]string
+
+	sites   map[*ast.CallExpr]*CallSite
+	parents map[ast.Node]ast.Node
+	report  func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Site returns the resolved call site for call, if it is a threads-API
+// call.
+func (p *Pass) Site(call *ast.CallExpr) (*CallSite, bool) {
+	s, ok := p.sites[call]
+	return s, ok
+}
+
+// Parent returns the syntactic parent of n within its file, or nil.
+func (p *Pass) Parent(n ast.Node) ast.Node { return p.parents[n] }
+
+// Finding is a driver-level diagnostic: an analyzer finding plus its
+// suppression state.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool   // silenced by a //threadsvet:ignore directive
+	Reason     string // the directive's justification, when suppressed
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Driver runs a set of analyzers over packages and applies the
+// //threadsvet:ignore directives.
+type Driver struct {
+	Analyzers []*Analyzer
+	Options   map[string]string
+}
+
+// IgnoreDirective is the suppression syntax the driver parses:
+//
+//	//threadsvet:ignore analyzer[,analyzer]: reason
+//
+// placed on the flagged line or on the line directly above it. The reason
+// is mandatory: an unjustified or malformed directive is itself reported.
+const IgnoreDirective = "threadsvet:ignore"
+
+type ignoreEntry struct {
+	analyzers map[string]bool
+	reason    string
+	line      int
+	used      bool
+}
+
+// Run analyzes one package and returns its findings (suppressed ones
+// included, marked) sorted by position.
+func (d *Driver) Run(pkg *Package) ([]Finding, error) {
+	ignores, bad := d.parseIgnores(pkg)
+	findings := bad
+
+	parents := buildParents(pkg.Files)
+	calls, sites, methodVals := Resolve(pkg, parents)
+
+	for _, a := range d.Analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg,
+			Calls:      calls,
+			MethodVals: methodVals,
+			Options:    d.Options,
+			sites:      sites,
+			parents:    parents,
+		}
+		pass.report = func(diag Diagnostic) {
+			pos := pkg.Fset.Position(diag.Pos)
+			f := Finding{Analyzer: a.Name, Pos: pos, Message: diag.Message}
+			if ent := matchIgnore(ignores, pos, a.Name); ent != nil {
+				ent.used = true
+				f.Suppressed = true
+				f.Reason = ent.reason
+			}
+			findings = append(findings, f)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+
+	// An ignore directive that suppressed nothing is stale: report it so
+	// directives cannot silently outlive the code they excused.
+	for file, ents := range ignores {
+		for _, ent := range ents {
+			if !ent.used {
+				findings = append(findings, Finding{
+					Analyzer: "threadsvet",
+					Pos:      token.Position{Filename: file, Line: ent.line},
+					Message:  fmt.Sprintf("ignore directive suppresses nothing (analyzers %s)", keys(ent.analyzers)),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// parseIgnores scans comments for ignore directives. Malformed directives
+// (no reason, unknown analyzer) are returned as findings.
+func (d *Driver) parseIgnores(pkg *Package) (map[string][]*ignoreEntry, []Finding) {
+	known := make(map[string]bool)
+	for _, a := range d.Analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range All() { // directives may name analyzers not in this run
+		known[a.Name] = true
+	}
+	ignores := make(map[string][]*ignoreEntry)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+IgnoreDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names, reason, ok := strings.Cut(strings.TrimSpace(text), ":")
+				reason = strings.TrimSpace(reason)
+				if !ok || reason == "" {
+					bad = append(bad, Finding{
+						Analyzer: "threadsvet",
+						Pos:      pos,
+						Message:  "malformed ignore directive: want //threadsvet:ignore analyzer[,analyzer]: reason",
+					})
+					continue
+				}
+				ent := &ignoreEntry{analyzers: make(map[string]bool), reason: reason, line: pos.Line}
+				valid := true
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if !known[name] {
+						bad = append(bad, Finding{
+							Analyzer: "threadsvet",
+							Pos:      pos,
+							Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", name),
+						})
+						valid = false
+						continue
+					}
+					ent.analyzers[name] = true
+				}
+				if valid {
+					ignores[pos.Filename] = append(ignores[pos.Filename], ent)
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// matchIgnore finds a directive covering pos for analyzer name: one on the
+// same line or on the line directly above.
+func matchIgnore(ignores map[string][]*ignoreEntry, pos token.Position, name string) *ignoreEntry {
+	for _, ent := range ignores[pos.Filename] {
+		if ent.analyzers[name] && (ent.line == pos.Line || ent.line == pos.Line-1) {
+			return ent
+		}
+	}
+	return nil
+}
+
+func buildParents(files []*ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	for _, f := range files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return parents
+}
+
+func keys(m map[string]bool) string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CondMutex enforces the pairing invariant the specification builds into a
+// condition variable's meaning: Wait(m, c) atomically releases m and later
+// reacquires it, so a Condition is meaningful only when every Wait and
+// AlertWait on it names the same Mutex — the mutex that protects the
+// predicate. Waiting on one condition with two different mutexes means two
+// "critical sections" that do not exclude each other are both presumed to
+// protect the same state.
+//
+// Identity is resolved through types.Object chains (see RefKey): receiver
+// fields unify across methods of the same type, package-level variables
+// unify everywhere, and sites whose condition or mutex has no stable
+// identity are conservatively reported as unanalyzable rather than passed.
+var CondMutex = &Analyzer{
+	Name: "condmutex",
+	Doc: "check that each Condition is paired with exactly one Mutex across " +
+		"all its Wait/AlertWait sites (paper, Wait(m, c): m protects the predicate)",
+	Run: runCondMutex,
+}
+
+func runCondMutex(pass *Pass) error {
+	type pairing struct {
+		mutexKey  string
+		mutexDisp string
+		pos       token.Pos
+	}
+	first := make(map[string]pairing) // condition key → first observed pairing
+
+	for _, site := range pass.Calls {
+		if site.Op != OpWait && site.Op != OpAlertWait {
+			continue
+		}
+		if site.Recv == nil || site.MutexArg == nil {
+			continue
+		}
+		roots := TypeRoots(pass.Pkg.Info, enclosingFunc(pass, site.Call))
+		condKey, condDisp, condOK := RefKey(pass.Pkg.Info, pass.Fset, site.Recv, roots)
+		mutexKey, mutexDisp, mutexOK := RefKey(pass.Pkg.Info, pass.Fset, site.MutexArg, roots)
+		if !condOK || !mutexOK {
+			pass.Reportf(site.Call.Pos(),
+				"cannot statically resolve the condition/mutex pair of this %s: "+
+					"the one-mutex-per-condition invariant is unanalyzable here; "+
+					"name the condition and mutex directly (variable or field chain)",
+				callLabel(site))
+			continue
+		}
+		prev, seen := first[condKey]
+		if !seen {
+			first[condKey] = pairing{mutexKey: mutexKey, mutexDisp: mutexDisp, pos: site.Call.Pos()}
+			continue
+		}
+		if prev.mutexKey != mutexKey {
+			pass.Reportf(site.Call.Pos(),
+				"condition %s is waited on with mutex %s here but with mutex %s at %s: "+
+					"a Condition must be protected by exactly one Mutex "+
+					"(paper, Wait(m, c): the mutex guards the waited-for predicate)",
+				condDisp, mutexDisp, prev.mutexDisp, pass.Fset.Position(prev.pos))
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit containing n, or
+// nil at file scope.
+func enclosingFunc(pass *Pass, n ast.Node) ast.Node {
+	for cur := pass.Parent(n); cur != nil; cur = pass.Parent(cur) {
+		switch cur.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return cur
+		}
+	}
+	return nil
+}

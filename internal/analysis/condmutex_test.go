@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestCondMutex(t *testing.T) {
+	runFixture(t, "condmutex", CondMutex, nil)
+}

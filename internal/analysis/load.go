@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis: syntax, type
+// information and the file set they were parsed into.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module without
+// any dependency beyond the standard library: module-local import paths are
+// resolved against the module root and everything else is type-checked from
+// GOROOT source via the stdlib source importer. (The usual driver for a
+// go/analysis suite is golang.org/x/tools/go/packages; this loader is the
+// offline stand-in, sufficient because the module has no external
+// dependencies.)
+type Loader struct {
+	ModuleRoot   string
+	ModulePath   string
+	IncludeTests bool // also parse in-package _test.go files
+
+	Fset *token.FileSet
+	std  types.ImporterFrom
+	deps map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, path, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: path,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		deps:       make(map[string]*types.Package),
+	}, nil
+}
+
+func findModule(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer for dependency resolution during type
+// checking of a target package.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom resolves module-local paths against the module root and
+// delegates the rest (the standard library) to the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.deps[path]; ok {
+		return p, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		sub := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		pkg, err := l.check(filepath.Join(l.ModuleRoot, filepath.FromSlash(sub)), path, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		l.deps[path] = pkg
+		return pkg, nil
+	}
+	p, err := l.std.ImportFrom(path, dir, mode)
+	if err == nil {
+		l.deps[path] = p
+	}
+	return p, err
+}
+
+// Load parses and type-checks the package in dir as an analysis target,
+// retaining syntax and full type information.
+func (l *Loader) Load(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := l.importPathFor(dir)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var files []*ast.File
+	tpkg, err := l.check(dir, importPath, l.IncludeTests, func(fs []*ast.File, ti *types.Info) {
+		files = fs
+		*ti = *info // share the maps so check fills our info
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		Name:       tpkg.Name(),
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || rel == "." {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// check parses the buildable files of dir and type-checks them. hook, when
+// non-nil, receives the parsed files and the Info the checker will fill
+// (targets want them, plain imports do not).
+func (l *Loader) check(dir, importPath string, includeTests bool, hook func([]*ast.File, *types.Info)) (*types.Package, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); !noGo || !includeTests {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{}
+	if hook != nil {
+		hook(files, info)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return pkg, nil
+}
+
+// ExpandPatterns resolves go-tool style package patterns ("./...",
+// "./internal/...", "./derived") relative to base into package directories,
+// skipping testdata, hidden directories and directories without buildable
+// Go files.
+func (l *Loader) ExpandPatterns(base string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] && l.hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(base, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				add(path)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(base, filepath.FromSlash(pat)))
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return dirs, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return l.IncludeTests && len(bp.TestGoFiles) > 0
+	}
+	return len(bp.GoFiles) > 0 || (l.IncludeTests && len(bp.TestGoFiles) > 0)
+}

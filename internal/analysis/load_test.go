@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExpandPatterns(t *testing.T) {
+	l := sharedLoader(t)
+	dirs, err := l.ExpandPatterns(l.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := make(map[string]bool)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		rels[rel] = true
+		if strings.Contains(rel, "testdata") {
+			t.Errorf("pattern expansion descended into testdata: %s", rel)
+		}
+	}
+	for _, want := range []string{".", "internal/core", "internal/analysis", "examples/timeout"} {
+		if !rels[want] {
+			t.Errorf("./... did not include %s (got %v)", want, dirs)
+		}
+	}
+
+	one, err := l.ExpandPatterns(l.ModuleRoot, []string{"./internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || filepath.ToSlash(one[0]) != filepath.ToSlash(filepath.Join(l.ModuleRoot, "internal/core")) {
+		t.Errorf("plain pattern expansion = %v", one)
+	}
+}
+
+// TestLoadRepo type-checks a real repo package through the stdlib-only
+// loader (the threads package itself, pulling in internal/core and friends).
+func TestLoadRepo(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.Load(l.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "threads" {
+		t.Errorf("loaded package %q, want threads", pkg.Name)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Errorf("incomplete package: %+v", pkg)
+	}
+}

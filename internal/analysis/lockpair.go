@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockPair enforces the Acquire/Release bracketing discipline the mutex
+// specification assumes. Release REQUIRES m = SELF — releasing a mutex the
+// caller does not hold is a precondition violation the spec leaves
+// undefined — and Acquire's WHEN m = NIL guard means a second Acquire by
+// the holder blocks forever (the paper's mutexes are not recursive). The
+// analyzer walks each function path-sensitively (see seqwalk.go) and
+// reports:
+//
+//   - an Acquire still held on some path out of the function with no
+//     Release and no deferred Release covering it (the leak that motivates
+//     the LOCK … DO … END construct, threads.Lock here);
+//   - Release of a mutex not held on the current path;
+//   - a straight-line second Acquire of a held mutex (self-deadlock).
+//
+// Locks that degrade to "maybe held" at a path join are never reported:
+// the analysis trades false negatives for zero path-insensitive noise.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc: "check Acquire/Release pairing per function path (paper, Mutexes: " +
+		"Release REQUIRES m = SELF; Acquire WHEN m = NIL is non-recursive); " +
+		"prefer threads.Lock for lexical bracketing",
+	Run: runLockPair,
+}
+
+func runLockPair(pass *Pass) error {
+	reportedLeak := make(map[token.Pos]bool) // acquire site → already reported
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := &seqWalker{pass: pass}
+			w.client = seqClient{
+				call: func(site *CallSite, ref lockRef, st *holds) {
+					if !ref.ok {
+						return
+					}
+					switch site.Op {
+					case OpAcquire:
+						if held, dup := st.def[ref.key]; dup {
+							pass.Reportf(site.Call.Pos(),
+								"second Acquire of %s while already held (acquired at %s): "+
+									"Acquire's WHEN m = NIL can never fire for the holder, "+
+									"so this self-deadlocks (paper, Mutexes)",
+								ref.display, pass.Fset.Position(held.site.Call.Pos()))
+						}
+					case OpRelease:
+						_, held := st.def[ref.key]
+						_, maybeHeld := st.maybe[ref.key]
+						if !held && !maybeHeld {
+							pass.Reportf(site.Call.Pos(),
+								"Release of %s which this path has not acquired: "+
+									"Release REQUIRES m = SELF (paper, Mutexes); "+
+									"only the holder may release",
+								ref.display)
+						}
+					}
+				},
+				exit: func(pos token.Pos, st *holds) {
+					for _, h := range st.def {
+						if h.deferred || h.site.Op != OpAcquire {
+							continue
+						}
+						acqPos := h.site.Call.Pos()
+						if reportedLeak[acqPos] {
+							continue
+						}
+						reportedLeak[acqPos] = true
+						pass.Reportf(acqPos,
+							"%s.Acquire() is not matched by a Release on the path leaving the "+
+								"function at %s: the mutex stays held forever (paper, Mutexes: "+
+								"bracket critical sections); release on every path, defer the "+
+								"Release, or use threads.Lock",
+							h.ref.display, pass.Fset.Position(pos))
+					}
+				},
+			}
+			w.walkFunc(fd)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestLockPair(t *testing.T) {
+	runFixture(t, "lockpair", LockPair, nil)
+}

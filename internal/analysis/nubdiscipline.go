@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NubDiscipline is the self-check for the Nub layer (internal/core): no
+// blocking calls, no heap allocation and no indirect calls (callbacks)
+// while a spin lock from internal/spinlock is held. The paper's Firefly
+// implementation keeps Nub critical sections to a handful of straight-line
+// instructions — the spin lock is only tolerable because nothing inside it
+// can wait, allocate (and hence trigger GC or grow the stack) or run
+// arbitrary code; DESIGN.md states the invariant in prose and this
+// analyzer makes it a build failure.
+//
+// Flagged while a spin lock is held:
+//
+//   - blocking operations: channel send/receive/select/range, go
+//     statements, time.Sleep, runtime.Gosched, sync primitives (sync/atomic
+//     excepted), fmt/os/log I/O, and any blocking threads-API call;
+//   - allocation: make/new/append, &composite literals, closures, string
+//     concatenation;
+//   - indirect calls through function values (callbacks: arbitrary code
+//     under the Nub lock);
+//   - calls to same-package functions that transitively do any of the
+//     above (summaries are propagated over the package call graph).
+//
+// The analyzer runs only on packages that import internal/spinlock, and
+// not on internal/spinlock itself.
+var NubDiscipline = &Analyzer{
+	Name: "nubdiscipline",
+	Doc: "check that nothing blocks, allocates or calls back while an " +
+		"internal/spinlock lock is held (DESIGN.md Nub invariant; paper, " +
+		"Implementation: Nub critical sections are a few instructions)",
+	Run: runNubDiscipline,
+}
+
+func runNubDiscipline(pass *Pass) error {
+	if pass.Pkg.ImportPath == pkgSpinlock {
+		return nil // the lock's own implementation operates on itself
+	}
+	imports := false
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if imp.Path() == pkgSpinlock {
+			imports = true
+			break
+		}
+	}
+	if !imports {
+		return nil
+	}
+
+	sums := newBadOpSummaries(pass)
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, lock string, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		msg := fmt.Sprintf(format, args...)
+		pass.Reportf(pos, "%s while spin lock %s is held: the Nub invariant permits no "+
+			"blocking, allocation or callbacks inside spin-locked sections "+
+			"(DESIGN.md; paper, Implementation)", msg, lock)
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := &seqWalker{pass: pass}
+			w.client = seqClient{
+				call: func(site *CallSite, ref lockRef, st *holds) {
+					lock, held := spinHeld(st)
+					if !held {
+						return
+					}
+					if site.Op.Blocking() {
+						report(site.Call.Pos(), lock, "blocking call %s(…)", callLabel(site))
+					}
+				},
+				node: func(n ast.Node, st *holds) bool {
+					lock, held := spinHeld(st)
+					if !held {
+						return true
+					}
+					if kind, what := classifyBadOp(pass, sums, n); kind != badNone {
+						report(n.Pos(), lock, "%s", what)
+						return false
+					}
+					return true
+				},
+			}
+			w.walkFunc(fd)
+		}
+	}
+	return nil
+}
+
+func spinHeld(st *holds) (string, bool) {
+	for _, h := range st.def {
+		if h.site.Face == FaceSpin {
+			return h.ref.display, true
+		}
+	}
+	return "", false
+}
+
+type badKind int
+
+const (
+	badNone badKind = iota
+	badBlock
+	badAlloc
+	badIndirect
+)
+
+// classifyBadOp decides whether a single node violates the Nub discipline,
+// consulting call-graph summaries for same-package static calls.
+func classifyBadOp(pass *Pass, sums *badOpSummaries, n ast.Node) (badKind, string) {
+	info := pass.Pkg.Info
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return badBlock, "channel send"
+	case *ast.SelectStmt:
+		return badBlock, "select"
+	case *ast.GoStmt:
+		return badAlloc, "go statement (spawns a goroutine)"
+	case *ast.RangeStmt:
+		if t, ok := info.Types[n.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				return badBlock, "range over channel"
+			}
+		}
+	case *ast.UnaryExpr:
+		switch n.Op {
+		case token.ARROW:
+			return badBlock, "channel receive"
+		case token.AND:
+			if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+				return badAlloc, "allocation (&composite literal)"
+			}
+		}
+	case *ast.FuncLit:
+		return badAlloc, "allocation (closure)"
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t, ok := info.Types[n.X]; ok {
+				if b, isBasic := t.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+					return badAlloc, "allocation (string concatenation)"
+				}
+			}
+		}
+	case *ast.CallExpr:
+		return classifyBadCall(pass, sums, n)
+	}
+	return badNone, ""
+}
+
+func classifyBadCall(pass *Pass, sums *badOpSummaries, call *ast.CallExpr) (badKind, string) {
+	info := pass.Pkg.Info
+	// Type conversions are not calls.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return badNone, ""
+	}
+	switch obj := Callee(info, call).(type) {
+	case *types.Builtin:
+		switch obj.Name() {
+		case "make", "new":
+			return badAlloc, fmt.Sprintf("allocation (%s)", obj.Name())
+		case "append":
+			return badAlloc, "allocation (append may grow)"
+		}
+		return badNone, ""
+	case *types.Func:
+		pkg := obj.Pkg()
+		if pkg == nil {
+			return badNone, ""
+		}
+		switch pkg.Path() {
+		case "sync/atomic", pkgSpinlock, "unsafe":
+			return badNone, ""
+		case "sync":
+			return badBlock, fmt.Sprintf("sync.%s call (may block or schedule)", obj.Name())
+		case "time":
+			if obj.Name() == "Sleep" || obj.Name() == "After" || obj.Name() == "Tick" {
+				return badBlock, "time." + obj.Name() + " call"
+			}
+		case "runtime":
+			if obj.Name() == "Gosched" {
+				return badBlock, "runtime.Gosched call (yields the processor)"
+			}
+		case "fmt", "os", "log", "io":
+			return badBlock, fmt.Sprintf("%s.%s call (I/O)", pkg.Path(), obj.Name())
+		}
+		if pkg.Path() == pass.Pkg.ImportPath {
+			if bad := sums.lookup(obj); bad != nil {
+				return bad.kind, fmt.Sprintf("call to %s, which performs %s at %s",
+					obj.Name(), bad.what, pass.Fset.Position(bad.pos))
+			}
+		}
+		return badNone, ""
+	default:
+		// No static *types.Func callee: a call through a function value,
+		// field or parameter (Callee yields nil or the *types.Var) —
+		// arbitrary code under the spin lock.
+		return badIndirect, "indirect call through a function value (callback)"
+	}
+}
+
+// badOp is the first discipline violation found in a function body,
+// described for interprocedural reporting.
+type badOp struct {
+	kind badKind
+	what string
+	pos  token.Pos
+}
+
+// badOpSummaries lazily computes, per same-package function, whether its
+// body (transitively) violates the discipline.
+type badOpSummaries struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]*badOp
+	stack map[*types.Func]bool
+}
+
+func newBadOpSummaries(pass *Pass) *badOpSummaries {
+	s := &badOpSummaries{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]*badOp),
+		stack: make(map[*types.Func]bool),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					s.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return s
+}
+
+// lookup returns the first transitive violation in fn's body, or nil.
+// Functions without a body (assembly, linkname) summarize clean: the
+// runtime-facing helpers they bind are the mechanism the Nub is built on.
+func (s *badOpSummaries) lookup(fn *types.Func) *badOp {
+	if got, ok := s.memo[fn]; ok {
+		return got
+	}
+	if s.stack[fn] {
+		return nil
+	}
+	decl, ok := s.decls[fn]
+	if !ok || decl.Body == nil {
+		s.memo[fn] = nil
+		return nil
+	}
+	s.stack[fn] = true
+	defer delete(s.stack, fn)
+
+	var found *badOp
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		// A function that locks a spin lock itself is analyzed at its own
+		// sites; nested spin sections do not make the *caller* bad. Only
+		// operations that would run under the caller's lock count, which
+		// conservatively is the whole body (paths are not tracked here).
+		if kind, what := classifyBadOp(s.pass, s, n); kind != badNone {
+			found = &badOp{kind: kind, what: what, pos: n.Pos()}
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // closures already flagged as allocation
+		}
+		return true
+	})
+	s.memo[fn] = found
+	return found
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestNubDiscipline(t *testing.T) {
+	runFixture(t, "nubdiscipline", NubDiscipline, nil)
+}

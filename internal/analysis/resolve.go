@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Face says which implementation surface a call site belongs to: the real
+// runtime (package threads or internal/core — the former is type aliases
+// onto the latter, so both resolve to core objects), the simulator face
+// (internal/simthreads, whose methods take a *sim.Env first), or the Nub's
+// spin lock (internal/spinlock, tracked for the nubdiscipline analyzer).
+type Face int
+
+const (
+	FaceNone Face = iota
+	FaceCore
+	FaceSim
+	FaceSpin
+)
+
+// Op is the operation a resolved call performs.
+type Op int
+
+const (
+	OpNone Op = iota
+	OpAcquire
+	OpTryAcquire
+	OpRelease
+	OpLock // threads.Lock / core.Lock(m, body)
+	OpWait
+	OpAlertWait
+	OpSignal
+	OpBroadcast
+	OpP
+	OpTryP
+	OpV
+	OpAlertP
+	OpAlert
+	OpTestAlert
+	OpFork
+	OpJoin
+	OpSpinLock
+	OpSpinTryLock
+	OpSpinUnlock
+)
+
+var opNames = map[Op]string{
+	OpAcquire: "Acquire", OpTryAcquire: "TryAcquire", OpRelease: "Release",
+	OpLock: "Lock", OpWait: "Wait", OpAlertWait: "AlertWait",
+	OpSignal: "Signal", OpBroadcast: "Broadcast",
+	OpP: "P", OpTryP: "TryP", OpV: "V", OpAlertP: "AlertP",
+	OpAlert: "Alert", OpTestAlert: "TestAlert", OpFork: "Fork", OpJoin: "Join",
+	OpSpinLock: "Lock", OpSpinTryLock: "TryLock", OpSpinUnlock: "Unlock",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// Blocking reports whether the operation can suspend the calling thread.
+func (o Op) Blocking() bool {
+	switch o {
+	case OpAcquire, OpLock, OpWait, OpAlertWait, OpP, OpAlertP, OpJoin:
+		return true
+	}
+	return false
+}
+
+// The packages whose call sites the suite resolves.
+const (
+	pkgThreads  = "threads"
+	pkgCore     = "threads/internal/core"
+	pkgSim      = "threads/internal/simthreads"
+	pkgSpinlock = "threads/internal/spinlock"
+)
+
+// CallSite is one resolved call to the tracked API.
+type CallSite struct {
+	Call *ast.CallExpr
+	Op   Op
+	Face Face
+
+	// Recv is the receiver expression for method calls (c in c.Wait(&mu)),
+	// nil for package functions.
+	Recv ast.Expr
+	// MutexArg is the mutex the call operates on beyond its receiver: the
+	// m of Wait/AlertWait (argument 0 on the core face, 1 on the sim face)
+	// and of Lock(m, body).
+	MutexArg ast.Expr
+	// BodyArg is Lock's critical-section closure argument.
+	BodyArg ast.Expr
+}
+
+// MethodValue is a reference to a tracked method outside call position
+// (w := c.Wait). The resolver cannot follow the eventual call, so analyzers
+// report these sites as unanalyzable rather than silently passing them.
+type MethodValue struct {
+	Sel    *ast.SelectorExpr
+	Method *types.Func
+}
+
+// Resolve classifies every tracked call site and method-value reference in
+// the package, in source order.
+func Resolve(pkg *Package, parents map[ast.Node]ast.Node) ([]*CallSite, map[*ast.CallExpr]*CallSite, []*MethodValue) {
+	var calls []*CallSite
+	sites := make(map[*ast.CallExpr]*CallSite)
+	var methodVals []*MethodValue
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if site := classify(pkg.Info, call); site != nil {
+					calls = append(calls, site)
+					sites[call] = site
+				}
+			}
+			return true
+		})
+	}
+
+	// Method values: tracked methods referenced but not called directly.
+	for sel, selection := range pkg.Info.Selections {
+		if selection.Kind() != types.MethodVal {
+			continue
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || !trackedMethod(fn) {
+			continue
+		}
+		if call, ok := parents[sel].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			continue // ordinary method call, already classified
+		}
+		methodVals = append(methodVals, &MethodValue{Sel: sel, Method: fn})
+	}
+
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Call.Pos() < calls[j].Call.Pos() })
+	sort.Slice(methodVals, func(i, j int) bool { return methodVals[i].Sel.Pos() < methodVals[j].Sel.Pos() })
+	return calls, sites, methodVals
+}
+
+// Callee resolves the called function or method object, seeing through
+// aliased and dot imports (both resolve through types.Info.Uses). Indirect
+// calls — through a variable, field or parameter of function type — return
+// nil.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func classify(info *types.Info, call *ast.CallExpr) *CallSite {
+	fn, ok := Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	face, op := classifyFunc(fn)
+	if op == OpNone {
+		return nil
+	}
+	site := &CallSite{Call: call, Op: op, Face: face}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := info.Selections[sel]; isMethod {
+			site.Recv = sel.X
+		}
+	}
+	switch op {
+	case OpWait, OpAlertWait:
+		idx := 0
+		if face == FaceSim {
+			idx = 1 // (e *sim.Env, m *Mutex)
+		}
+		if len(call.Args) > idx {
+			site.MutexArg = call.Args[idx]
+		}
+	case OpLock:
+		if len(call.Args) == 2 {
+			site.MutexArg = call.Args[0]
+			site.BodyArg = call.Args[1]
+		}
+	}
+	return site
+}
+
+// classifyFunc maps a function object to its face and operation, keyed on
+// the defining package, receiver type and name.
+func classifyFunc(fn *types.Func) (Face, Op) {
+	if fn.Pkg() == nil {
+		return FaceNone, OpNone // universe-scope methods (error.Error)
+	}
+	switch fn.Pkg().Path() {
+	case pkgThreads, pkgCore:
+		switch recvTypeName(fn) {
+		case "Mutex":
+			switch fn.Name() {
+			case "Acquire":
+				return FaceCore, OpAcquire
+			case "TryAcquire":
+				return FaceCore, OpTryAcquire
+			case "Release":
+				return FaceCore, OpRelease
+			}
+		case "Condition":
+			switch fn.Name() {
+			case "Wait":
+				return FaceCore, OpWait
+			case "AlertWait":
+				return FaceCore, OpAlertWait
+			case "Signal":
+				return FaceCore, OpSignal
+			case "Broadcast":
+				return FaceCore, OpBroadcast
+			}
+		case "Semaphore":
+			switch fn.Name() {
+			case "P":
+				return FaceCore, OpP
+			case "TryP":
+				return FaceCore, OpTryP
+			case "V":
+				return FaceCore, OpV
+			case "AlertP":
+				return FaceCore, OpAlertP
+			}
+		case "":
+			switch fn.Name() {
+			case "Lock":
+				return FaceCore, OpLock
+			case "Alert":
+				return FaceCore, OpAlert
+			case "TestAlert":
+				return FaceCore, OpTestAlert
+			case "Fork", "ForkNamed":
+				return FaceCore, OpFork
+			case "Join":
+				return FaceCore, OpJoin
+			}
+		}
+	case pkgSim:
+		switch recvTypeName(fn) {
+		case "Mutex":
+			switch fn.Name() {
+			case "Acquire":
+				return FaceSim, OpAcquire
+			case "Release":
+				return FaceSim, OpRelease
+			}
+		case "Condition":
+			switch fn.Name() {
+			case "Wait":
+				return FaceSim, OpWait
+			case "AlertWait":
+				return FaceSim, OpAlertWait
+			case "Signal":
+				return FaceSim, OpSignal
+			case "Broadcast":
+				return FaceSim, OpBroadcast
+			}
+		case "Semaphore":
+			switch fn.Name() {
+			case "P":
+				return FaceSim, OpP
+			case "V":
+				return FaceSim, OpV
+			case "AlertP":
+				return FaceSim, OpAlertP
+			}
+		case "World":
+			switch fn.Name() {
+			case "Alert":
+				return FaceSim, OpAlert
+			case "TestAlert":
+				return FaceSim, OpTestAlert
+			}
+		}
+	case pkgSpinlock:
+		if recvTypeName(fn) == "Lock" {
+			switch fn.Name() {
+			case "Lock":
+				return FaceSpin, OpSpinLock
+			case "TryLock":
+				return FaceSpin, OpSpinTryLock
+			case "Unlock":
+				return FaceSpin, OpSpinUnlock
+			}
+		}
+	}
+	return FaceNone, OpNone
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func trackedMethod(fn *types.Func) bool {
+	_, op := classifyFunc(fn)
+	switch op {
+	case OpWait, OpAlertWait, OpAcquire, OpRelease, OpP, OpV, OpAlertP:
+		return true
+	}
+	return false
+}
+
+// RefKey returns a stable per-package identity for a lock- or
+// condition-valued expression, so that `&l.mu`, `l.mu` and `(l.mu)` at
+// different sites compare equal. The key is built from the root object
+// (package-level variable, local, parameter or receiver) plus the selected
+// field path. Expressions with no such stable root (function calls, index
+// expressions, channel receives, …) report ok=false: callers must treat
+// those sites as unanalyzable, not as distinct.
+//
+// typeRoots, when non-nil, lists variables (typically the enclosing
+// function's receiver and parameters) whose key should be their type
+// rather than their identity, so that `l.mu` unifies across methods of the
+// same type; the condmutex and lockorder analyzers use this to relate
+// sites in different functions. Package-level roots always key by their
+// import path and name.
+func RefKey(info *types.Info, fset *token.FileSet, e ast.Expr, typeRoots map[*types.Var]bool) (key, display string, ok bool) {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return RefKey(info, fset, x.X, typeRoots)
+		}
+	case *ast.StarExpr:
+		return RefKey(info, fset, x.X, typeRoots)
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return "", "", false
+		}
+		return rootKey(v, fset, typeRoots), x.Name, true
+	case *ast.SelectorExpr:
+		// Field selection: root.path.field. Method selections and
+		// package-qualified idents resolve differently.
+		if sel, isSel := info.Selections[x]; isSel && sel.Kind() == types.FieldVal {
+			base, bdisp, bok := RefKey(info, fset, x.X, typeRoots)
+			if !bok {
+				return "", "", false
+			}
+			return base + "." + x.Sel.Name, bdisp + "." + x.Sel.Name, true
+		}
+		if id, isID := ast.Unparen(x.X).(*ast.Ident); isID {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				// pkg.Var
+				if v, isVar := info.Uses[x.Sel].(*types.Var); isVar {
+					return rootKey(v, fset, typeRoots), x.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", "", false
+}
+
+// TypeRoots collects the receiver and parameters of fn (a *ast.FuncDecl or
+// *ast.FuncLit), for use as RefKey's typeRoots set.
+func TypeRoots(info *types.Info, fn ast.Node) map[*types.Var]bool {
+	roots := make(map[*types.Var]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					roots[v] = true
+				}
+			}
+		}
+	}
+	switch d := fn.(type) {
+	case *ast.FuncDecl:
+		addFields(d.Recv)
+		addFields(d.Type.Params)
+	case *ast.FuncLit:
+		addFields(d.Type.Params)
+	}
+	return roots
+}
+
+func rootKey(v *types.Var, fset *token.FileSet, typeRoots map[*types.Var]bool) string {
+	if typeRoots[v] {
+		// Receiver or parameter: key by type, folding pointer and value
+		// receivers together, so the same field chain unifies across
+		// functions on the same type.
+		t := strings.TrimPrefix(types.TypeString(v.Type(), nil), "*")
+		return "(" + t + ")"
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	// Local: position of the declaration is unique per object.
+	return fmt.Sprintf("%s@%s", v.Name(), fset.Position(v.Pos()))
+}

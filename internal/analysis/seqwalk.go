@@ -1,0 +1,499 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the sequential abstract interpreter shared by the
+// lockpair, lockorder and nubdiscipline analyzers: an execution-order walk
+// over a function body that tracks which mutexes and spin locks are held
+// along each path. Branches fork the state and join it back as the
+// intersection of definitely-held locks (locks held on only some incoming
+// paths degrade to "maybe held", about which the analyzers stay silent —
+// path-insensitivity must produce false negatives, never false positives).
+// Loop bodies are walked once with a forked state and do not leak lock-state
+// changes past the loop.
+
+// lockRef is the walker's resolution of the lock or condition a call site
+// operates on.
+type lockRef struct {
+	key      string // object-identity key (RefKey with nil typeRoots)
+	classKey string // type-rooted key for cross-function matching
+	display  string // source-like rendering for diagnostics
+	ok       bool
+}
+
+// holdInfo describes one held lock.
+type holdInfo struct {
+	site     *CallSite
+	ref      lockRef
+	deferred bool // a deferred Release/Unlock covers this lock
+}
+
+// holds is the per-path lock state.
+type holds struct {
+	def   map[string]holdInfo // definitely held
+	maybe map[string]holdInfo // held on some, not all, joined paths
+}
+
+func newHolds() *holds {
+	return &holds{def: map[string]holdInfo{}, maybe: map[string]holdInfo{}}
+}
+
+func (h *holds) clone() *holds {
+	c := newHolds()
+	for k, v := range h.def {
+		c.def[k] = v
+	}
+	for k, v := range h.maybe {
+		c.maybe[k] = v
+	}
+	return c
+}
+
+// join merges two path states: definite stays definite only when held on
+// both sides; everything else degrades to maybe.
+func join(a, b *holds) *holds {
+	j := newHolds()
+	for k, v := range a.def {
+		if _, ok := b.def[k]; ok {
+			j.def[k] = v
+		} else {
+			j.maybe[k] = v
+		}
+	}
+	for k, v := range b.def {
+		if _, ok := a.def[k]; !ok {
+			j.maybe[k] = v
+		}
+	}
+	for k, v := range a.maybe {
+		j.maybe[k] = v
+	}
+	for k, v := range b.maybe {
+		if _, ok := j.maybe[k]; !ok {
+			j.maybe[k] = v
+		}
+	}
+	for k := range j.def {
+		delete(j.maybe, k)
+	}
+	return j
+}
+
+// seqClient receives walk events. All hooks are optional (may be nil).
+type seqClient struct {
+	// call fires for every tracked call site, in execution order, with the
+	// state as of the call (before the walker's own transition). ref
+	// resolves the subject lock: the receiver for Acquire/Release/spin ops,
+	// the mutex argument for Wait/AlertWait/Lock.
+	call func(site *CallSite, ref lockRef, st *holds)
+	// node fires pre-order for statements and for every expression node
+	// evaluated within them (function literal bodies excluded — those are
+	// walked as independent functions). Returning false skips children.
+	node func(n ast.Node, st *holds) bool
+	// exit fires once per path leaving the function: at each return, and at
+	// the end of the body if it is reachable.
+	exit func(pos token.Pos, st *holds)
+}
+
+// seqWalker drives seqClient over one function at a time.
+type seqWalker struct {
+	pass   *Pass
+	client seqClient
+
+	typeRoots map[*types.Var]bool // of the function being walked
+}
+
+// walkFunc analyzes fn (a *ast.FuncDecl or *ast.FuncLit) as an independent
+// function: fresh lock state, own exits. Nested function literals recurse.
+func (w *seqWalker) walkFunc(fn ast.Node) {
+	var body *ast.BlockStmt
+	switch d := fn.(type) {
+	case *ast.FuncDecl:
+		body = d.Body
+	case *ast.FuncLit:
+		body = d.Body
+	}
+	if body == nil {
+		return
+	}
+	saved := w.typeRoots
+	w.typeRoots = TypeRoots(w.pass.Pkg.Info, fn)
+	defer func() { w.typeRoots = saved }()
+
+	st := newHolds()
+	if !w.walkStmts(body.List, st) {
+		if w.client.exit != nil {
+			w.client.exit(body.Rbrace, st)
+		}
+	}
+}
+
+func (w *seqWalker) walkStmts(list []ast.Stmt, st *holds) (terminated bool) {
+	for _, s := range list {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt returns true when the path terminates (return, panic, break…):
+// the caller must not treat the fall-through state as reachable.
+func (w *seqWalker) walkStmt(s ast.Stmt, st *holds) (terminated bool) {
+	if w.client.node != nil {
+		w.client.node(s, st)
+	}
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.walkExprStmt(s, st)
+
+	case *ast.AssignStmt:
+		w.exprs(st, s.Rhs...)
+		w.exprs(st, s.Lhs...)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(st, vs.Values...)
+				}
+			}
+		}
+
+	case *ast.IncDecStmt:
+		w.exprs(st, s.X)
+
+	case *ast.SendStmt:
+		w.exprs(st, s.Chan, s.Value)
+
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+
+	case *ast.GoStmt:
+		w.exprs(st, s.Call.Fun)
+		w.exprs(st, s.Call.Args...)
+
+	case *ast.ReturnStmt:
+		w.exprs(st, s.Results...)
+		if w.client.exit != nil {
+			w.client.exit(s.Pos(), st)
+		}
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current path; joining their state
+		// into the enclosing loop's exit is beyond this walker, so the path
+		// simply ends (false negatives, never false positives).
+		return true
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		return w.walkIf(s, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.exprs(st, s.Cond)
+		}
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+
+	case *ast.RangeStmt:
+		w.exprs(st, s.X)
+		body := st.clone()
+		w.walkStmts(s.Body.List, body)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.exprs(st, s.Tag)
+		}
+		return w.walkCases(s.Body, st, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, st)
+		}
+		return w.walkCases(s.Body, st, false)
+
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, st, true)
+	}
+	return false
+}
+
+// walkCases forks the state per case clause and joins the survivors. When
+// no default clause exists (switch only; a default-less select just blocks),
+// the pre-switch state joins in too, since no case may match.
+func (w *seqWalker) walkCases(body *ast.BlockStmt, st *holds, isSelect bool) bool {
+	var out *holds
+	hasDefault := false
+	for _, cs := range body.List {
+		branch := st.clone()
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			w.exprs(branch, c.List...)
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.walkStmt(c.Comm, branch)
+			}
+			stmts = c.Body
+		}
+		if !w.walkStmts(stmts, branch) {
+			if out == nil {
+				out = branch
+			} else {
+				out = join(out, branch)
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		if out == nil {
+			out = st.clone()
+		} else {
+			out = join(out, st)
+		}
+	}
+	if out == nil {
+		return true // every branch terminated
+	}
+	*st = *out
+	return false
+}
+
+// walkIf handles the TryAcquire/TryLock conditional-acquire idioms:
+//
+//	if m.TryAcquire() { …held… }
+//	if !m.TryAcquire() { return }; …held…
+func (w *seqWalker) walkIf(s *ast.IfStmt, st *holds) bool {
+	if s.Init != nil {
+		w.walkStmt(s.Init, st)
+	}
+	w.exprs(st, s.Cond)
+
+	thenSt, elseSt := st.clone(), st.clone()
+	cond := ast.Unparen(s.Cond)
+	negated := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond, negated = ast.Unparen(u.X), true
+	}
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if site, ok := w.pass.Site(call); ok && (site.Op == OpTryAcquire || site.Op == OpSpinTryLock || site.Op == OpTryP) {
+			if ref := w.refOf(site); ref.ok {
+				target := thenSt
+				if negated {
+					target = elseSt
+				}
+				target.def[ref.key] = holdInfo{site: site, ref: ref}
+				delete(target.maybe, ref.key)
+			}
+		}
+	}
+
+	termThen := w.walkStmts(s.Body.List, thenSt)
+	termElse := false
+	if s.Else != nil {
+		termElse = w.walkStmt(s.Else, elseSt)
+	}
+	switch {
+	case termThen && termElse:
+		return true
+	case termThen:
+		*st = *elseSt
+	case termElse:
+		*st = *thenSt
+	default:
+		*st = *join(thenSt, elseSt)
+	}
+	return false
+}
+
+// walkExprStmt applies lock-state transitions for statement-level calls.
+func (w *seqWalker) walkExprStmt(s *ast.ExprStmt, st *holds) bool {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		w.exprs(st, s.X)
+		return false
+	}
+	if site, ok := w.pass.Site(call); ok {
+		switch site.Op {
+		case OpAcquire, OpSpinLock:
+			w.exprs(st, s.X)
+			if ref := w.refOf(site); ref.ok {
+				st.def[ref.key] = holdInfo{site: site, ref: ref}
+				delete(st.maybe, ref.key)
+			}
+			return false
+		case OpRelease, OpSpinUnlock:
+			w.exprs(st, s.X)
+			if ref := w.refOf(site); ref.ok {
+				delete(st.def, ref.key)
+				delete(st.maybe, ref.key)
+			}
+			return false
+		case OpLock:
+			// threads.Lock(&m, func(){…}): the body runs holding m and the
+			// pairing is the construct's own (panic-safe) responsibility.
+			w.exprs(st, site.MutexArg)
+			ref := w.refOf(site)
+			if w.client.call != nil {
+				w.client.call(site, ref, st)
+			}
+			if lit, ok := ast.Unparen(site.BodyArg).(*ast.FuncLit); ok {
+				inner := st.clone()
+				if ref.ok {
+					inner.def[ref.key] = holdInfo{site: site, ref: ref}
+					delete(inner.maybe, ref.key)
+				}
+				w.walkStmts(lit.Body.List, inner)
+			} else if site.BodyArg != nil {
+				w.exprs(st, site.BodyArg)
+			}
+			return false
+		}
+	}
+	w.exprs(st, s.X)
+	// A statement-level call that cannot return terminates the path.
+	return terminatesPath(w.pass.Pkg.Info, call)
+}
+
+// walkDefer records deferred releases: `defer m.Release()` directly, or
+// releases inside a deferred closure.
+func (w *seqWalker) walkDefer(s *ast.DeferStmt, st *holds) {
+	markDeferred := func(site *CallSite) {
+		if ref := w.refOf(site); ref.ok {
+			if h, ok := st.def[ref.key]; ok {
+				h.deferred = true
+				st.def[ref.key] = h
+			}
+		}
+	}
+	if site, ok := w.pass.Site(s.Call); ok {
+		if w.client.call != nil {
+			w.client.call(site, w.refOf(site), st)
+		}
+		if site.Op == OpRelease || site.Op == OpSpinUnlock {
+			markDeferred(site)
+		}
+		return
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		// Deferred closure: runs at function exit with the exit-time state,
+		// so scan it for releases rather than walking it as a fresh path.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if site, ok := w.pass.Site(call); ok && (site.Op == OpRelease || site.Op == OpSpinUnlock) {
+					markDeferred(site)
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.exprs(st, s.Call.Args...)
+}
+
+// exprs fires client events over expression trees: call events for tracked
+// call sites, node events for everything else. Function literals are
+// reported as nodes, then walked as independent functions.
+func (w *seqWalker) exprs(st *holds, list ...ast.Expr) {
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if w.client.node != nil {
+					w.client.node(n, st)
+				}
+				w.walkFunc(n)
+				return false
+			case *ast.CallExpr:
+				if site, ok := w.pass.Site(n); ok && w.client.call != nil {
+					w.client.call(site, w.refOf(site), st)
+				}
+				if w.client.node != nil {
+					return w.client.node(n, st)
+				}
+				return true
+			default:
+				if n != nil && w.client.node != nil {
+					return w.client.node(n, st)
+				}
+				return true
+			}
+		})
+	}
+}
+
+// refOf resolves the subject lock of a call site.
+func (w *seqWalker) refOf(site *CallSite) lockRef {
+	var subject ast.Expr
+	switch site.Op {
+	case OpWait, OpAlertWait, OpLock:
+		subject = site.MutexArg
+	default:
+		subject = site.Recv
+	}
+	if subject == nil {
+		return lockRef{}
+	}
+	info, fset := w.pass.Pkg.Info, w.pass.Fset
+	key, display, ok := RefKey(info, fset, subject, nil)
+	if !ok {
+		return lockRef{}
+	}
+	classKey, _, _ := RefKey(info, fset, subject, w.typeRoots)
+	return lockRef{key: key, classKey: classKey, display: display, ok: true}
+}
+
+// terminatesPath reports whether a call never returns: panic, os.Exit,
+// runtime.Goexit, (*testing.common).Fatal*, log.Fatal*.
+func terminatesPath(info *types.Info, call *ast.CallExpr) bool {
+	switch obj := Callee(info, call).(type) {
+	case *types.Builtin:
+		return obj.Name() == "panic"
+	case *types.Func:
+		if obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "os":
+			return obj.Name() == "Exit"
+		case "runtime":
+			return obj.Name() == "Goexit"
+		case "log":
+			return obj.Name() == "Fatal" || obj.Name() == "Fatalf" || obj.Name() == "Fatalln"
+		case "testing":
+			switch obj.Name() {
+			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package analysis
+
+// All returns the full threadsvet suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WaitLoop,
+		CondMutex,
+		LockPair,
+		Alerted,
+		LockOrder,
+		NubDiscipline,
+	}
+}
+
+// ByName resolves analyzer names (comma-separated lists come from the CLI).
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

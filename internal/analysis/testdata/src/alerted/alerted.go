@@ -1,0 +1,61 @@
+// Fixture for the alerted analyzer.
+package alertedfix
+
+import "threads"
+
+var (
+	mu   threads.Mutex
+	cond threads.Condition
+	sem  threads.Semaphore
+
+	ready bool
+)
+
+func discardedWait() {
+	mu.Acquire()
+	defer mu.Release()
+	for !ready {
+		cond.AlertWait(&mu) // want "result of cond.AlertWait is discarded"
+	}
+}
+
+func discardedP() {
+	sem.AlertP() // want "result of sem.AlertP is discarded"
+}
+
+func discardedTest() {
+	threads.TestAlert() // want "result of threads.TestAlert is discarded"
+}
+
+func discardedParens() {
+	(threads.TestAlert()) // want "result of threads.TestAlert is discarded"
+}
+
+func unobservableGo() {
+	go sem.AlertP() // want "result of sem.AlertP is unobservable in go/defer position"
+}
+
+func handledWait() error {
+	mu.Acquire()
+	defer mu.Release()
+	for !ready {
+		if err := cond.AlertWait(&mu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func handledP() error {
+	return sem.AlertP()
+}
+
+func handledTest() {
+	if threads.TestAlert() {
+		ready = true
+	}
+}
+
+func explicitDiscard() {
+	_ = threads.TestAlert()
+}

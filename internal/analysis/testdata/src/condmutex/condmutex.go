@@ -1,0 +1,91 @@
+// Fixture for the condmutex analyzer.
+package condmutexfix
+
+import "threads"
+
+var (
+	muA threads.Mutex
+	muB threads.Mutex
+	c   threads.Condition
+
+	state int
+)
+
+func waitA() {
+	muA.Acquire()
+	for state == 0 {
+		c.Wait(&muA)
+	}
+	muA.Release()
+}
+
+func waitB() {
+	muB.Acquire()
+	for state == 0 {
+		c.Wait(&muB) // want "condition c is waited on with mutex muB here but with mutex muA"
+	}
+	muB.Release()
+}
+
+// Receiver fields unify across methods of the same type: both sites pair
+// p.cv with p.mu, so this is clean.
+type pair struct {
+	mu threads.Mutex
+	cv threads.Condition
+	ok bool
+}
+
+func (p *pair) one() {
+	p.mu.Acquire()
+	for !p.ok {
+		p.cv.Wait(&p.mu)
+	}
+	p.mu.Release()
+}
+
+func (p *pair) two() {
+	p.mu.Acquire()
+	for !p.ok {
+		if err := p.cv.AlertWait(&p.mu); err != nil {
+			break
+		}
+	}
+	p.mu.Release()
+}
+
+// A second mutex against a receiver-field condition is caught across
+// methods.
+type broken struct {
+	mu    threads.Mutex
+	other threads.Mutex
+	cv    threads.Condition
+	ok    bool
+}
+
+func (b *broken) good() {
+	b.mu.Acquire()
+	for !b.ok {
+		b.cv.Wait(&b.mu)
+	}
+	b.mu.Release()
+}
+
+func (b *broken) bad() {
+	b.other.Acquire()
+	for !b.ok {
+		b.cv.Wait(&b.other) // want "condition b.cv is waited on with mutex b.other here but with mutex b.mu"
+	}
+	b.other.Release()
+}
+
+func source() *threads.Condition { return &c }
+
+// A condition with no stable identity cannot be checked: conservatively
+// reported, not passed.
+func unanalyzable(m *threads.Mutex) {
+	m.Acquire()
+	for state == 0 {
+		source().Wait(m) // want "cannot statically resolve the condition/mutex pair"
+	}
+	m.Release()
+}

@@ -1,0 +1,52 @@
+// Fixture for the //threadsvet:ignore directive: suppression on the same
+// line and on the line above, plus the malformed / unknown-analyzer /
+// unused cases, which are themselves findings.
+package ignorefix
+
+import "threads"
+
+var (
+	mu   threads.Mutex
+	cond threads.Condition
+	busy bool
+)
+
+func suppressedSameLine() {
+	mu.Acquire()
+	defer mu.Release()
+	cond.Wait(&mu) //threadsvet:ignore waitloop: adapter method; callers loop (fixture)
+}
+
+func suppressedAbove() {
+	mu.Acquire()
+	defer mu.Release()
+	//threadsvet:ignore waitloop: single-shot litmus; hint semantics exercised deliberately (fixture)
+	cond.Wait(&mu)
+}
+
+func notSuppressed() {
+	mu.Acquire()
+	defer mu.Release()
+	cond.Wait(&mu) // want "is not inside a for loop"
+}
+
+func malformedNoReason() {
+	mu.Acquire()
+	defer mu.Release()
+	cond.Wait(&mu) //threadsvet:ignore waitloop // want "malformed ignore directive" "is not inside a for loop"
+}
+
+func unknownAnalyzer() {
+	mu.Acquire()
+	defer mu.Release()
+	cond.Wait(&mu) //threadsvet:ignore nosuchcheck: whatever // want "unknown analyzer" "is not inside a for loop"
+}
+
+func unusedDirective() {
+	mu.Acquire()
+	for busy {
+		//threadsvet:ignore waitloop: nothing to suppress here // want "suppresses nothing"
+		cond.Wait(&mu)
+	}
+	mu.Release()
+}

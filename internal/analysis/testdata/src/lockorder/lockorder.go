@@ -1,0 +1,59 @@
+// Fixture for the lockorder analyzer (intraprocedural mode).
+package lockorderfix
+
+import "threads"
+
+var (
+	a threads.Mutex
+	b threads.Mutex
+
+	// c and d are only ever taken in one order: no cycle.
+	c threads.Mutex
+	d threads.Mutex
+)
+
+func work() {}
+
+func abOrder() {
+	a.Acquire()
+	b.Acquire() // want "potential deadlock: lock-acquisition cycle"
+	work()
+	b.Release()
+	a.Release()
+}
+
+func baOrder() {
+	b.Acquire()
+	a.Acquire()
+	work()
+	a.Release()
+	b.Release()
+}
+
+func cdOrderOne() {
+	c.Acquire()
+	d.Acquire()
+	work()
+	d.Release()
+	c.Release()
+}
+
+func cdOrderTwo() {
+	threads.Lock(&c, func() {
+		threads.Lock(&d, work)
+	})
+}
+
+// Receiver fields are keyed class-wide: every *node pairs inner under
+// outer, consistently, so no cycle.
+type node struct {
+	outer threads.Mutex
+	inner threads.Mutex
+}
+
+func (n *node) nest() {
+	n.outer.Acquire()
+	n.inner.Acquire()
+	n.inner.Release()
+	n.outer.Release()
+}

@@ -1,0 +1,39 @@
+// Fixture for the lockorder analyzer's interprocedural mode: the x → y
+// edge exists only through the call to lockY, so the cycle is invisible to
+// the intraprocedural analysis (lockorder_test.go checks both modes).
+package lockorderinterfix
+
+import "threads"
+
+var (
+	x threads.Mutex
+	y threads.Mutex
+)
+
+func touch() {}
+
+func lockY() {
+	y.Acquire()
+	touch()
+	y.Release()
+}
+
+func xThenCallY() {
+	x.Acquire()
+	lockY() // want "potential deadlock: lock-acquisition cycle"
+	x.Release()
+}
+
+func yThenX() {
+	y.Acquire()
+	x.Acquire()
+	touch()
+	x.Release()
+	y.Release()
+}
+
+// Transitive summary: callsLockY acquires y through lockY, two frames
+// deep, and is itself clean.
+func callsLockY() {
+	lockY()
+}

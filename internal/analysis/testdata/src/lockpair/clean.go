@@ -1,0 +1,89 @@
+// Fixture for the lockpair analyzer: clean cases the path-sensitive walk
+// must not flag.
+package lockpairfix
+
+import "threads"
+
+func cleanStraight() {
+	mu.Acquire()
+	work()
+	mu.Release()
+}
+
+func cleanDefer() {
+	mu.Acquire()
+	defer mu.Release()
+	work()
+}
+
+func cleanDeferredClosure() {
+	mu.Acquire()
+	defer func() {
+		work()
+		mu.Release()
+	}()
+	work()
+}
+
+func cleanBranches(x bool) {
+	mu.Acquire()
+	if x {
+		mu.Release()
+		return
+	}
+	work()
+	mu.Release()
+}
+
+func cleanLexical() {
+	threads.Lock(&mu, func() {
+		work()
+	})
+}
+
+func cleanTryAcquire() {
+	if mu.TryAcquire() {
+		work()
+		mu.Release()
+	}
+}
+
+func cleanTryAcquireNegated() {
+	if !mu.TryAcquire() {
+		return
+	}
+	work()
+	mu.Release()
+}
+
+// After the if/else join the lock is held on every path; the Release
+// matches on both.
+func cleanJoin(x bool) {
+	if x {
+		mu.Acquire()
+	} else {
+		mu.Acquire()
+	}
+	mu.Release()
+}
+
+// Held on only one arm: "maybe held" after the join, so neither the
+// Release (maybe-held is accepted) nor the exit (maybe is never a leak)
+// is reported — false negatives over path-insensitive noise.
+func maybeHeld(x bool) {
+	if x {
+		mu.Acquire()
+	}
+	if x {
+		mu.Release()
+	}
+}
+
+func cleanPanicPath(x bool) {
+	mu.Acquire()
+	if x {
+		mu.Release()
+		panic("give up")
+	}
+	mu.Release()
+}

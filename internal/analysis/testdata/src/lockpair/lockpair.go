@@ -1,0 +1,52 @@
+// Fixture for the lockpair analyzer: flagged cases.
+package lockpairfix
+
+import "threads"
+
+var mu threads.Mutex
+
+func work() {}
+
+func leakOnEarlyReturn(x bool) {
+	mu.Acquire() // want "not matched by a Release on the path leaving the function"
+	if x {
+		return
+	}
+	mu.Release()
+}
+
+func leakNoRelease() {
+	mu.Acquire() // want "not matched by a Release on the path leaving the function"
+	work()
+}
+
+func releaseWithoutHold() {
+	mu.Release() // want "Release of mu which this path has not acquired"
+}
+
+func doubleRelease() {
+	mu.Acquire()
+	mu.Release()
+	mu.Release() // want "Release of mu which this path has not acquired"
+}
+
+func doubleAcquire() {
+	mu.Acquire()
+	mu.Acquire() // want "second Acquire of mu while already held"
+	mu.Release()
+}
+
+type guarded struct {
+	mu threads.Mutex
+	n  int
+}
+
+func (g *guarded) leakField(x bool) {
+	g.mu.Acquire() // want "not matched by a Release on the path leaving the function"
+	if x {
+		g.n++
+		return
+	}
+	g.n--
+	g.mu.Release()
+}

@@ -1,0 +1,44 @@
+// Fixture for the nubdiscipline analyzer: clean cases.
+package nubfix
+
+func cleanAtomic(n *nub) {
+	n.lock.Lock()
+	n.count.Add(1)
+	n.buf[0] = 2
+	n.lock.Unlock()
+}
+
+func cleanAfterUnlock(n *nub) {
+	n.lock.Lock()
+	n.count.Add(1)
+	n.lock.Unlock()
+	n.buf = append(n.buf, 1)
+	n.ch <- 1
+	n.cb()
+}
+
+func cleanTryLock(n *nub) {
+	if n.lock.TryLock() {
+		n.count.Add(1)
+		n.lock.Unlock()
+	}
+	n.buf = make([]int, 3)
+}
+
+func cleanStraightCalls(n *nub) {
+	grow(n)
+	n.lock.Lock()
+	n.count.Store(0)
+	n.lock.Unlock()
+}
+
+type event struct{ seq uint64 }
+
+// A value composite literal does not heap-allocate; only &literal is
+// flagged.
+func cleanValueLiteral(n *nub) event {
+	n.lock.Lock()
+	ev := event{seq: n.count.Load()}
+	n.lock.Unlock()
+	return ev
+}

@@ -1,0 +1,89 @@
+// Fixture for the nubdiscipline analyzer: discipline violations while an
+// internal/spinlock lock is held.
+package nubfix
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"threads/internal/spinlock"
+)
+
+type nub struct {
+	lock  spinlock.Lock
+	count atomic.Uint64
+	buf   []int
+	ch    chan int
+	cb    func()
+	name  string
+}
+
+func appendUnderLock(n *nub) {
+	n.lock.Lock()
+	n.buf = append(n.buf, 1) // want "allocation \(append may grow\) while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func makeUnderLock(n *nub) {
+	n.lock.Lock()
+	n.buf = make([]int, 4) // want "allocation \(make\) while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func sendUnderLock(n *nub) {
+	n.lock.Lock()
+	n.ch <- 1 // want "channel send while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func receiveUnderLock(n *nub) int {
+	n.lock.Lock()
+	v := <-n.ch // want "channel receive while spin lock n.lock is held"
+	n.lock.Unlock()
+	return v
+}
+
+func callbackUnderLock(n *nub) {
+	n.lock.Lock()
+	n.cb() // want "indirect call through a function value \(callback\) while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func closureUnderLock(n *nub) {
+	n.lock.Lock()
+	f := func() {} // want "allocation \(closure\) while spin lock n.lock is held"
+	_ = f
+	n.lock.Unlock()
+}
+
+func printUnderLock(n *nub) {
+	n.lock.Lock()
+	fmt.Println(n.name) // want "fmt.Println call \(I/O\) while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func concatUnderLock(n *nub) {
+	n.lock.Lock()
+	n.name = n.name + "!" // want "allocation \(string concatenation\) while spin lock n.lock is held"
+	n.lock.Unlock()
+}
+
+func grow(n *nub) {
+	n.buf = append(n.buf, 0)
+}
+
+func indirectGrow(n *nub) {
+	grow(n)
+}
+
+func callGrowUnderLock(n *nub) {
+	n.lock.Lock()
+	grow(n) // want "call to grow, which performs allocation \(append may grow\)"
+	n.lock.Unlock()
+}
+
+func callIndirectGrowUnderLock(n *nub) {
+	n.lock.Lock()
+	indirectGrow(n) // want "call to indirectGrow, which performs"
+	n.lock.Unlock()
+}

@@ -1,0 +1,22 @@
+// Fixture for call-site resolution: aliased import.
+package resolverfix
+
+import th "threads"
+
+var (
+	aliasMu    th.Mutex
+	aliasCond  th.Condition
+	aliasSem   th.Semaphore
+	aliasReady bool
+)
+
+func aliasWait() {
+	aliasMu.Acquire()
+	for !aliasReady {
+		if err := aliasCond.AlertWait(&aliasMu); err != nil {
+			break
+		}
+	}
+	aliasMu.Release()
+	aliasSem.V()
+}

@@ -1,0 +1,22 @@
+// Fixture for call-site resolution: dot import.
+package resolverfix
+
+import . "threads"
+
+var (
+	dotMu   Mutex
+	dotCond Condition
+	dotDone bool
+)
+
+func dotWait() {
+	dotMu.Acquire()
+	for !dotDone {
+		dotCond.Wait(&dotMu)
+	}
+	dotMu.Release()
+	Lock(&dotMu, func() {
+		dotDone = false
+	})
+	_ = TestAlert()
+}

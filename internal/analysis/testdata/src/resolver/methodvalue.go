@@ -1,0 +1,18 @@
+// Fixture for call-site resolution: a tracked method captured as a method
+// value. The call through w is not statically resolvable; the capture
+// itself must surface in Pass.MethodVals so analyzers can report the
+// discipline as unanalyzable instead of silently passing it.
+package resolverfix
+
+import "threads"
+
+func methodVal(c *threads.Condition, m *threads.Mutex, ok *bool) {
+	w := c.AlertWait // want "captured as a method value"
+	m.Acquire()
+	for !*ok {
+		if err := w(m); err != nil {
+			break
+		}
+	}
+	m.Release()
+}

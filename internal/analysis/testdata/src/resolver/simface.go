@@ -1,0 +1,19 @@
+// Fixture for call-site resolution: the simulator face, whose methods take
+// a *sim.Env first, shifting the mutex argument of Wait/AlertWait to
+// position one.
+package resolverfix
+
+import (
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+var simReady bool
+
+func simWait(w *simthreads.World, e *sim.Env, m *simthreads.Mutex, c *simthreads.Condition) {
+	m.Acquire(e)
+	for !simReady {
+		c.Wait(e, m)
+	}
+	m.Release(e)
+}

@@ -1,0 +1,34 @@
+// Fixture for the waitloop analyzer: clean cases.
+package waitloopfix
+
+func cleanFor(b *box) {
+	b.mu.Acquire()
+	for !b.done {
+		b.cond.Wait(&b.mu)
+	}
+	b.mu.Release()
+}
+
+func cleanInfiniteFor(b *box) {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	for {
+		if b.done {
+			return
+		}
+		if err := b.cond.AlertWait(&b.mu); err != nil {
+			return
+		}
+	}
+}
+
+func cleanIfInsideFor(b *box) {
+	b.mu.Acquire()
+	for !b.done {
+		if b.done {
+			continue
+		}
+		b.cond.Wait(&b.mu)
+	}
+	b.mu.Release()
+}

@@ -1,0 +1,52 @@
+// Fixture for the waitloop analyzer: flagged cases.
+package waitloopfix
+
+import "threads"
+
+type box struct {
+	mu   threads.Mutex
+	cond threads.Condition
+	done bool
+}
+
+func bare(b *box) {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	b.cond.Wait(&b.mu) // want "is not inside a for loop"
+}
+
+func ifGuarded(b *box) {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	if !b.done {
+		b.cond.Wait(&b.mu) // want "guarded by if, not re-tested in a loop"
+	}
+}
+
+func alertNoLoop(b *box) error {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	err := b.cond.AlertWait(&b.mu) // want "is not inside a for loop"
+	return err
+}
+
+func methodValue(b *box) {
+	w := b.cond.Wait // want "captured as a method value"
+	b.mu.Acquire()
+	for !b.done {
+		w(&b.mu)
+	}
+	b.mu.Release()
+}
+
+// A loop in the caller does not excuse a wait in a closure: the closure
+// body is the unit the discipline applies to.
+func closureNoLoop(b *box) {
+	for i := 0; i < 3; i++ {
+		func() {
+			b.mu.Acquire()
+			defer b.mu.Release()
+			b.cond.Wait(&b.mu) // want "is not inside a for loop"
+		}()
+	}
+}

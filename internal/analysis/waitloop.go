@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WaitLoop enforces the paper's central caveat about condition variables:
+// "the return of a thread from a call of Wait does not give any guarantees
+// about the state" — return from Wait is only a hint, so every Wait and
+// AlertWait must sit inside a for loop that re-tests the guarding
+// predicate. Guarding a Wait with `if` instead of `for` is the classic
+// Mesa-monitor bug: the predicate may already be false again by the time
+// the waiter reacquires the mutex (another thread won the race, or Signal
+// unblocked more than one waiter, both of which the specification permits).
+var WaitLoop = &Analyzer{
+	Name: "waitloop",
+	Doc: "check that every Condition.Wait/AlertWait is re-tested in a loop " +
+		"(paper, Condition Variables: return from Wait is only a hint)",
+	Run: runWaitLoop,
+}
+
+func runWaitLoop(pass *Pass) error {
+	for _, site := range pass.Calls {
+		if site.Op != OpWait && site.Op != OpAlertWait {
+			continue
+		}
+		var guardIf *ast.IfStmt
+		inLoop := false
+	climb:
+		for n := ast.Node(site.Call); n != nil; n = pass.Parent(n) {
+			switch p := pass.Parent(n).(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+				break climb
+			case *ast.IfStmt:
+				if guardIf == nil {
+					guardIf = p
+				}
+			case *ast.FuncDecl, *ast.FuncLit:
+				// Loops outside the enclosing function (or closure) cannot
+				// re-test this call's predicate.
+				break climb
+			}
+		}
+		if inLoop {
+			continue
+		}
+		what := callLabel(site)
+		if guardIf != nil {
+			pass.Reportf(site.Call.Pos(),
+				"%s is guarded by if, not re-tested in a loop: return from Wait is only a hint "+
+					"(paper, Condition Variables), so the predicate may already be false again; "+
+					"replace the if with `for !predicate { %s }`", what, what)
+		} else {
+			pass.Reportf(site.Call.Pos(),
+				"%s is not inside a for loop: return from Wait is only a hint "+
+					"(paper, Condition Variables); wrap it as `for !predicate { %s }`", what, what)
+		}
+	}
+	// A Wait captured as a method value escapes the syntactic check
+	// entirely; report it so the discipline cannot be silently bypassed.
+	for _, mv := range pass.MethodVals {
+		if name := mv.Method.Name(); name == "Wait" || name == "AlertWait" {
+			pass.Reportf(mv.Sel.Pos(),
+				"%s is captured as a method value: the wait-in-a-loop discipline cannot be "+
+					"checked statically at its eventual call sites; call it directly inside "+
+					"a predicate loop instead", mv.Method.FullName())
+		}
+	}
+	return nil
+}
+
+// callLabel renders a call site compactly for diagnostics: "c.Wait" /
+// "r.reply.AlertWait".
+func callLabel(site *CallSite) string {
+	name := site.Op.String()
+	if sel, ok := ast.Unparen(site.Call.Fun).(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X) + "." + name
+	}
+	return name
+}

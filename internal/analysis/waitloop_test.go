@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestWaitLoop(t *testing.T) {
+	runFixture(t, "waitloop", WaitLoop, nil)
+}

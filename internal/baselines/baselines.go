@@ -71,10 +71,10 @@ type ThreadsMonitor struct {
 func NewThreadsMonitor() *ThreadsMonitor { return &ThreadsMonitor{} }
 
 // Acquire enters the monitor.
-func (m *ThreadsMonitor) Acquire() { m.mu.Acquire() }
+func (m *ThreadsMonitor) Acquire() { m.mu.Acquire() } //threadsvet:ignore lockpair: Monitor adapter; Acquire/Release bracket in the benchmark harness, not here
 
 // Release leaves the monitor.
-func (m *ThreadsMonitor) Release() { m.mu.Release() }
+func (m *ThreadsMonitor) Release() { m.mu.Release() } //threadsvet:ignore lockpair: Monitor adapter; the matching Acquire is behind the same interface
 
 // Name identifies the implementation.
 func (m *ThreadsMonitor) Name() string { return "threads" }
@@ -89,7 +89,7 @@ type threadsCond struct {
 	c *core.Condition
 }
 
-func (c *threadsCond) Wait()            { c.c.Wait(&c.m.mu) }
+func (c *threadsCond) Wait()            { c.c.Wait(&c.m.mu) } //threadsvet:ignore waitloop: Cond adapter; the predicate loop is in the monitor benchmark driver
 func (c *threadsCond) Signal()          { c.c.Signal() }
 func (c *threadsCond) Broadcast()       { c.c.Broadcast() }
 func (c *threadsCond) Guaranteed() bool { return false }

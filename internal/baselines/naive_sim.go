@@ -42,14 +42,14 @@ func (c *NaiveSimCond) spinUnlock(e *sim.Env) {
 // Wait releases m, then — fatally, in a separate step — enqueues and
 // suspends the caller, then reacquires m.
 func (c *NaiveSimCond) Wait(e *sim.Env, m *simthreads.Mutex) {
-	m.Release(e)
+	m.Release(e) //threadsvet:ignore lockpair: Wait operates on the caller-held mutex; this baseline reimplements the primitive
 	// The race window is here: a Signal between the Release above and
 	// the enqueue below finds nothing to unblock.
 	c.spinLock(e)
 	c.q = append(c.q, e.Self())
 	c.spinUnlock(e)
 	e.Deschedule("naive Wait")
-	m.Acquire(e)
+	m.Acquire(e) //threadsvet:ignore lockpair: reacquire-on-return half of Wait; the caller holds the mutex across the call
 }
 
 // Signal wakes the first queued thread, if any; a signal with no queued

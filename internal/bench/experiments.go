@@ -535,6 +535,7 @@ func signalAlertRaceTrial(signalFirst bool) bool {
 	errCh := make(chan error, 1)
 	th := core.Fork(func() {
 		m.Acquire()
+		//threadsvet:ignore waitloop: race trial performs exactly one AlertWait to observe which way the Signal/Alert overlap resolves
 		err := c.AlertWait(&m)
 		m.Release()
 		errCh <- err
@@ -706,7 +707,7 @@ func buildAlerts(w *simthreads.World, k *simthreads.Kernel) {
 			c.Broadcast(e)
 			e.Work(100)
 		}
-		w.TestAlert(e)
+		_ = w.TestAlert(e)
 	})
 }
 

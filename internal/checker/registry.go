@@ -259,6 +259,7 @@ func simAlert(buggy bool) SimProgram {
 			exit := func(e *sim.Env) { e.Add(&inCS, ^uint64(0)) }
 			alertee := k.Spawn("alertee", func(e *sim.Env) {
 				m.Acquire(e)
+				//threadsvet:ignore waitloop: single-shot litmus; the conformance schedule observes the Wait-is-a-hint semantics directly
 				alerted := c.AlertWait(e, m)
 				enter(e)
 				e.Work(2)

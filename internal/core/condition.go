@@ -99,10 +99,10 @@ func (c *Condition) Wait(m *Mutex) {
 	}
 	c.committed.Add(1)
 	i := c.ec.Read()
-	m.Release()
+	m.Release() //threadsvet:ignore lockpair: Wait itself: the specification releases the caller-held mutex, blocks, reacquires (paper, Wait(m, c))
 	c.block(i, nil)
 	c.committed.Add(-1)
-	m.Acquire()
+	m.Acquire() //threadsvet:ignore lockpair: Wait itself: reacquire on resumption; the caller holds m across Wait
 }
 
 // spinBlock is Block's analogue of the gate's adaptive spin: before paying
@@ -277,6 +277,7 @@ func (c *Condition) Broadcast() {
 	// place is buffered), claims stay within the popped episodes, and the
 	// drain allocates nothing — where the old PopAll built a slice per
 	// Broadcast.
+	//threadsvet:ignore nubdiscipline: the drain closure is inlined into Broadcast (go build -gcflags=-m: no heap allocation, no indirect call survives)
 	c.q.Drain(func(n *queue.Node[*waiter]) {
 		w := n.Value
 		if w.claim(reasonWake) {
@@ -340,10 +341,10 @@ func (c *Condition) AlertWait(m *Mutex) error {
 		return nil
 	}
 	i := c.ec.Read()
-	m.Release()
+	m.Release() //threadsvet:ignore lockpair: AlertWait itself: releases the caller-held mutex before blocking (paper, AlertWait(m, c))
 	reason := c.block(i, t)
 	c.committed.Add(-1)
-	m.Acquire()
+	m.Acquire() //threadsvet:ignore lockpair: AlertWait itself: reacquire on resumption; the caller holds m across AlertWait
 	if reason == reasonAlert {
 		t.alerted.Store(false)
 		statIncT(t, statAlertedWait)

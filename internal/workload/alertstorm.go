@@ -95,7 +95,7 @@ func AlertStorm(cfg AlertStormConfig) AlertStormResult {
 			// Consume any alert that landed after the final episode, so a
 			// victim never exits with a pending flag the next run's Self()
 			// could never see (threads are per-run, but tidiness is free).
-			core.TestAlert()
+			_ = core.TestAlert()
 		})
 	}
 

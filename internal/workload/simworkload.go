@@ -199,6 +199,7 @@ func RunLostWakeupTrial(tr LostWakeupTrial) bool {
 	}
 	wait := func(e *sim.Env) {
 		if cond != nil {
+			//threadsvet:ignore waitloop: nil-dispatch helper; every caller loops `for e.Load(&ready) == 0 { wait(e) }`
 			cond.Wait(e, m)
 		} else {
 			naive.Wait(e, m)
