@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: tier1 build examples vet test race bench bench-baseline bench-check conformance lint threadsvet explore fuzz
+.PHONY: tier1 build examples vet test race bench bench-baseline bench-check sweep sweep-baseline conformance lint threadsvet explore fuzz
 
 tier1: build examples vet race test conformance threadsvet
 
@@ -25,7 +25,7 @@ threadsvet:
 	$(GO) run ./cmd/threadsvet $(THREADSVET_FLAGS) ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/spinlock/...
 
 test:
 	$(GO) test ./...
@@ -81,3 +81,16 @@ bench-baseline:
 # wall-clock comparisons).
 bench-check:
 	$(GO) run ./cmd/threadsbench -baseline BENCH_1.json
+
+# sweep runs the core-count scaling sweep (E11–E13 across GOMAXPROCS) and
+# enforces the committed curves' shape; bench/sweep.sh is the matrix runner
+# with pinning and environment control. SWEEP_FLAGS adds e.g. -timed for
+# same-machine comparisons or -cores/-samples overrides.
+SWEEP_FLAGS ?=
+sweep:
+	$(GO) run ./cmd/threadsbench -sweep -baseline BENCH_2.json $(SWEEP_FLAGS)
+
+# sweep-baseline regenerates the committed curve baseline; run it only when
+# a change intentionally moves a curve, and commit the new file.
+sweep-baseline:
+	$(GO) run ./cmd/threadsbench -sweep -json BENCH_2.json $(SWEEP_FLAGS)

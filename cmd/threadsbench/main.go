@@ -1,5 +1,5 @@
 // Command threadsbench regenerates every experiment in EXPERIMENTS.md: the
-// reproductions of the paper's quantitative and behavioral claims (E1–E13),
+// reproductions of the paper's quantitative and behavioral claims (E1–E16),
 // and maintains the benchmark-regression baseline (BENCH_<n>.json).
 //
 // Usage:
@@ -14,6 +14,23 @@
 //	                                       # on any >10% regression
 //	threadsbench -baseline BENCH_1.json -timed -maxregress 0.25
 //	                                       # also enforce wall-clock metrics
+//
+// The -sweep flag extends -json/-baseline with per-core-count scaling
+// curves: the E11–E13 contended workloads are re-run at each GOMAXPROCS
+// value in -cores (default: doubling up to NumCPU), best of -samples runs
+// per point, and the comparator additionally enforces curve *shape*
+// (internal/bench.CompareCurves):
+//
+//	threadsbench -sweep -json BENCH_2.json             # collect curves
+//	threadsbench -sweep -baseline BENCH_2.json         # enforce stable curves
+//	threadsbench -sweep -cores 1,2 -samples 1 -quick -baseline BENCH_2.json
+//	                                                   # CI smoke: prefix only
+//
+// The profiling flags apply to any mode, so a sweep knee can be diagnosed
+// with pprof instead of guesswork:
+//
+//	threadsbench -sweep -cores 8 -cpuprofile cpu.pb.gz -json /dev/null
+//	threadsbench -exp e16 -mutexprofile mutex.pb.gz -blockprofile block.pb.gz
 package main
 
 import (
@@ -21,13 +38,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"threads/internal/bench"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		quick      = flag.Bool("quick", false, "run reduced sweeps")
 		exp        = flag.String("exp", "", "comma-separated experiment ids (default: all)")
@@ -37,12 +59,33 @@ func main() {
 		baseline   = flag.String("baseline", "", "collect regression metrics and compare against this baseline")
 		maxRegress = flag.Float64("maxregress", 0.10, "relative tolerance before a metric counts as regressed")
 		timed      = flag.Bool("timed", false, "also enforce wall-clock metrics (same-machine comparisons only)")
+		sweep      = flag.Bool("sweep", false, "with -json/-baseline: also collect per-core-count scaling curves")
+		coresFlag  = flag.String("cores", "", "comma-separated GOMAXPROCS values for -sweep (default: 1,2,4,... up to NumCPU)")
+		samples    = flag.Int("samples", 3, "runs per core count in -sweep; the best is kept")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mutexProf  = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		blockProf  = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file")
 	)
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuProf, *mutexProf, *blockProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+		return 1
+	}
+	defer stopProfiles()
+
 	if *jsonOut != "" || *baseline != "" {
-		runRegression(*jsonOut, *baseline, *maxRegress, *timed, *quick)
-		return
+		cores, err := parseCores(*coresFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+			return 2
+		}
+		return runRegression(regressRun{
+			jsonOut: *jsonOut, baselinePath: *baseline,
+			tol: *maxRegress, timed: *timed, quick: *quick,
+			sweep: *sweep, cores: cores, samples: *samples,
+		})
 	}
 
 	exps := bench.All()
@@ -50,7 +93,7 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("%-4s %s\n", e.ID, e.Name)
 		}
-		return
+		return 0
 	}
 	want := map[string]bool{}
 	if *exp != "" {
@@ -72,7 +115,7 @@ func main() {
 				name := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
 				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
 					fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			}
 		}
@@ -81,15 +124,48 @@ func main() {
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "threadsbench: no experiment matched %q (use -list)\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// parseCores parses the -cores flag; empty means the default doubling set.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return bench.DefaultSweepCores(), nil
+	}
+	var cores []int
+	for _, f := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("-cores: %q is not a positive core count", f)
+		}
+		cores = append(cores, k)
+	}
+	return cores, nil
+}
+
+type regressRun struct {
+	jsonOut, baselinePath string
+	tol                   float64
+	timed, quick, sweep   bool
+	cores                 []int
+	samples               int
 }
 
 // runRegression handles -json (write a fresh baseline) and -baseline
-// (compare against a committed one); both collect the same metric set.
-func runRegression(jsonOut, baselinePath string, tol float64, timed, quick bool) {
+// (compare against a committed one); both collect the same metric set, and
+// with -sweep the same curve set.
+func runRegression(p regressRun) int {
 	fmt.Fprintln(os.Stderr, "threadsbench: collecting regression metrics...")
-	cur := bench.CollectRegressionMetrics(quick)
+	cur := bench.CollectRegressionMetrics(p.quick)
+	if p.sweep {
+		fmt.Fprintf(os.Stderr, "threadsbench: sweeping cores %v x %d samples (NumCPU=%d)...\n",
+			p.cores, p.samples, runtime.NumCPU())
+		cur.Curves = bench.CollectSweep(p.cores, p.samples, p.quick)
+		cur.Schema = 2
+		cur.Note += "; schema 2: curves are per-GOMAXPROCS scaling measurements"
+	}
 	for _, m := range cur.Metrics {
 		kind := "stable"
 		if !m.Stable {
@@ -97,28 +173,89 @@ func runRegression(jsonOut, baselinePath string, tol float64, timed, quick bool)
 		}
 		fmt.Printf("  %-28s %12.4g  (%s, %s is better)\n", m.Name, m.Value, kind, m.Better)
 	}
-	if jsonOut != "" {
-		if err := bench.WriteBaseline(jsonOut, cur); err != nil {
-			fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
-			os.Exit(1)
+	for _, c := range cur.Curves {
+		var pts []string
+		for _, pt := range c.Points {
+			pts = append(pts, fmt.Sprintf("%dc %.4g", pt.Cores, pt.Value))
 		}
-		fmt.Printf("wrote %s (%d metrics)\n", jsonOut, len(cur.Metrics))
+		fmt.Printf("  %-28s %s\n", c.Name, strings.Join(pts, " | "))
 	}
-	if baselinePath == "" {
-		return
+	if p.jsonOut != "" {
+		if err := bench.WriteBaseline(p.jsonOut, cur); err != nil {
+			fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d metrics, %d curves)\n", p.jsonOut, len(cur.Metrics), len(cur.Curves))
 	}
-	base, err := bench.ReadBaseline(baselinePath)
+	if p.baselinePath == "" {
+		return 0
+	}
+	base, err := bench.ReadBaseline(p.baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	regs := bench.Compare(base, cur, tol, timed)
+	regs := bench.Compare(base, cur, p.tol, p.timed)
+	if p.sweep {
+		regs = append(regs, bench.CompareCurves(base.Curves, cur.Curves, p.cores, p.tol, p.timed)...)
+	}
 	if len(regs) == 0 {
-		fmt.Printf("no regressions against %s (tol %.0f%%, timed=%v)\n", baselinePath, tol*100, timed)
-		return
+		fmt.Printf("no regressions against %s (tol %.0f%%, timed=%v, sweep=%v)\n",
+			p.baselinePath, p.tol*100, p.timed, p.sweep)
+		return 0
 	}
 	for _, r := range regs {
 		fmt.Fprintf(os.Stderr, "threadsbench: REGRESSION %s\n", r)
 	}
-	os.Exit(1)
+	return 1
+}
+
+// startProfiles arms the requested pprof profiles and returns the function
+// that writes them out; profiles cover everything between the two calls.
+func startProfiles(cpu, mutex, block string) (func(), error) {
+	var stops []func()
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "threadsbench: wrote CPU profile to %s\n", cpu)
+		})
+	}
+	if mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+		stops = append(stops, func() { writeProfile("mutex", mutex) })
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+		stops = append(stops, func() { writeProfile("block", block) })
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}, nil
+}
+
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "threadsbench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if p := pprof.Lookup(name); p != nil {
+		if err := p.WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "threadsbench: %s profile: %v\n", name, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "threadsbench: wrote %s profile to %s\n", name, path)
+	}
 }

@@ -182,8 +182,14 @@ func TestSemCondSignalCoversWakeupRace(t *testing.T) {
 }
 
 // TestSemCondBroadcastStrandsWaiters is E5's core observation: Broadcast
-// over a binary semaphore cannot release all racing waiters.
+// over a binary semaphore cannot release all racing waiters. It pins the
+// paper's wake-and-retry protocol: direct hand-off (the shipping default)
+// gifts each V of the Broadcast loop to a distinct parked waiter, masking
+// the V-coalescing this test demonstrates (the race-window stranding is
+// mode-independent, but parked waiters dominate this construction).
 func TestSemCondBroadcastStrandsWaiters(t *testing.T) {
+	prev := core.SetHandoffMode(core.HandoffOff)
+	defer core.SetHandoffMode(prev)
 	var stranded int
 	const waiters = 8
 	for round := 0; round < 30; round++ {

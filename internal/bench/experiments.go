@@ -51,6 +51,7 @@ func All() []Experiment {
 		{"e8", "AlertP/AlertWait non-determinism", E8},
 		{"e9", "implementation conformance to the specification", E9},
 		{"e10", "throughput scaling vs baselines", E10},
+		{"e16", "scaling walls: core-count sweep, before/after the fixes", E16},
 		{"ea", "ablations: remove the paper's optimizations", EA},
 	}
 }
@@ -281,7 +282,18 @@ should all resume."`,
 
 // broadcastStrandTrial blocks `waiters` threads, flips the predicate, does
 // one Broadcast and reports how many stayed blocked.
+//
+// The trial pins the paper's wake-and-retry protocol: under direct
+// hand-off (HandoffAdaptive, the shipping default) every V in the naive
+// Broadcast loop transfers the token to a distinct *parked* waiter instead
+// of setting the one semaphore bit, so the coalescing this experiment
+// demonstrates never happens once all waiters are asleep. That rescue is
+// an artifact of everyone being parked — the race-window stranding (a
+// waiter between Release(m) and P) is mode-independent — but the paper's
+// claim is about its 1987 implementation, so measure that one.
 func broadcastStrandTrial(impl string, waiters int) int {
+	prev := core.SetHandoffMode(core.HandoffOff)
+	defer core.SetHandoffMode(prev)
 	var mu core.Mutex
 	var tc core.Condition
 	var sc *baselines.SemCond

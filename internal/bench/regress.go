@@ -35,10 +35,16 @@ type Metric struct {
 }
 
 // Baseline is a named set of metrics, serialized as BENCH_<n>.json.
+//
+// Schema 1 carries scalar metrics only; schema 2 adds per-core-count
+// scaling curves (see sweep.go). A schema-1 file read by schema-2 code
+// simply has no curves, and unknown fields are ignored on the way back, so
+// the two schemas interoperate in both directions.
 type Baseline struct {
 	Schema  int      `json:"schema"`
 	Note    string   `json:"note,omitempty"`
 	Metrics []Metric `json:"metrics"`
+	Curves  []Curve  `json:"curves,omitempty"`
 }
 
 // Regression describes one metric that got worse than tolerance allows.

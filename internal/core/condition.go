@@ -89,9 +89,21 @@ func (c *Condition) Wait(m *Mutex) {
 	if traceOn.Load() {
 		t := Self()
 		c.committed.Add(1)
-		i, _, cObj := c.enqueueTraced(m, t)
-		c.block(i, nil)
+		i, mObj, cObj := c.enqueueTraced(m, t)
+		reason, hseq := c.block(i, nil, &m.g)
 		c.committed.Add(-1)
+		if reason == reasonHandoff && hseq != 0 {
+			// A Release handed this (morphed) waiter the mutex directly;
+			// hseq is the stamp its second CAS certified for our
+			// resumption, so the Resume event is emitted here and the
+			// reacquisition is already done. (A demoted hand-off arrives
+			// with hseq 0 and reacquires below like a plain wake.)
+			traceEmit(hseq, TraceResume, t.id, mObj, cObj, false)
+			if checking.Load() {
+				m.holder.Store(t.id)
+			}
+			return
+		}
 		// The Resume action (WHEN m = NIL & NOT SELF IN c, ENSURES
 		// m' = SELF) is stamped at the reacquiring CAS.
 		m.acquireResume(traceCtx{kind: TraceResume, tid: t.id, obj2: cObj})
@@ -100,8 +112,15 @@ func (c *Condition) Wait(m *Mutex) {
 	c.committed.Add(1)
 	i := c.ec.Read()
 	m.Release() //threadsvet:ignore lockpair: Wait itself: the specification releases the caller-held mutex, blocks, reacquires (paper, Wait(m, c))
-	c.block(i, nil)
+	reason, _ := c.block(i, nil, &m.g)
 	c.committed.Add(-1)
+	if reason == reasonHandoff {
+		// Untraced hand-off: the mutex bit never cleared; we hold it.
+		if checking.Load() {
+			m.holder.Store(Self().id)
+		}
+		return
+	}
 	m.Acquire() //threadsvet:ignore lockpair: Wait itself: reacquire on resumption; the caller holds m across Wait
 }
 
@@ -139,8 +158,15 @@ func (c *Condition) spinBlock(i uint64) bool {
 //
 // For alertable waits, t carries the thread so Alert can claim the wait;
 // block returns the wake reason (reasonWake for signal/broadcast or elided
-// waits, reasonAlert when Alert won).
-func (c *Condition) block(i uint64, t *Thread) uint64 {
+// waits, reasonAlert when Alert won, reasonHandoff when a Release handed
+// the morphed waiter the mutex directly — hseq is then the certified
+// resume stamp, or 0 for an untraced or demoted hand-off).
+//
+// For plain waits, mg names the mutex gate Signal may morph this waiter
+// onto (wait morphing); alertable waits pass nil — a morphed waiter parks
+// on the mutex queue where Alert's claim could not honor the corrected
+// c' = delete(c, SELF) semantics without chasing the node across queues.
+func (c *Condition) block(i uint64, t *Thread, mg *gate) (reason, hseq uint64) {
 	if t == nil && c.spinBlock(i) {
 		// The eventcount advanced while spinning: the wait is elided
 		// before the waiter is even prepared. Alertable waits skip the
@@ -148,7 +174,7 @@ func (c *Condition) block(i uint64, t *Thread) uint64 {
 		// a pending alert would sit undelivered for the spin's
 		// duration.
 		statInc(statWaitSpin)
-		return reasonWake
+		return reasonWake, 0
 	}
 	w := getWaiter(t)
 	if t != nil {
@@ -158,9 +184,12 @@ func (c *Condition) block(i uint64, t *Thread) uint64 {
 		if t.alerted.Load() && w.claim(reasonAlert) {
 			t.clearAlertWaiter()
 			w.endEpisode()
-			return reasonAlert
+			return reasonAlert, 0
 		}
+	} else if mg != nil && CurrentHandoffMode() != HandoffOff {
+		w.morphGate = mg
 	}
+	w.parkStart = handoffNanos()
 	c.nub.Lock()
 	if c.ec.AdvancedSince(i) {
 		c.nub.Unlock()
@@ -174,16 +203,16 @@ func (c *Condition) block(i uint64, t *Thread) uint64 {
 				// consume it before the waiter can be reused.
 				w.drain()
 				w.endEpisode()
-				return reasonAlert
+				return reasonAlert, 0
 			}
 		}
 		w.endEpisode()
-		return reasonWake
+		return reasonWake, 0
 	}
 	c.q.Push(&w.node)
 	c.nub.Unlock()
 	statInc(statWaitPark)
-	reason := w.park()
+	reason = w.park()
 	if t != nil {
 		t.clearAlertWaiter()
 	}
@@ -197,8 +226,9 @@ func (c *Condition) block(i uint64, t *Thread) uint64 {
 		c.q.Remove(&w.node)
 		c.nub.Unlock()
 	}
+	hseq = w.handoffSeq
 	w.endEpisode()
-	return reason
+	return reason, hseq
 }
 
 // Signal unblocks at least one thread waiting on c, if any thread is; it
@@ -236,6 +266,9 @@ func (c *Condition) Signal() {
 			break
 		}
 		w := n.Value
+		if mg := w.morphGate; mg != nil && c.morph(w, mg) {
+			return
+		}
 		// Claim under the Nub lock: a popped waiter's episode cannot end
 		// (its alerted path must reacquire this lock to leave c) before
 		// the claim resolves, so the claim addresses the right episode.
@@ -250,6 +283,46 @@ func (c *Condition) Signal() {
 		statInc(statSignalRepop)
 	}
 	c.nub.Unlock()
+}
+
+// morph is Signal's wait morphing: instead of waking the popped waiter —
+// which would run only to block again on the mutex — move its node
+// straight onto the mutex gate's queue and let the eventual Release wake
+// it (or hand it the mutex directly). One park/wake round trip per
+// signaled waiter disappears, and the thundering re-acquisition herd after
+// a burst of Signals with it.
+//
+// Called with c.nub held, and returns with it released when the morph
+// succeeds (true). The nesting c.nub → mg.nub is the only spin-lock
+// nesting in the package and nothing acquires in the other order.
+//
+// The spec face is untouched: a morphed waiter is still, abstractly, a
+// member of c until its Resume; its Resume event is emitted at the
+// reacquiring CAS (or with the hand-off's certified stamp) as for any
+// woken waiter, and the thin-air check is satisfied by the Signal stamped
+// above. Only plain Waits morph (block sets morphGate only when t == nil),
+// so the waiter on the mutex queue is unclaimed and cannot be raced by
+// Alert; the gate pops it like any Acquire waiter.
+func (c *Condition) morph(w *waiter, mg *gate) bool {
+	mg.nub.Lock()
+	mg.q.Push(&w.node)
+	mg.qlen.Add(1)
+	if !mg.locked() {
+		// The mutex is free: no future Release is obliged to pop the
+		// queue, and a parked waiter nobody wakes is a deadlock. Back
+		// out and wake it the ordinary way. (If a releaser cleared the
+		// bit after our push, its qlen check — a sequentially consistent
+		// load after its clearing store — sees our increment and enters
+		// releaseNub, so the node is never stranded in the window.)
+		mg.q.Remove(&w.node)
+		mg.qlen.Add(-1)
+		mg.nub.Unlock()
+		return false
+	}
+	mg.nub.Unlock()
+	c.nub.Unlock()
+	statInc(statSignalMorph)
+	return true
 }
 
 // Broadcast unblocks all threads waiting on c. Broadcast is necessary (for
@@ -320,7 +393,7 @@ func (c *Condition) AlertWait(m *Mutex) error {
 	c.committed.Add(1)
 	if traceOn.Load() {
 		i, mObj, cObj := c.enqueueTraced(m, t)
-		reason := c.block(i, t)
+		reason, _ := c.block(i, t, nil)
 		c.committed.Add(-1)
 		if reason == reasonAlert {
 			// AlertResume's RAISES case is stamped in the alerts domain
@@ -342,7 +415,7 @@ func (c *Condition) AlertWait(m *Mutex) error {
 	}
 	i := c.ec.Read()
 	m.Release() //threadsvet:ignore lockpair: AlertWait itself: releases the caller-held mutex before blocking (paper, AlertWait(m, c))
-	reason := c.block(i, t)
+	reason, _ := c.block(i, t, nil)
 	c.committed.Add(-1)
 	m.Acquire() //threadsvet:ignore lockpair: AlertWait itself: reacquire on resumption; the caller holds m across AlertWait
 	if reason == reasonAlert {

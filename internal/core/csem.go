@@ -1,0 +1,195 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// CountingSemaphore is the counting generalization of Semaphore, built for
+// core-count scaling (extension; the paper's Semaphore is binary). The
+// abstract state is a single token count:
+//
+//	ATOMIC PROCEDURE P(VAR s: CountingSemaphore)
+//	  MODIFIES AT MOST [s]   WHEN s > 0   ENSURES s' = s - 1
+//
+//	ATOMIC PROCEDURE V(VAR s: CountingSemaphore)
+//	  MODIFIES AT MOST [s]   ENSURES s' = s + 1
+//
+// A single shared counter satisfies that specification and becomes the
+// scalability wall: every P and V bounces one cache line between all
+// processors. The representation here shards the count into per-core
+// cache-line-padded cells; an uncontended P/V pair touches only the
+// caller's cell, so disjoint cores proceed with no coherence traffic at
+// all. The specification face is unchanged — only the sum of the cells is
+// abstract state, and every operation moves it by exactly one.
+//
+// The fast P is optimistic: fetch-and-add -1 on the caller's cell and keep
+// the token if the result is non-negative. A negative result means the
+// cell had no token; the debt is repaired (+1) and the operation falls
+// back to the slow path, which serializes through an internal Mutex and
+// Condition — the package's own primitives, so the fallback inherits their
+// Nub discipline, their conformance tracing, and (when enabled) direct
+// hand-off on the internal mutex. The transient negative a repair leaves
+// visible cannot strand a token: the hider itself enters the serialized
+// slow path next, where it either takes the token it re-published or
+// leaves it for a signalled waiter (see TestCountingSemaphoreHiding).
+//
+// The V side is an unconditional fetch-and-add +1 followed by a
+// waiter-wakeup check. The check is one shared-line load, but the line is
+// written only when the slow path is entered — at saturation, not in the
+// scaling regime the sharding exists for.
+//
+// Unlike the binary Semaphore's V, CountingSemaphore.V may block briefly
+// (on the internal mutex, when waiters exist), so it must not be called
+// from interrupt routines; the binary Semaphore remains the primitive for
+// that (see Semaphore).
+type CountingSemaphore struct {
+	shards []csemShard
+	mask   uintptr
+	// waiters counts threads committed to the slow path; V consults it to
+	// skip the mutex entirely when nobody can be blocked. Incremented
+	// under m before the first slow-path scan (the Dekker ordering against
+	// V's token-store/waiters-load; see vSlow).
+	waiters  atomic.Int32
+	m        Mutex
+	nonEmpty Condition
+}
+
+// csemShard is one cache-line-padded cell of the token count. Cells may go
+// transiently negative (an optimistic P that found no token, before its
+// repair); the abstract count is the sum over cells of max(cell, 0) — a
+// negative cell is exactly balanced by its owner's in-flight repair.
+type csemShard struct {
+	tokens atomic.Int64
+	_      [cacheLineSize - 8]byte
+}
+
+// NewCountingSemaphore returns a counting semaphore holding tokens, with
+// one counter cell per processor (rounded up to a power of two).
+func NewCountingSemaphore(tokens int) *CountingSemaphore {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n <<= 1
+	}
+	return NewCountingSemaphoreShards(tokens, n)
+}
+
+// NewCountingSemaphoreShards is NewCountingSemaphore with an explicit cell
+// count (rounded up to a power of two), so tests can exercise multi-cell
+// migration and contention on a single-processor box.
+func NewCountingSemaphoreShards(tokens, shards int) *CountingSemaphore {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &CountingSemaphore{shards: make([]csemShard, n), mask: uintptr(n - 1)}
+	// Spread the initial tokens so the zero-contention fast path works
+	// from every cell immediately.
+	for i := 0; i < tokens; i++ {
+		c.shards[i&int(c.mask)].tokens.Add(1)
+	}
+	return c
+}
+
+// cell picks the caller's counter cell by the same thread-identity hash
+// the statistics shards use: the address of a stack variable, stable
+// within a goroutine and spread across them.
+func (c *CountingSemaphore) cell() *csemShard {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	return &c.shards[((p>>10)^(p>>16))&c.mask]
+}
+
+// P blocks until the semaphore's count is positive and decrements it.
+func (c *CountingSemaphore) P() {
+	s := c.cell()
+	if s.tokens.Add(-1) >= 0 {
+		return
+	}
+	s.tokens.Add(1) // repair the debt; the cell had nothing to give
+	c.pSlow()
+}
+
+// pSlow takes a token under the internal mutex: scan every cell, and if
+// all are empty wait for a V to signal. The scan itself still uses the
+// optimistic take — fast-path P's on other cells proceed untouched while
+// the slow path runs.
+func (c *CountingSemaphore) pSlow() {
+	c.m.Acquire()
+	c.waiters.Add(1)
+	for !c.takeAny() {
+		// The eventcount commitment inside Wait closes the window against
+		// signals racing this thread's failed scan (the wakeup-waiting
+		// race); the waiters counter above closes the wider one against
+		// V's skip-the-mutex fast path, because V stores its token before
+		// loading waiters (vSlow) while this thread stored waiters before
+		// scanning — one of the two must see the other.
+		c.nonEmpty.Wait(&c.m)
+	}
+	c.waiters.Add(-1)
+	c.m.Release()
+}
+
+// takeAny scans all cells for a token, optimistically. Callers hold c.m;
+// concurrent fast-path activity can make a cell transiently negative, in
+// which case the repair is that thread's obligation, not ours.
+func (c *CountingSemaphore) takeAny() bool {
+	for i := range c.shards {
+		s := &c.shards[i]
+		if s.tokens.Load() > 0 {
+			if s.tokens.Add(-1) >= 0 {
+				return true
+			}
+			s.tokens.Add(1)
+		}
+	}
+	return false
+}
+
+// TryP decrements the count if it is positive and reports whether it did.
+func (c *CountingSemaphore) TryP() bool {
+	s := c.cell()
+	if s.tokens.Add(-1) >= 0 {
+		return true
+	}
+	s.tokens.Add(1)
+	c.m.Acquire()
+	ok := c.takeAny()
+	c.m.Release()
+	return ok
+}
+
+// V increments the count and, if threads are blocked in P, wakes one.
+func (c *CountingSemaphore) V() {
+	c.cell().tokens.Add(1)
+	// Dekker against pSlow: our token store above is sequenced before this
+	// waiters load, and a slow-path P stores waiters before scanning the
+	// cells. If we miss its increment here, its scan sees our token; if
+	// its scan missed our token, we see its increment and signal.
+	if c.waiters.Load() != 0 {
+		c.vSlow()
+	}
+}
+
+func (c *CountingSemaphore) vSlow() {
+	c.m.Acquire()
+	c.nonEmpty.Signal()
+	c.m.Release()
+}
+
+// Tokens returns the current count (advisory: the sum over cells races
+// in-flight operations and may transiently undercount by in-flight
+// repairs).
+func (c *CountingSemaphore) Tokens() int64 {
+	var n int64
+	for i := range c.shards {
+		if t := c.shards[i].tokens.Load(); t > 0 {
+			n += t
+		}
+	}
+	return n
+}
+
+// Waiters returns the number of threads blocked in P (advisory).
+func (c *CountingSemaphore) Waiters() int { return int(c.waiters.Load()) }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCountingSemaphoreInit(t *testing.T) {
+	c := NewCountingSemaphoreShards(5, 4)
+	if got := c.Tokens(); got != 5 {
+		t.Fatalf("Tokens = %d after init with 5, want 5", got)
+	}
+	for i := 0; i < 5; i++ {
+		if !c.TryP() {
+			t.Fatalf("TryP %d failed with tokens remaining", i)
+		}
+	}
+	if c.TryP() {
+		t.Fatal("TryP succeeded on an empty semaphore")
+	}
+	c.V()
+	if !c.TryP() {
+		t.Fatal("TryP failed after V")
+	}
+}
+
+// TestCountingSemaphoreBound is the abstract-state check: with K initial
+// tokens, at most K threads may be between P and V at any instant, no
+// matter how the count is sharded or how threads migrate across cells.
+func TestCountingSemaphoreBound(t *testing.T) {
+	const (
+		tokens     = 3
+		goroutines = 8
+		iters      = 2000
+	)
+	for _, shards := range []int{1, 4} {
+		c := NewCountingSemaphoreShards(tokens, shards)
+		var inside, peak atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer wg.Done()
+				defer Detach()
+				for i := 0; i < iters; i++ {
+					c.P()
+					n := inside.Add(1)
+					if n > tokens {
+						t.Errorf("%d threads inside with %d tokens", n, tokens)
+					}
+					for p := peak.Load(); n > p && !peak.CompareAndSwap(p, n); p = peak.Load() {
+					}
+					yieldHeld(i) // overlap the held windows even on one P
+					inside.Add(-1)
+					c.V()
+				}
+			}()
+		}
+		wg.Wait()
+		if got := c.Tokens(); got != tokens {
+			t.Fatalf("shards=%d: Tokens = %d at quiescence, want %d", shards, got, tokens)
+		}
+		t.Logf("shards=%d: peak concurrency %d/%d", shards, peak.Load(), tokens)
+	}
+}
+
+// TestCountingSemaphoreBlocksAtZero pins the slow path end to end: a P on
+// an empty semaphore parks, and a V from another thread releases exactly
+// it.
+func TestCountingSemaphoreBlocksAtZero(t *testing.T) {
+	c := NewCountingSemaphoreShards(0, 2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer Detach()
+		c.P()
+	}()
+	for c.Waiters() == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("P returned on an empty semaphore")
+	default:
+	}
+	c.V()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("P never returned after V")
+	}
+	if got := c.Tokens(); got != 0 {
+		t.Fatalf("Tokens = %d after paired P/V, want 0", got)
+	}
+}
+
+// TestCountingSemaphoreMigration forces cross-cell traffic: every token
+// lives in cells the consumers' hash does not pick first, so P's fast path
+// misses, repairs, and the slow-path scan must find the token in a foreign
+// cell.
+func TestCountingSemaphoreMigration(t *testing.T) {
+	c := NewCountingSemaphoreShards(0, 8)
+	// Deposit tokens directly into specific cells, bypassing the V hash.
+	c.shards[3].tokens.Add(1)
+	c.shards[6].tokens.Add(1)
+	if !c.TryP() {
+		t.Fatal("TryP missed a token parked in a foreign cell")
+	}
+	c.P() // must find the second foreign token without blocking
+	if got := c.Tokens(); got != 0 {
+		t.Fatalf("Tokens = %d, want 0", got)
+	}
+}
+
+// TestCountingSemaphoreHiding hammers the transient-negative window: with
+// zero steady-state tokens and every P racing a V, optimistic decrements
+// constantly drive cells negative and repair them. The invariant is that
+// the hider's debt never eats a real token — every V admits exactly one P,
+// so the producer/consumer pairing below always drains.
+func TestCountingSemaphoreHiding(t *testing.T) {
+	const (
+		pairs = 4
+		iters = 2000
+	)
+	c := NewCountingSemaphoreShards(0, 2)
+	var wg sync.WaitGroup
+	wg.Add(2 * pairs)
+	for g := 0; g < pairs; g++ {
+		go func() {
+			defer wg.Done()
+			defer Detach()
+			for i := 0; i < iters; i++ {
+				c.V()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			defer Detach()
+			for i := 0; i < iters; i++ {
+				c.P()
+			}
+		}()
+	}
+	donec := make(chan struct{})
+	go func() { wg.Wait(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(60 * time.Second):
+		t.Fatal("P/V pairing deadlocked: a token was stranded or a wakeup lost")
+	}
+	if got := c.Tokens(); got != 0 {
+		t.Fatalf("Tokens = %d after balanced P/V traffic, want 0", got)
+	}
+}
+
+// TestCountingSemaphoreHandoffModes re-runs the bound check under each
+// hand-off policy: the slow path rides the internal Mutex/Condition, so
+// direct hand-off and wait morphing must preserve the token bound too.
+func TestCountingSemaphoreHandoffModes(t *testing.T) {
+	for _, mode := range []HandoffMode{HandoffOff, HandoffAlways} {
+		prev := SetHandoffMode(mode)
+		c := NewCountingSemaphoreShards(2, 2)
+		var inside atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(6)
+		for g := 0; g < 6; g++ {
+			go func() {
+				defer wg.Done()
+				defer Detach()
+				for i := 0; i < 1000; i++ {
+					c.P()
+					if n := inside.Add(1); n > 2 {
+						t.Errorf("mode %d: %d threads inside with 2 tokens", mode, n)
+					}
+					yieldHeld(i)
+					inside.Add(-1)
+					c.V()
+				}
+			}()
+		}
+		wg.Wait()
+		SetHandoffMode(prev)
+		if got := c.Tokens(); got != 2 {
+			t.Fatalf("mode %d: Tokens = %d at quiescence, want 2", mode, got)
+		}
+	}
+}

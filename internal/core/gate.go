@@ -35,21 +35,21 @@ const gateLockedBit = 1
 // semaphore action kinds.
 type gateStats struct {
 	fast, spin, nubEnter, backout, park statID
-	relFast, relNub                     statID
+	relFast, relNub, relHandoff         statID
 	tkRel                               TraceKind // Release or V
 }
 
 var mutexGateStats = gateStats{
 	fast: statAcquireFast, spin: statAcquireSpin, nubEnter: statAcquireNub,
 	backout: statAcquireBackout, park: statAcquirePark,
-	relFast: statReleaseFast, relNub: statReleaseNub,
+	relFast: statReleaseFast, relNub: statReleaseNub, relHandoff: statReleaseHandoff,
 	tkRel: TraceRelease,
 }
 
 var semGateStats = gateStats{
 	fast: statPFast, spin: statPSpin, nubEnter: statPNub,
 	backout: statPBackout, park: statPPark,
-	relFast: statVFast, relNub: statVNub,
+	relFast: statVFast, relNub: statVNub, relHandoff: statVHandoff,
 	tkRel: TraceV,
 }
 
@@ -106,6 +106,7 @@ func (g *gate) acquire(st *gateStats, tc traceCtx) {
 func (g *gate) acquireNub(st *gateStats, tc traceCtx) {
 	statInc(st.nubEnter)
 	w := getWaiter(nil)
+	w.parkStart = handoffNanos()
 	for {
 		g.nub.Lock()
 		g.q.Push(&w.node)
@@ -120,7 +121,9 @@ func (g *gate) acquireNub(st *gateStats, tc traceCtx) {
 		} else {
 			g.nub.Unlock()
 			statInc(st.park)
-			w.park()
+			if w.park() == reasonHandoff && g.finishHandoff(w, tc) {
+				return
+			}
 		}
 		if g.tryAcquire(tc) {
 			w.endEpisode()
@@ -136,6 +139,9 @@ func (g *gate) acquireNub(st *gateStats, tc traceCtx) {
 // Release/V event; the loop only retries when a concurrent transition
 // intervened (possible for semaphores, whose V has no REQUIRES clause).
 func (g *gate) release(st *gateStats, tc traceCtx) {
+	if g.qlen.Load() != 0 && g.releaseHandoff(st, tc) {
+		return
+	}
 	if tc.kind == TraceNone {
 		g.word.Store(0)
 	} else {
@@ -208,6 +214,111 @@ func (g *gate) releaseNub(st *gateStats) {
 	}
 }
 
+// releaseHandoff hands the gate directly to a queued waiter instead of
+// clearing the lock bit and letting the woken thread race barging
+// acquirers (see handoff.go for the policy). Returns true if the release
+// was consumed by a transfer; false sends the caller down the ordinary
+// clear-and-wake path.
+//
+// Untraced, the transfer touches the word not at all: the bit stays set
+// and ownership passes to the recipient on the wake's happens-before edge.
+// That requires the bit to BE set — the caller's token is what is being
+// gifted. For a mutex it always is (only the holder releases); for a
+// semaphore a V with the bit already clear has no token in hand, and
+// handing one off anyway would let a later P acquire the cleared word and
+// admit two threads on one token.
+//
+// Traced, the transfer must appear in the linearized trace as the release
+// followed immediately by the recipient's acquisition, with no event on
+// this gate in between. Two certified transitions arrange that: the first
+// CAS is the ordinary stamped release (seqR); the second CAS re-takes the
+// word for the recipient with a fresh stamp (seqA). The second CAS can
+// fail only if some other transition intervened (a barging acquirer's CAS,
+// a concurrent V) — exactly the case in which a pre-drawn stamp would have
+// replayed as an acquisition of an unavailable gate — and then the
+// transfer is demoted: the recipient wakes with handoffSeq 0 and retries
+// its test-and-set like any woken thread. Stamp order equals CAS order for
+// every certified transition (trace.go), so the replay sees
+// ... Release(seqR), Acquire(seqA) ... and stays clean.
+func (g *gate) releaseHandoff(st *gateStats, tc traceCtx) bool {
+	mode := HandoffMode(handoffMode.Load())
+	if mode == HandoffOff || !g.locked() {
+		return false
+	}
+	var cutoff int64
+	if mode == HandoffAdaptive {
+		cutoff = handoffNanos() - handoffStarveNs
+	}
+	g.nub.Lock()
+	if mode == HandoffAdaptive {
+		// Adaptive policy: hand off only once the queue's head has
+		// starved past the threshold. parkStart was written before the
+		// waiter was published to the queue, so reading it under the Nub
+		// lock is ordered; 0 means the head has not committed to parking
+		// yet and certainly is not starving.
+		n := g.q.Peek()
+		if n == nil || n.Value.parkStart == 0 || n.Value.parkStart > cutoff {
+			g.nub.Unlock()
+			return false
+		}
+	}
+	var w *waiter
+	for {
+		n := g.q.Pop()
+		if n == nil {
+			g.nub.Unlock()
+			return false
+		}
+		g.qlen.Add(-1)
+		w = n.Value
+		if w.claim(reasonHandoff) {
+			break
+		}
+		// Claimed by Alert after enqueueing; it no longer wants the gate.
+	}
+	g.nub.Unlock()
+	statInc(st.relHandoff)
+	if tc.kind == TraceNone {
+		w.handoffSeq = 0
+		w.wake()
+		return true
+	}
+	for {
+		old := g.word.Load()
+		seqR := nextTraceSeq()
+		if !g.word.CompareAndSwap(old, seqR<<1) {
+			continue
+		}
+		traceEmit(seqR, st.tkRel, tc.tid, traceObjID(&g.traceID), 0, false)
+		seqA := nextTraceSeq()
+		if g.word.CompareAndSwap(seqR<<1, seqA<<1|gateLockedBit) {
+			w.handoffSeq = seqA
+		} else {
+			w.handoffSeq = 0 // demoted: a concurrent transition intervened
+		}
+		w.wake()
+		return true
+	}
+}
+
+// finishHandoff completes a direct hand-off on the recipient side, after
+// its park returned reasonHandoff. Untraced, the gate is already ours (the
+// bit never cleared). Traced, a nonzero handoffSeq is the certified stamp
+// of our acquisition and we emit the event the winning CAS would have; a
+// zero handoffSeq is a demoted transfer and the caller must retry its
+// test-and-set (the episode is then left open for the retry loop).
+func (g *gate) finishHandoff(w *waiter, tc traceCtx) bool {
+	seq := w.handoffSeq
+	if tc.kind != TraceNone && seq == 0 {
+		return false
+	}
+	w.endEpisode()
+	if tc.kind != TraceNone {
+		traceEmit(seq, tc.kind, tc.tid, traceObjID(&g.traceID), tc.obj2, false)
+	}
+	return true
+}
+
 // alertableAcquire implements AlertP's blocking discipline: like acquire,
 // but the wait can be claimed by Alert(t), in which case the thread leaves
 // the queue and reports the alert instead of acquiring. tc carries the
@@ -228,6 +339,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 	}
 	statIncT(t, st.nubEnter)
 	w := getWaiter(t)
+	w.parkStart = handoffNanos()
 	for {
 		t.setAlertWaiter(w)
 		// A pending alert claims the wait immediately: the WHEN clause
@@ -278,6 +390,12 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 			g.nub.Unlock()
 			w.endEpisode()
 			return true
+		}
+		if reason == reasonHandoff && g.finishHandoff(w, tc) {
+			// A racing Alert that lost the claim stays pending for the
+			// next alertable point — the implementation chose RETURNS,
+			// as the fast path does.
+			return false
 		}
 		if g.tryAcquire(tc) {
 			w.endEpisode()

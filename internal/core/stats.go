@@ -19,6 +19,7 @@ type Stats struct {
 	AcquirePark    uint64 // Acquire descheduled the caller
 	ReleaseFast    uint64 // Release found the queue empty
 	ReleaseNub     uint64 // Release entered the Nub subroutine
+	ReleaseHandoff uint64 // Release handed the mutex directly to a waiter
 
 	PFast    uint64 // P satisfied inline
 	PSpin    uint64 // P satisfied during the bounded active spin
@@ -27,6 +28,7 @@ type Stats struct {
 	PPark    uint64 // P descheduled the caller
 	VFast    uint64 // V found the queue empty
 	VNub     uint64 // V entered the Nub
+	VHandoff uint64 // V handed the semaphore directly to a waiter
 
 	WaitCount   uint64 // Wait calls
 	WaitSpin    uint64 // Block satisfied during the bounded active spin
@@ -35,6 +37,7 @@ type Stats struct {
 	SignalFast  uint64 // Signal with no committed waiters: no Nub call
 	SignalNub   uint64 // Signal entered the Nub
 	SignalWoke  uint64 // Signal dequeued and woke a thread
+	SignalMorph uint64 // Signal morphed a waiter onto the mutex queue instead of waking it
 	SignalRepop uint64 // Signal re-popped after losing a claim race to Alert
 	BcastFast   uint64 // Broadcast with no committed waiters
 	BcastNub    uint64 // Broadcast entered the Nub
@@ -58,6 +61,7 @@ const (
 	statAcquirePark
 	statReleaseFast
 	statReleaseNub
+	statReleaseHandoff
 	statPFast
 	statPSpin
 	statPNub
@@ -65,6 +69,7 @@ const (
 	statPPark
 	statVFast
 	statVNub
+	statVHandoff
 	statWaitCount
 	statWaitSpin
 	statWaitElided
@@ -72,6 +77,7 @@ const (
 	statSignalFast
 	statSignalNub
 	statSignalWoke
+	statSignalMorph
 	statSignalRepop
 	statBcastFast
 	statBcastNub
@@ -182,6 +188,7 @@ func SnapshotStats() Stats {
 		AcquirePark:    c[statAcquirePark],
 		ReleaseFast:    c[statReleaseFast],
 		ReleaseNub:     c[statReleaseNub],
+		ReleaseHandoff: c[statReleaseHandoff],
 		PFast:          c[statPFast],
 		PSpin:          c[statPSpin],
 		PNub:           c[statPNub],
@@ -189,6 +196,7 @@ func SnapshotStats() Stats {
 		PPark:          c[statPPark],
 		VFast:          c[statVFast],
 		VNub:           c[statVNub],
+		VHandoff:       c[statVHandoff],
 		WaitCount:      c[statWaitCount],
 		WaitSpin:       c[statWaitSpin],
 		WaitElided:     c[statWaitElided],
@@ -196,6 +204,7 @@ func SnapshotStats() Stats {
 		SignalFast:     c[statSignalFast],
 		SignalNub:      c[statSignalNub],
 		SignalWoke:     c[statSignalWoke],
+		SignalMorph:    c[statSignalMorph],
 		SignalRepop:    c[statSignalRepop],
 		BcastFast:      c[statBcastFast],
 		BcastNub:       c[statBcastNub],

@@ -75,9 +75,9 @@ func TestStatsCrossCounterInvariantsAtQuiescence(t *testing.T) {
 		t.Errorf("backout(%d)+park(%d) < nub entries(%d): a Nub round resolved without an outcome",
 			s.AcquireBackout, s.AcquirePark, s.AcquireNub)
 	}
-	if s.ReleaseFast+s.ReleaseNub < uint64(goroutines*iters) {
-		t.Errorf("releases fast(%d)+nub(%d) < %d completed Releases",
-			s.ReleaseFast, s.ReleaseNub, goroutines*iters)
+	if s.ReleaseFast+s.ReleaseNub+s.ReleaseHandoff < uint64(goroutines*iters) {
+		t.Errorf("releases fast(%d)+nub(%d)+handoff(%d) < %d completed Releases",
+			s.ReleaseFast, s.ReleaseNub, s.ReleaseHandoff, goroutines*iters)
 	}
 	if s.WaitSpin+s.WaitElided+s.WaitPark != s.WaitCount {
 		t.Errorf("wait outcomes spin(%d)+elided(%d)+park(%d) != WaitCount(%d)",

@@ -73,9 +73,9 @@ var threadIDs atomic.Uint64
 const registryShards = 64
 
 type registryShard struct {
-	lock spinlock.Lock
+	lock spinlock.Lock // 32 bytes (bit+contention+MCS tail+holder)
 	m    map[uint64]*Thread
-	_    [40]byte // keep shards on separate cache lines
+	_    [24]byte // round to 64: keep shards on separate cache lines
 }
 
 var registry [registryShards]*registryShard

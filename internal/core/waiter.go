@@ -19,6 +19,13 @@ const (
 	reasonNone  uint64 = iota
 	reasonWake         // Release, V, Signal or Broadcast
 	reasonAlert        // Alert
+	// reasonHandoff is a direct hand-off: the releaser transferred
+	// ownership of its gate to this waiter instead of clearing the lock
+	// bit, so the woken thread returns holding without retrying its
+	// test-and-set. (A traced hand-off whose certification failed is
+	// demoted: the claim still reads reasonHandoff but handoffSeq is 0
+	// and the recipient retries like a plain wake; see gate.releaseHandoff.)
+	reasonHandoff
 )
 
 const (
@@ -56,6 +63,22 @@ type waiter struct {
 	// pooled marks waiters owned by waiterPool rather than cached on a
 	// Thread; endEpisode returns only those to the pool.
 	pooled bool
+	// parkStart records when this episode committed to the slow path
+	// (handoffNanos units); 0 until then. releaseHandoff reads it under
+	// the gate's Nub lock to apply the adaptive starvation threshold; it
+	// is always written before the waiter is published to a queue, so the
+	// queue's lock ordering makes the plain field race-free.
+	parkStart int64
+	// handoffSeq carries the certified acquisition stamp of a traced
+	// direct hand-off to the recipient (0 for an untraced hand-off, or a
+	// demoted one). Written by the releaser before wake, read by the
+	// recipient after park: ordered by the parking channel.
+	handoffSeq uint64
+	// morphGate, non-nil on a condition-queue waiter, names the mutex
+	// gate Signal may morph this waiter onto instead of waking it (wait
+	// morphing; see Condition.Signal). Set before the push onto the
+	// condition queue, read under the condition's Nub lock.
+	morphGate *gate
 }
 
 func newWaiter() *waiter {
@@ -82,6 +105,9 @@ func getWaiter(t *Thread) *waiter {
 		w = waiterPool.Get().(*waiter)
 	}
 	w.begin()
+	w.parkStart = 0
+	w.handoffSeq = 0
+	w.morphGate = nil
 	return w
 }
 

@@ -51,12 +51,24 @@ func (g *gate) acquireSlow(e *sim.Env, reason string, onAcquired func()) {
 			}
 			w.nubUnlock(e)
 		} else {
+			// Stash the acquisition action so a direct hand-off can emit it
+			// in the releaser's slice; must precede the unlock, since a
+			// releaser may pop us the instant the spin lock drops.
+			st.handoffEmit = onAcquired
 			w.nubUnlock(e)
 			w.Stats.AcquirePark++
 			e.Deschedule(reason)
 			// The releaser dequeued us before the wakeup; consume the
 			// claim and retry.
+			woke := st.wakeup
 			st.wakeup = wakeNone
+			st.handoffEmit = nil
+			if woke == wakeHandoff {
+				// The releaser transferred the gate: the lock bit was never
+				// cleared and our acquisition is already emitted. Nothing
+				// left to retry.
+				return
+			}
 		}
 		if g.tryAcquire(e, onAcquired) {
 			return
@@ -97,6 +109,7 @@ func (g *gate) alertableAcquireSlow(e *sim.Env, reason string, onAcquired, onAle
 			}
 			continue
 		}
+		st.handoffEmit = onAcquired
 		w.nubUnlock(e)
 		e.Deschedule(reason)
 		// Woken: find out by whom, under the spin lock.
@@ -104,6 +117,11 @@ func (g *gate) alertableAcquireSlow(e *sim.Env, reason string, onAcquired, onAle
 		woke := st.wakeup
 		st.wakeup = wakeNone
 		st.alertTgt = nil
+		st.handoffEmit = nil
+		if woke == wakeHandoff {
+			w.nubUnlock(e)
+			return false
+		}
 		if woke == wakeAlert {
 			// Leave the queue before reporting the alert, so a later V
 			// is not absorbed by this departed thread.
@@ -127,6 +145,9 @@ func (g *gate) alertableAcquireSlow(e *sim.Env, reason string, onAcquired, onAle
 // instruction), test whether the queue is non-empty (1), branch (1) — and
 // only then call the Nub. onReleased runs at the clearing store.
 func (g *gate) release(e *sim.Env, onReleased func()) (tookNub bool) {
+	if g.w.opts.DirectHandoff && e.Load(&g.qne) != 0 && g.releaseHandoffSlow(e, onReleased) {
+		return true
+	}
 	e.Store(&g.lockBit, 0)
 	if onReleased != nil {
 		onReleased()
@@ -165,4 +186,51 @@ func (g *gate) releaseSlow(e *sim.Env) {
 		// it to the next thread.
 	}
 	w.nubUnlock(e)
+}
+
+// releaseHandoffSlow is the direct hand-off variant of releaseSlow: instead
+// of clearing the lock bit and letting the woken thread race barging
+// acquirers, transfer the gate to a queued waiter with the bit still set.
+// Both linearization points — the release and the recipient's acquisition —
+// are emitted here, back to back in the releaser's slice, because the
+// transfer makes them adjacent in the abstract state: no concurrently
+// scheduled operation on this gate can fall between them. Returns false
+// (emitting nothing) if no eligible waiter exists or the bit is already
+// clear (a semaphore V with no token in hand cannot gift one); the caller
+// then runs the ordinary clear-and-wake protocol.
+func (g *gate) releaseHandoffSlow(e *sim.Env, onReleased func()) bool {
+	w := g.w
+	e.Work(callCost)
+	w.nubLock(e)
+	if e.Load(&g.lockBit) == 0 {
+		w.nubUnlock(e)
+		return false
+	}
+	for {
+		t := g.q.pop(e)
+		if t == nil {
+			e.Store(&g.qne, 0)
+			w.nubUnlock(e)
+			return false
+		}
+		if g.q.empty() {
+			e.Store(&g.qne, 0)
+		}
+		st := w.state(t)
+		if st.wakeup == wakeNone {
+			if onReleased != nil {
+				onReleased()
+			}
+			if st.handoffEmit != nil {
+				st.handoffEmit()
+				st.handoffEmit = nil
+			}
+			st.wakeup = wakeHandoff
+			e.MakeReady(t)
+			w.nubUnlock(e)
+			w.Stats.ReleaseHandoff++
+			return true
+		}
+		// Already claimed by Alert; it no longer wants the gate.
+	}
 }

@@ -27,6 +27,14 @@ type WorldOptions struct {
 	// points. Leave it off for performance experiments: awaits are not
 	// charged the spin instructions.
 	NubAwait bool
+	// DirectHandoff makes Release/V transfer the gate straight to a queued
+	// waiter (lock bit never cleared) instead of the paper's clear-and-wake
+	// protocol — the same fairness fix internal/core ships (see
+	// core.HandoffMode). The simulated form is unconditional (no adaptive
+	// threshold: the simulator has no starvation clock) and applies only to
+	// the fast-path release; the NoUserFastPath ablation composes with it
+	// by simply never reaching the hand-off.
+	DirectHandoff bool
 	// BuggyAlertSeize reintroduces, at the implementation level, the bug
 	// the first released specification permitted (spec.VariantNoMNil):
 	// AlertWait's Raise path returns without waiting for the mutex to be

@@ -119,3 +119,42 @@ func TestAblationSemaphoreNubOnly(t *testing.T) {
 		t.Fatalf("handled %d, want 5", handled)
 	}
 }
+
+// TestDirectHandoffTransfersAndStaysCorrect: with DirectHandoff on, a
+// contended world must resolve some releases by transfer (the stat guards
+// the option against silently becoming a no-op) while mutual exclusion and
+// the final count stay intact across random schedules.
+func TestDirectHandoffTransfersAndStaysCorrect(t *testing.T) {
+	var handoffs uint64
+	for seed := int64(0); seed < 20; seed++ {
+		w, k := NewWorldOpts(sim.Config{
+			Procs: 4, Seed: seed, Policy: sim.PolicyRandom, MaxSteps: 2_000_000,
+		}, WorldOptions{DirectHandoff: true})
+		m := w.NewMutex()
+		var counter, inside, overlap sim.Word
+		for i := 0; i < 4; i++ {
+			k.Spawn("", func(e *sim.Env) {
+				for n := 0; n < 25; n++ {
+					m.Acquire(e)
+					if v := e.Add(&inside, 1); v != 1 {
+						e.Add(&overlap, 1)
+					}
+					e.Add(&counter, 1)
+					e.Add(&inside, ^uint64(0))
+					m.Release(e)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if overlap.Peek() != 0 || counter.Peek() != 100 {
+			t.Fatalf("seed %d: overlap=%d counter=%d", seed, overlap.Peek(), counter.Peek())
+		}
+		handoffs += w.Stats.ReleaseHandoff
+	}
+	if handoffs == 0 {
+		t.Fatal("no release ever handed off across 20 contended random schedules")
+	}
+	t.Logf("%d hand-offs across 20 seeds", handoffs)
+}

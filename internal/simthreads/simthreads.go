@@ -72,6 +72,7 @@ type Kernel = sim.Kernel
 type Stats struct {
 	AcquireFast, AcquireNub, AcquirePark uint64
 	ReleaseFast, ReleaseNub              uint64
+	ReleaseHandoff                       uint64
 	WaitElided, WaitPark                 uint64
 	SignalFast, SignalNub, SignalWoke    uint64
 	BcastFast, BcastNub, BcastWoke       uint64
@@ -85,6 +86,14 @@ type tstate struct {
 	alerted  bool
 	wakeup   wakeReason
 	alertTgt *alertTarget // non-nil while blocked alertably
+	// handoffEmit is the blocked acquisition's linearization-point action,
+	// stashed (under the Nub spin lock, before descheduling) so a direct
+	// hand-off can run it in the RELEASER's slice: the release and the
+	// recipient's acquisition are then adjacent in the emitted history,
+	// exactly as the transfer makes them adjacent in the abstract state.
+	// Emitting at the recipient's wakeup instead would let a concurrent
+	// V+P pair overtake the recorded order and fail conformance.
+	handoffEmit func()
 }
 
 type wakeReason int
@@ -93,6 +102,7 @@ const (
 	wakeNone     wakeReason = iota
 	wakeTransfer            // woken by Release/V/Signal/Broadcast
 	wakeAlert               // woken by Alert
+	wakeHandoff             // woken holding: the releaser transferred the gate
 )
 
 // alertTarget records where an alertably-blocked thread can be found so

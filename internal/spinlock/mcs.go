@@ -1,0 +1,119 @@
+package spinlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Queued-lock mode. The paper's spin lock is a single globally shared bit,
+// and under heavy contention that bit becomes a cache-line storm: every
+// waiter's test-and-set invalidates every other waiter's copy of the line,
+// and the hand-off goes to whichever processor wins the next bus
+// transaction — unbounded unfairness (the process-algebra analysis of
+// mutual exclusion by signals makes the same observation abstractly). The
+// MCS lock (Mellor-Crummey & Scott) fixes both: each waiter spins on a flag
+// in its own queue node, so the only cross-processor traffic is the single
+// hand-off store, and waiters are served in strict arrival (FIFO) order.
+//
+// The mode is selected for the whole package: the Nub's spin locks (gate,
+// condition, thread registry) all share the choice, exactly as the paper's
+// single lock discipline would. MCS was chosen over CLH because an MCS
+// Unlock with no successor restores tail to nil, which keeps TryLock a
+// single compare-and-swap; a CLH TryLock must install a fresh node and
+// leaves the old tail reachable, an ABA hazard under node reuse.
+
+// queued selects the MCS algorithm for all Locks. It must only be toggled
+// while every Lock is quiescent (no holder, no waiter): the two algorithms
+// use disjoint state, so a lock acquired in one mode must be released
+// before the mode changes. Unlock itself dispatches on how the lock was
+// acquired, so a release in flight across the toggle stays correct.
+var queued atomic.Bool
+
+// SetQueued selects (true) or deselects (false) the MCS queued lock for
+// every Lock in the process and returns the previous setting. Callers must
+// quiesce all locks first; the intended use is configuration at startup
+// (threadsbench -nublock=mcs) or between benchmark phases.
+func SetQueued(on bool) bool { return queued.Swap(on) }
+
+// Queued reports whether the MCS queued mode is selected.
+func Queued() bool { return queued.Load() }
+
+// qnode is one waiter's private spin flag plus the queue link. Nodes are
+// cache-line padded so two waiters never spin on the same line — the whole
+// point of the queued lock.
+type qnode struct {
+	next   atomic.Pointer[qnode]
+	locked atomic.Uint32
+	_      [64 - 8 - 4]byte
+}
+
+var qnodePool = sync.Pool{New: func() any { return new(qnode) }}
+
+// lockMCS acquires the lock by appending a node to the tail and spinning on
+// the node's private flag until the predecessor hands off.
+func (l *Lock) lockMCS() {
+	n := qnodePool.Get().(*qnode)
+	n.next.Store(nil)
+	n.locked.Store(1)
+	prev := l.tail.Swap(n)
+	if prev != nil {
+		l.contention.Add(1)
+		prev.next.Store(n)
+		spins := 0
+		for n.locked.Load() != 0 {
+			// Local spinning: this flag lives in our own node's cache
+			// line; the only writer is the predecessor's hand-off store.
+			// The yield escalation mirrors the TAS loop — on the Go
+			// runtime the predecessor may be descheduled, and strict FIFO
+			// hand-off makes waiting for it mandatory.
+			spins++
+			if spins > activeSpin {
+				runtime.Gosched()
+			} else {
+				Pause(pauseIters)
+			}
+		}
+	}
+	l.holder = n
+}
+
+// tryLockMCS acquires only if the queue is empty. Unlock restores tail to
+// nil when there is no successor, so an empty queue really is the unlocked
+// state (this is what MCS has over CLH).
+func (l *Lock) tryLockMCS() bool {
+	n := qnodePool.Get().(*qnode)
+	n.next.Store(nil)
+	n.locked.Store(1)
+	if l.tail.CompareAndSwap(nil, n) {
+		l.holder = n
+		return true
+	}
+	qnodePool.Put(n)
+	return false
+}
+
+// unlockMCS hands the lock to the successor, or restores tail to nil if
+// none. The holder's node returns to the pool only once no other processor
+// can reach it: after the tail CAS succeeds (nobody saw the node), or after
+// the successor link is read (the successor's last touch of our node was
+// writing that link).
+func (l *Lock) unlockMCS(n *qnode) {
+	next := n.next.Load()
+	if next == nil {
+		if l.tail.CompareAndSwap(n, nil) {
+			qnodePool.Put(n)
+			return
+		}
+		// A waiter swapped itself onto the tail but has not linked yet;
+		// the link write is a few instructions away.
+		for {
+			if next = n.next.Load(); next != nil {
+				break
+			}
+			Pause(pauseIters)
+		}
+	}
+	next.locked.Store(0)
+	qnodePool.Put(n)
+}
