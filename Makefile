@@ -57,11 +57,20 @@ lint: threadsvet
 # explore is the CI-sized schedule-space sweep: every litmus program,
 # all schedules with at most EXPLORE_K preemptions, hard wall-clock cap.
 # Failing schedules are written to $(CERT_DIR) as replayable certificates.
+# EXPLORE_POR toggles sleep-set reduction, EXPLORE_WORKERS sizes the
+# parallel frontier, and a non-empty EXPLORE_STATECACHE names a directory
+# of persistent fingerprint snapshots to resume from (the nightly job
+# caches it across runs).
 EXPLORE_K ?= 1
 EXPLORE_BUDGET ?= 90s
+EXPLORE_POR ?= sleepsets
+EXPLORE_WORKERS ?= $(shell nproc 2>/dev/null || echo 2)
+EXPLORE_STATECACHE ?=
 CERT_DIR ?= certs
 explore:
-	$(GO) run ./cmd/threadsim -explore -maxk $(EXPLORE_K) -budget $(EXPLORE_BUDGET) -cert $(CERT_DIR)
+	$(GO) run ./cmd/threadsim -explore -maxk $(EXPLORE_K) -budget $(EXPLORE_BUDGET) \
+		-por $(EXPLORE_POR) -workers $(EXPLORE_WORKERS) \
+		$(if $(EXPLORE_STATECACHE),-statecache $(EXPLORE_STATECACHE)) -cert $(CERT_DIR)
 
 # fuzz samples weighted-random schedules beyond the exhaustive bound.
 FUZZ_RUNS ?= 2000

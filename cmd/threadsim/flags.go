@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -64,32 +65,38 @@ type config struct {
 	replayPath string
 
 	// Explore / fuzz modes.
-	litmus  string // registry name, or "all"
-	maxK    int
-	budget  time.Duration
-	runs    int
-	certDir string
+	litmus     string // registry name, or "all"
+	maxK       int
+	budget     time.Duration
+	runs       int
+	certDir    string
+	por        string // off or sleepsets
+	workers    int
+	stateCache string // directory for fingerprint snapshots
 }
 
 // flagOwner maps each flag to the only modes allowed to set it.
 var flagOwner = map[string][]mode{
-	"workload":  {modeWorkload},
-	"threads":   {modeWorkload},
-	"iters":     {modeWorkload},
-	"cswork":    {modeWorkload},
-	"think":     {modeWorkload},
-	"producers": {modeWorkload},
-	"consumers": {modeWorkload},
-	"items":     {modeWorkload},
-	"capacity":  {modeWorkload},
-	"procs":     {modeWorkload, modeTrace},
-	"seed":      {modeWorkload, modeTrace, modeFuzz},
-	"record":    {modeTrace},
-	"litmus":    {modeExplore, modeFuzz},
-	"budget":    {modeExplore, modeFuzz},
-	"cert":      {modeExplore, modeFuzz},
-	"maxk":      {modeExplore},
-	"runs":      {modeFuzz},
+	"workload":   {modeWorkload},
+	"threads":    {modeWorkload},
+	"iters":      {modeWorkload},
+	"cswork":     {modeWorkload},
+	"think":      {modeWorkload},
+	"producers":  {modeWorkload},
+	"consumers":  {modeWorkload},
+	"items":      {modeWorkload},
+	"capacity":   {modeWorkload},
+	"procs":      {modeWorkload, modeTrace},
+	"seed":       {modeWorkload, modeTrace, modeFuzz},
+	"record":     {modeTrace},
+	"litmus":     {modeExplore, modeFuzz},
+	"budget":     {modeExplore, modeFuzz},
+	"cert":       {modeExplore, modeFuzz},
+	"maxk":       {modeExplore},
+	"por":        {modeExplore},
+	"workers":    {modeExplore},
+	"statecache": {modeExplore},
+	"runs":       {modeFuzz},
 }
 
 // contentionOnly / prodconsOnly split the workload flags by workload.
@@ -127,6 +134,9 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	fs.DurationVar(&c.budget, "budget", 0, "wall-clock budget for -explore/-fuzz (0 = none)")
 	fs.IntVar(&c.runs, "runs", 2000, "schedules to sample per litmus (-fuzz)")
 	fs.StringVar(&c.certDir, "cert", "", "directory to write failing schedule certificates to (-explore/-fuzz)")
+	fs.StringVar(&c.por, "por", "sleepsets", "partial-order reduction for -explore: off or sleepsets")
+	fs.IntVar(&c.workers, "workers", runtime.GOMAXPROCS(0), "parallel exploration workers (-explore); 1 = serial")
+	fs.StringVar(&c.stateCache, "statecache", "", "directory for state-fingerprint snapshots (-explore): resume pruning across runs")
 
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -209,6 +219,14 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 		}
 		if c.mode == modeExplore && c.maxK < 0 {
 			return nil, fmt.Errorf("-maxk must be nonnegative")
+		}
+		if c.mode == modeExplore {
+			if c.por != "off" && c.por != "sleepsets" {
+				return nil, fmt.Errorf("-por must be off or sleepsets, not %q", c.por)
+			}
+			if c.workers < 1 {
+				return nil, fmt.Errorf("-workers must be at least 1")
+			}
 		}
 		if c.mode == modeFuzz && c.runs < 1 && c.budget <= 0 {
 			return nil, fmt.Errorf("-fuzz needs -runs or -budget")

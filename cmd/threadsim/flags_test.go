@@ -68,6 +68,11 @@ func TestParseRejectsCrossModeFlags(t *testing.T) {
 		{[]string{"-trace", "-replay", "x"}, "mutually exclusive"},
 		{[]string{"-explore", "-litmus", "nosuch"}, "unknown litmus"},
 		{[]string{"-explore", "-maxk", "-1"}, "-maxk must be nonnegative"},
+		{[]string{"-por", "off"}, "-por cannot be used with -workload"},
+		{[]string{"-fuzz", "-workers", "2"}, "-workers cannot be used with -fuzz"},
+		{[]string{"-trace", "-statecache", "d"}, "-statecache cannot be used with -trace"},
+		{[]string{"-explore", "-por", "nosuch"}, "-por must be off or sleepsets"},
+		{[]string{"-explore", "-workers", "0"}, "-workers must be at least 1"},
 		{[]string{"-fuzz", "-runs", "0"}, "-fuzz needs -runs or -budget"},
 		{[]string{"-procs", "0"}, "-procs must be at least 1"},
 		{[]string{"extra"}, "unexpected arguments"},
@@ -100,11 +105,18 @@ func TestParseSharedFlagsStayLegal(t *testing.T) {
 }
 
 func TestParseExploreValues(t *testing.T) {
-	c, err := parse(t, "-explore", "-maxk", "3", "-litmus", "prodcons", "-budget", "2m", "-cert", "certs")
+	c, err := parse(t, "-explore", "-maxk", "3", "-litmus", "prodcons", "-budget", "2m", "-cert", "certs",
+		"-por", "off", "-workers", "2", "-statecache", "cachedir")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.maxK != 3 || c.litmus != "prodcons" || c.budget != 2*time.Minute || c.certDir != "certs" {
 		t.Fatalf("parsed %+v", c)
+	}
+	if c.por != "off" || c.workers != 2 || c.stateCache != "cachedir" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if d, err := parse(t, "-explore"); err != nil || d.por != "sleepsets" || d.workers < 1 {
+		t.Fatalf("explore defaults: %+v, %v", d, err)
 	}
 }

@@ -97,12 +97,33 @@ func runExplore(c *config) int {
 	if c.budget > 0 {
 		deadline = time.Now().Add(c.budget)
 	}
+	por := explore.POROff
+	if c.por == "sleepsets" {
+		por = explore.PORSleepSets
+	}
 	fail := 0
 	for i, lit := range lits {
-		rep := explore.Explore(lit, explore.Options{
+		opts := explore.Options{
 			MaxPreemptions: c.maxK,
 			Budget:         remaining(deadline, len(lits)-i),
-		})
+			POR:            por,
+			Workers:        c.workers,
+		}
+		if c.stateCache != "" {
+			cache, err := explore.LoadStateCache(explore.CachePath(c.stateCache, lit.Name), lit.Name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "threadsim:", err)
+				return 1
+			}
+			opts.Cache = cache
+		}
+		rep := explore.Explore(lit, opts)
+		if opts.Cache != nil {
+			if err := opts.Cache.Save(explore.CachePath(c.stateCache, lit.Name), lit.Name); err != nil {
+				fmt.Fprintln(os.Stderr, "threadsim:", err)
+				return 1
+			}
+		}
 		status := "ok"
 		if !rep.Ok() {
 			status = "FAIL"
@@ -112,10 +133,18 @@ func runExplore(c *config) int {
 		fmt.Printf("%-14s %-4s %7d schedules, %9d decisions, %8.0f sched/s, %v\n",
 			lit.Name, status, rep.Runs, rep.Decisions, rate, rep.Elapsed.Round(time.Millisecond))
 		for _, ks := range rep.PerK {
-			fmt.Printf("    k=%d: %6d schedules, deepest %d decision points\n", ks.K, ks.Schedules, ks.MaxDepth)
+			fmt.Printf("    k=%d: %6d schedules, deepest %d decision points, %d pruned, %d cache hits\n",
+				ks.K, ks.Schedules, ks.MaxDepth, ks.Pruned, ks.CacheHits)
 		}
-		if rep.Partial {
-			fmt.Printf("    partial: budget exhausted before the space\n")
+		if rep.Pruned > 0 || opts.Cache != nil || rep.Workers > 1 {
+			fmt.Printf("    por pruned %d, cache hits %d (loaded %d, now %d entries), %d workers\n",
+				rep.Pruned, rep.CacheHits, rep.CacheLoaded, rep.CacheEntries, rep.Workers)
+		}
+		if rep.BudgetHit {
+			fmt.Printf("    partial: wall-clock budget exhausted before the space\n")
+		}
+		if rep.SchedCapHit {
+			fmt.Printf("    partial: per-bound schedule cap hit before the space\n")
 		}
 		if rep.Violation != nil {
 			fmt.Printf("    violation (%s): %s\n", rep.Violation.Kind, rep.Violation.Detail)

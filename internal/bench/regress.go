@@ -10,7 +10,9 @@ import (
 	"runtime"
 	"time"
 
+	"threads/internal/checker"
 	"threads/internal/core"
+	"threads/internal/explore"
 	"threads/internal/sim"
 	"threads/internal/simthreads"
 	"threads/internal/workload"
@@ -188,6 +190,26 @@ func CollectRegressionMetrics(quick bool) Baseline {
 	ns, allocs = timeAndAllocs(alertTotal, func(n int) { RunAlertPStorm(8, n) })
 	add("e13.alertp8_ns_per_op", ns, "lower", false, 0)
 	add("e13.alertp8_allocs_per_op", allocs, "lower", true, 0.10)
+
+	// E17: schedule-exploration throughput and the sleep-set reduction's
+	// pruning fraction, on the mutex litmus at k<=2 with POR on (serial,
+	// no cache, so the run is exactly deterministic). The prune fraction
+	// is a pure function of the decision tree and the independence
+	// relation — stable across machines; throughput is wall-clock and
+	// enforced only with -timed.
+	mlit := checker.LitmusByName("mutex")
+	expStart := time.Now()
+	expRep := explore.Explore(mlit, explore.Options{MaxPreemptions: 2, POR: explore.PORSleepSets})
+	expElapsed := time.Since(expStart).Seconds()
+	if expRep.Violation != nil || expRep.Partial {
+		panic(fmt.Sprintf("mutex exploration did not complete cleanly: %+v", expRep))
+	}
+	sched := 0
+	for _, ks := range expRep.PerK {
+		sched += ks.Schedules
+	}
+	add("e17.explore_sched_per_sec", float64(sched)/expElapsed, "higher", false, 0)
+	add("e17.por_prune_frac", float64(expRep.Pruned)/float64(sched+expRep.Pruned), "higher", true, 0.02)
 
 	// Park-path allocations, measured directly: one Fork thread blocking
 	// repeatedly on a semaphore. Zero-allocation parking is the headline

@@ -115,6 +115,16 @@ func Registry() []*Litmus {
 			Desc: "sharded counting semaphore: per-cell optimistic P with repair, mutex+condition fallback",
 			Sim:  simCSem(1, 3, 2),
 		},
+		{
+			Name: "peterson",
+			Desc: "Peterson's 2-thread mutual exclusion over raw shared words, entry spin via AwaitChange",
+			Sim:  simPeterson(2),
+		},
+		{
+			Name: "phaser",
+			Desc: "cyclic barrier from mutex+condition: 3 threads x 2 phases, Broadcast on the last arrival",
+			Sim:  simPhaser(3, 2),
+		},
 	}
 }
 
@@ -399,6 +409,124 @@ func simCSem(tokens, threads, shards int) SimProgram {
 				}
 				if sum != uint64(tokens) {
 					return fmt.Errorf("cells sum to %d at quiescence, want %d (token granted twice or stranded)", sum, tokens)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simPeterson is Peterson's classic 2-thread mutual exclusion built from
+// nothing but raw shared words — no Threads primitives at all, so it
+// exercises the explorer's handling of algorithms below the paper's
+// interface. The simulated memory is sequentially consistent, which is
+// exactly the model Peterson's algorithm is correct under; the entry
+// protocol's spin ("while flag[j] and turn == j") uses AwaitChange on
+// both words at once so the decision tree stays finite. Detectors are the
+// mutex litmus's: region occupancy and a load-work-store counter.
+func simPeterson(iters int) SimProgram {
+	return SimProgram{
+		Procs: 2,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			var flag [2]sim.Word
+			var turn sim.Word
+			var counter, inCS, overlap sim.Word
+			for i := 0; i < 2; i++ {
+				i := i
+				j := 1 - i
+				k.Spawn(fmt.Sprintf("t%d", i+1), func(e *sim.Env) {
+					for n := 0; n < iters; n++ {
+						e.Store(&flag[i], 1)
+						e.Store(&turn, uint64(j))
+						for {
+							fj := e.Load(&flag[j])
+							if fj == 0 {
+								break
+							}
+							tv := e.Load(&turn)
+							if tv != uint64(j) {
+								break
+							}
+							e.AwaitChange(
+								sim.WordVal{W: &flag[j], Old: fj},
+								sim.WordVal{W: &turn, Old: tv},
+							)
+						}
+						if e.Add(&inCS, 1) != 1 {
+							e.Store(&overlap, 1)
+						}
+						v := e.Load(&counter)
+						e.Work(1)
+						e.Store(&counter, v+1)
+						e.Add(&inCS, ^uint64(0))
+						e.Store(&flag[i], 0)
+					}
+				})
+			}
+			total := uint64(2 * iters)
+			return func() error {
+				if overlap.Peek() != 0 {
+					return fmt.Errorf("both threads inside Peterson's critical section")
+				}
+				if got := counter.Peek(); got != total {
+					return fmt.Errorf("lost update: counter = %d, want %d", got, total)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simPhaser is a cyclic barrier (a phaser) derived from one mutex and one
+// condition: each arrival increments a count under the mutex; the last
+// arrival of a generation resets the count, advances the generation and
+// Broadcasts, while the others Wait until the generation moves. The
+// detector is the barrier property itself: a thread observing fewer than
+// `parties` arrivals for phase p after passing the phase-p barrier means
+// someone got through before everyone arrived.
+func simPhaser(parties, phases int) SimProgram {
+	return SimProgram{
+		Procs: parties,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			cv := w.NewCondition()
+			var count, gen, bad sim.Word
+			arrived := make([]sim.Word, phases)
+			arrive := func(e *sim.Env) {
+				m.Acquire(e)
+				g := e.Load(&gen)
+				if e.Add(&count, 1) == uint64(parties) {
+					e.Store(&count, 0)
+					e.Add(&gen, 1)
+					m.Release(e)
+					cv.Broadcast(e)
+					return
+				}
+				for e.Load(&gen) == g {
+					cv.Wait(e, m)
+				}
+				m.Release(e)
+			}
+			for i := 0; i < parties; i++ {
+				k.Spawn(fmt.Sprintf("t%d", i+1), func(e *sim.Env) {
+					for p := 0; p < phases; p++ {
+						e.Add(&arrived[p], 1)
+						arrive(e)
+						if e.Load(&arrived[p]) != uint64(parties) {
+							e.Store(&bad, 1)
+						}
+					}
+				})
+			}
+			return func() error {
+				if bad.Peek() != 0 {
+					return fmt.Errorf("a thread passed a phase barrier before all %d parties arrived", parties)
+				}
+				if g := gen.Peek(); g != uint64(phases) {
+					return fmt.Errorf("generation %d at quiescence, want %d", g, phases)
+				}
+				if c := count.Peek(); c != 0 {
+					return fmt.Errorf("arrival count %d at quiescence, want 0", c)
 				}
 				return nil
 			}

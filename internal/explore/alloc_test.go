@@ -1,0 +1,102 @@
+package explore
+
+import (
+	"testing"
+
+	"threads/internal/checker"
+)
+
+// scanDecisions exercises the per-run enumeration bookkeeping — the
+// done-marking and next-alternative search the depth-first odometer runs
+// after every schedule — over a recorded decision sequence. This used to
+// allocate an order slice and a cumulative-preemption slice per decision
+// point (the hot loop of the whole checker); it must now be free of
+// allocations.
+func scanDecisions(en *engine, dec []Decision) int {
+	found := 0
+	for j := range en.path {
+		en.path[j] = nodeState{}
+	}
+	for j := len(dec) - 1; j >= 0; j-- {
+		d := &dec[j]
+		en.path[j].done |= idBit(d.CandIDs[d.Chosen])
+		for {
+			alt := en.nextAlt(d, en.path[j])
+			if alt < 0 {
+				break
+			}
+			en.path[j].done |= idBit(d.CandIDs[alt])
+			found++
+		}
+	}
+	return found
+}
+
+func recordedDecisions(t testing.TB, name string) []Decision {
+	lit := checker.LitmusByName(name)
+	if lit == nil {
+		t.Fatalf("litmus %s missing", name)
+	}
+	var rec recorder
+	rec.reset(nil)
+	res := runProgram(lit, &rec)
+	if len(res.Decisions) == 0 {
+		t.Fatal("run recorded no decisions")
+	}
+	return res.Decisions
+}
+
+// TestEnumerationScanAllocationFree pins the property the scratch-buffer
+// rework bought: enumerating every untried alternative across a full
+// decision record allocates nothing.
+func TestEnumerationScanAllocationFree(t *testing.T) {
+	dec := recordedDecisions(t, "mutex")
+	en := &engine{k: 1, path: make([]nodeState, len(dec))}
+	if scanDecisions(en, dec) == 0 {
+		t.Fatal("scan found no alternatives; the fixture is degenerate")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scanDecisions(en, dec)
+	})
+	if allocs != 0 {
+		t.Errorf("enumeration scan allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkBacktrackScan measures the same loop; with -benchmem it shows
+// 0 B/op where the slice-per-decision implementation paid two allocations
+// per decision point per schedule.
+func BenchmarkBacktrackScan(b *testing.B) {
+	dec := recordedDecisions(b, "mutex")
+	en := &engine{k: 1, path: make([]nodeState, len(dec))}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanDecisions(en, dec)
+	}
+}
+
+// BenchmarkExploreMutexK1 is the end-to-end figure: one complete k<=1
+// bounded-exhaustive exploration of the mutex litmus per iteration.
+func BenchmarkExploreMutexK1(b *testing.B) {
+	lit := checker.LitmusByName("mutex")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := Explore(lit, Options{MaxPreemptions: 1})
+		if rep.Violation != nil {
+			b.Fatalf("violation: %v", rep.Violation)
+		}
+	}
+}
+
+// BenchmarkExploreMutexK1POR is the same exploration with sleep sets on.
+func BenchmarkExploreMutexK1POR(b *testing.B) {
+	lit := checker.LitmusByName("mutex")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := Explore(lit, Options{MaxPreemptions: 1, POR: PORSleepSets})
+		if rep.Violation != nil {
+			b.Fatalf("violation: %v", rep.Violation)
+		}
+	}
+}

@@ -52,12 +52,23 @@ func (v *Violation) Error() string { return v.Kind + ": " + v.Detail }
 
 // Decision records one controlled scheduling decision: the runnable
 // candidates (thread names in canonical ascending-ID order), which the
-// default policy would have picked, and which was picked.
+// default policy would have picked, and which was picked. The enumeration
+// engine additionally records what its optimisations need: candidate
+// thread IDs and declared next-step footprints (sleep-set pruning), the
+// footprint of the edge executed after the decision, the machine-state
+// fingerprint at the decision point (state cache), and the preemptions
+// spent strictly before it.
 type Decision struct {
 	Cands        []string
 	Chosen       int
 	Default      int
 	PrevRunnable bool // the previously-running thread was a candidate
+
+	CandIDs []int           // candidate thread IDs (parallel to Cands)
+	CandFPs []sim.Footprint // declared next steps, when POR is on
+	Edge    edgeFP          // steps executed between this decision and the next
+	H1, H2  uint64          // state fingerprint, when a cache is attached
+	CumPre  int             // preemptions spent strictly before this decision
 }
 
 // Preempted reports whether this decision switched away from a thread
@@ -70,22 +81,83 @@ func (d Decision) Preempted() bool { return d.PrevRunnable && d.Chosen != d.Defa
 // name overrides (certificate replay), or a seeded sampler (fuzzing).
 // Past or absent all modes, the default policy applies: keep running the
 // previous thread if it is still runnable, else the lowest-ID candidate.
+//
+// The enumeration engine reuses one recorder across millions of runs, so
+// per-decision slices are carved out of append-only arenas reset between
+// runs; the zero-value recorder (replay, fuzzing) works identically, just
+// without reuse.
 type recorder struct {
 	forced      []int
 	overrides   map[int]string
 	rng         *rand.Rand
 	preemptProb float64
 
+	// engine extensions (all off for replay/fuzz recorders).
+	por   bool        // record footprints and edges for sleep sets
+	cache *StateCache // fingerprint decision points, abort on cache hit
+	bound int         // the context bound k; remaining budget = bound − preempts
+	kern  *sim.Kernel // the run's kernel, set by runProgram before Run
+
 	decisions []Decision
 	diverged  bool // a forced index exceeded the candidate count
+	aborted   bool // the state cache cut this run short
+	preempts  int
+	curEdge   edgeFP
+
+	nameArena []string
+	idArena   []int
+	fpArena   []sim.Footprint
+}
+
+// reset prepares the recorder for another run under a new forced prefix,
+// retaining arena capacity.
+func (r *recorder) reset(forced []int) {
+	r.forced = forced
+	r.decisions = r.decisions[:0]
+	r.nameArena = r.nameArena[:0]
+	r.idArena = r.idArena[:0]
+	r.fpArena = r.fpArena[:0]
+	r.diverged = false
+	r.aborted = false
+	r.preempts = 0
+	r.curEdge = edgeFP{}
+	r.kern = nil
+}
+
+// onStep is the sim.Config.OnStep hook: it accumulates the footprints of
+// the steps executed since the last decision point into the current edge.
+func (r *recorder) onStep(_ *sim.T, fp sim.Footprint) {
+	r.curEdge.add(fp)
 }
 
 func (r *recorder) choose(prev *sim.T, cands []*sim.T) int {
 	step := len(r.decisions)
-	names := make([]string, len(cands))
-	for i, t := range cands {
-		names[i] = t.Name()
+	if r.por && step > 0 {
+		r.decisions[step-1].Edge = r.curEdge
+		r.curEdge = edgeFP{}
 	}
+	var h1, h2 uint64
+	if r.cache != nil {
+		h1, h2 = r.kern.Fingerprint()
+		if step == 0 {
+			r.cache.validateRoot(h1, h2)
+		}
+		if b, ok := r.cache.get(h1, h2); ok && int(b) >= r.bound-r.preempts {
+			// This exact machine state was already explored with at least
+			// as much remaining preemption budget: every schedule below is
+			// covered. Cut the run; it is not counted as a schedule.
+			r.aborted = true
+			r.kern.Abort()
+			return 0
+		}
+	}
+	nb, ib, fb := len(r.nameArena), len(r.idArena), len(r.fpArena)
+	for _, t := range cands {
+		r.nameArena = append(r.nameArena, t.Name())
+		r.idArena = append(r.idArena, t.ID())
+	}
+	names := r.nameArena[nb:len(r.nameArena):len(r.nameArena)]
+	ids := r.idArena[ib:len(r.idArena):len(r.idArena)]
 	def := 0
 	prevRunnable := false
 	if prev != nil {
@@ -129,12 +201,26 @@ func (r *recorder) choose(prev *sim.T, cands []*sim.T) int {
 			chosen = r.rng.Intn(len(cands))
 		}
 	}
-	r.decisions = append(r.decisions, Decision{
+	d := Decision{
 		Cands:        names,
 		Chosen:       chosen,
 		Default:      def,
 		PrevRunnable: prevRunnable,
-	})
+		CandIDs:      ids,
+		H1:           h1,
+		H2:           h2,
+		CumPre:       r.preempts,
+	}
+	if r.por {
+		for _, t := range cands {
+			r.fpArena = append(r.fpArena, t.PendingFootprint())
+		}
+		d.CandFPs = r.fpArena[fb:len(r.fpArena):len(r.fpArena)]
+	}
+	if prevRunnable && chosen != def {
+		r.preempts++
+	}
+	r.decisions = append(r.decisions, d)
 	return chosen
 }
 
@@ -147,6 +233,7 @@ type RunResult struct {
 	Violation   *Violation
 	Steps       uint64
 	Diverged    bool
+	Aborted     bool // the state cache cut the run short (suffix already covered)
 }
 
 // maxRunSteps cuts off livelocked schedules; litmus runs are a few
@@ -170,7 +257,11 @@ func runProgram(lit *checker.Litmus, rec *recorder) RunResult {
 			}
 		},
 	}
+	if rec.por {
+		cfg.OnStep = rec.onStep
+	}
 	w, k := simthreads.NewWorldOpts(cfg, opts)
+	rec.kern = k
 	check := lit.Sim.Build(w, k)
 	err := k.Run()
 	res := RunResult{
@@ -179,6 +270,7 @@ func runProgram(lit *checker.Litmus, rec *recorder) RunResult {
 		RunErr:    err,
 		Steps:     k.Steps(),
 		Diverged:  rec.diverged,
+		Aborted:   rec.aborted,
 	}
 	for _, d := range rec.decisions {
 		if d.Preempted() {
@@ -187,6 +279,10 @@ func runProgram(lit *checker.Litmus, rec *recorder) RunResult {
 	}
 	if _, verr := trace.CheckAll(events); verr != nil {
 		res.Violation = &Violation{Kind: "conformance", Detail: verr.Error()}
+	} else if errors.Is(err, sim.ErrAborted) {
+		// Cut short by the state cache; the trace prefix above was still
+		// conformance-checked, and the unexplored suffix is covered by the
+		// earlier visit that populated the cache entry.
 	} else if err != nil {
 		kind := "deadlock"
 		if errors.Is(err, sim.ErrStepLimit) {

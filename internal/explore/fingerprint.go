@@ -1,0 +1,274 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// StateCache is the persistent state-fingerprint cache: it maps the
+// 128-bit fingerprint of a machine state at a decision point
+// (sim.Kernel.Fingerprint) to the largest remaining preemption budget with
+// which that state's subtree has been completely explored. A run reaching
+// a cached state with no more budget than the cached value can stop: every
+// schedule below it was already enumerated. Budgets are absolute, so
+// entries written at one context bound stay valid at every other, and a
+// cache persisted to disk lets the next nightly run resume where the last
+// one stopped.
+//
+// Entries are inserted only when the depth-first search backtracks past a
+// fully-explored node (never on budget or schedule-cap exhaustion), so a
+// cached budget is always a completed-subtree guarantee. A persisted cache
+// is trusted only if its executable stamp and its root fingerprint (the
+// depth-0 state, identical for every run of a litmus) both match — any
+// change to the litmus, the simulator, or the hash function discards the
+// snapshot instead of silently corrupting the search.
+type StateCache struct {
+	shards [cacheShards]cacheShard
+
+	rootMu     sync.Mutex
+	haveRoot   bool
+	root       [2]uint64
+	loadedRoot [2]uint64
+	loaded     int
+}
+
+const cacheShards = 16
+
+// cacheCapPerShard bounds the cache to ~16M entries total (~1 GB of map
+// overhead, ~270 MB on disk — prodcons alone completes k<=3 with 11.6M
+// distinct states). Deep bounds on the larger litmuses can visit more
+// states than that; once a shard is full, new states are simply not
+// cached — pruning weakens, soundness does not, and memory stays
+// bounded.
+const cacheCapPerShard = (16 << 20) / cacheShards
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[[2]uint64]uint8
+}
+
+// NewStateCache returns an empty in-memory cache.
+func NewStateCache() *StateCache { return &StateCache{} }
+
+// Len returns the number of cached states.
+func (c *StateCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Loaded returns how many entries were restored from disk (before any
+// root-mismatch invalidation).
+func (c *StateCache) Loaded() int {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	return c.loaded
+}
+
+func (c *StateCache) get(h1, h2 uint64) (uint8, bool) {
+	s := &c.shards[h1&(cacheShards-1)]
+	s.mu.RLock()
+	v, ok := s.m[[2]uint64{h1, h2}]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *StateCache) put(h1, h2 uint64, budget int) {
+	if budget < 0 {
+		return
+	}
+	b := uint8(min(budget, 255))
+	s := &c.shards[h1&(cacheShards-1)]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[[2]uint64]uint8)
+	}
+	if old, ok := s.m[[2]uint64{h1, h2}]; ok {
+		if old < b {
+			s.m[[2]uint64{h1, h2}] = b
+		}
+	} else if len(s.m) < cacheCapPerShard {
+		s.m[[2]uint64{h1, h2}] = b
+	}
+	s.mu.Unlock()
+}
+
+// validateRoot is called with the depth-0 fingerprint of each run. The
+// first call establishes the cache's root; if a persisted snapshot carried
+// a different root, the snapshot is for a different decision tree and is
+// dropped wholesale.
+func (c *StateCache) validateRoot(h1, h2 uint64) {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	if c.haveRoot {
+		return
+	}
+	c.haveRoot = true
+	c.root = [2]uint64{h1, h2}
+	if c.loaded > 0 && c.loadedRoot != c.root {
+		for i := range c.shards {
+			s := &c.shards[i]
+			s.mu.Lock()
+			s.m = nil
+			s.mu.Unlock()
+		}
+		c.loaded = 0
+	}
+}
+
+// cacheMagic versions the on-disk format; bump it on any layout change.
+var cacheMagic = [8]byte{'T', 'S', 'C', 'A', 'C', 'H', 'E', '1'}
+
+// CachePath returns the snapshot file for one litmus under dir.
+func CachePath(dir, litmus string) string {
+	return filepath.Join(dir, litmus+".scache")
+}
+
+// LoadStateCache restores a snapshot written by Save. A missing file, a
+// stamp from a different build of this executable, or a snapshot for a
+// different litmus all yield an empty cache (resuming is an optimisation;
+// a stale snapshot must never steer the search). Corrupt files return an
+// error.
+func LoadStateCache(path, litmus string) (*StateCache, error) {
+	c := NewStateCache()
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("explore: state cache %s: %w", path, err)
+	}
+	if magic != cacheMagic {
+		return c, nil // older format: start fresh
+	}
+	var hdr [4]uint64 // stamp, rootHi, rootLo, name length
+	if err := binary.Read(f, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("explore: state cache %s: %w", path, err)
+	}
+	if hdr[3] > 1<<16 {
+		return nil, fmt.Errorf("explore: state cache %s: implausible litmus name length", path)
+	}
+	name := make([]byte, hdr[3])
+	if _, err := io.ReadFull(f, name); err != nil {
+		return nil, fmt.Errorf("explore: state cache %s: %w", path, err)
+	}
+	if hdr[0] != exeStamp() || string(name) != litmus {
+		return c, nil
+	}
+	var count uint64
+	if err := binary.Read(f, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("explore: state cache %s: %w", path, err)
+	}
+	rec := make([]byte, 17) // h1, h2, budget
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(f, rec); err != nil {
+			return nil, fmt.Errorf("explore: state cache %s: truncated at entry %d: %w", path, i, err)
+		}
+		h1 := binary.LittleEndian.Uint64(rec)
+		h2 := binary.LittleEndian.Uint64(rec[8:])
+		c.put(h1, h2, int(rec[16]))
+	}
+	c.loadedRoot = [2]uint64{hdr[1], hdr[2]}
+	c.loaded = c.Len()
+	return c, nil
+}
+
+// Save writes the cache as a snapshot for litmus, atomically (temp file +
+// rename), creating the directory if needed.
+func (c *StateCache) Save(path, litmus string) error {
+	c.rootMu.Lock()
+	root := c.root
+	if !c.haveRoot {
+		root = c.loadedRoot
+	}
+	c.rootMu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".scache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if _, err := f.Write(cacheMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	hdr := [4]uint64{exeStamp(), root[0], root[1], uint64(len(litmus))}
+	if err := binary.Write(f, binary.LittleEndian, hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := io.WriteString(f, litmus); err != nil {
+		f.Close()
+		return err
+	}
+	entries := make([]byte, 0, 17*c.Len())
+	var rec [17]byte
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, b := range s.m {
+			binary.LittleEndian.PutUint64(rec[:], k[0])
+			binary.LittleEndian.PutUint64(rec[8:], k[1])
+			rec[16] = b
+			entries = append(entries, rec[:]...)
+		}
+		s.mu.RUnlock()
+	}
+	if err := binary.Write(f, binary.LittleEndian, uint64(len(entries)/17)); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(entries); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// exeStamp hashes the running executable so persisted fingerprints are
+// trusted only by the exact build that produced them — any code change can
+// change decision-tree semantics or the hash itself.
+var (
+	exeStampOnce sync.Once
+	exeStampVal  uint64
+)
+
+func exeStamp() uint64 {
+	exeStampOnce.Do(func() {
+		path, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := fnv.New64a()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		exeStampVal = h.Sum64()
+	})
+	return exeStampVal
+}

@@ -1,0 +1,163 @@
+package explore
+
+import (
+	"sync"
+
+	"threads/internal/checker"
+)
+
+// This file shards one context bound's schedule space across a worker
+// pool. A single serial "probe" engine expands the root into work items —
+// forced prefixes whose subtrees partition the space — until there are
+// several per worker; workers then exhaust the subtrees independently with
+// engine.dfs, a shared atomic counter enforces MaxSchedules, and the first
+// violation cancels the rest of the pool through boundShared.done.
+//
+// Determinism: a probe run that still branches is not counted as a
+// schedule (the worker owning the chosen child re-runs and counts it), so
+// every maximal path is counted by exactly one engine and the merged
+// per-bound schedule counts are independent of the worker count. With
+// sleep sets on, workers rebuild the sleep/done state of their prefix
+// (engine.buildPrefixPath), so pruning decisions — and therefore counts —
+// also match the serial search. A shared state cache stays sound but makes
+// hit counts (and so schedule counts) timing-dependent. Which violation is
+// reported can vary with scheduling; replay and minimization of the one
+// reported stay single-threaded and deterministic.
+
+// exploreBoundParallel runs one context bound on a worker pool.
+func exploreBoundParallel(lit *checker.Litmus, o *Options, sh *boundShared, k, workers int) boundResult {
+	var out boundResult
+	probe := newEngine(lit, o, sh, k)
+	queue := [][]int{nil} // work items: forced prefixes partitioning the space
+	var work [][]int
+	target := workers * 4
+	for len(queue) > 0 && len(queue)+len(work) < target {
+		if sh.expired() {
+			out.budgetHit = true
+			break
+		}
+		prefix := queue[0]
+		queue = queue[1:]
+		probe.rec.reset(prefix)
+		res := runProgram(lit, &probe.rec)
+		out.runs++
+		out.decisions += len(res.Decisions)
+		if res.Violation != nil {
+			r := res
+			out.violation = &r
+			sh.countSchedule()
+			out.ks.Schedules++
+			out.ks.MaxDepth = max(out.ks.MaxDepth, len(res.Decisions))
+			sh.signalStop()
+			return out
+		}
+		if res.Aborted {
+			out.ks.CacheHits++
+			continue // the whole subtree is cache-covered
+		}
+		dec := res.Decisions
+		if len(dec) <= len(prefix) {
+			// The prefix forces the entire run: a single-schedule subtree.
+			sh.countSchedule()
+			out.ks.Schedules++
+			out.ks.MaxDepth = max(out.ks.MaxDepth, len(dec))
+			continue
+		}
+		// Split at the first decision past the prefix. The probe followed
+		// the default there; each affordable, non-slept alternative
+		// (default included) becomes a child item. This run itself is NOT
+		// counted: the worker owning the default child will re-run it.
+		n := len(prefix)
+		ns := probe.expansionNode(dec, n)
+		d := &dec[n]
+		// Count this node's sleep-pruned alternatives here (its children
+		// are split into separate items, so no worker scans it). The
+		// chosen/default child counts as done, exactly as it would be at
+		// exhaustion in the serial search.
+		ns.done = idBit(d.CandIDs[d.Chosen])
+		out.ks.Pruned += countSlept(d, ns, k)
+		for _, c := range expandChoices(d, ns, k) {
+			child := make([]int, n+1)
+			copy(child, prefix)
+			child[n] = c
+			queue = append(queue, child)
+		}
+	}
+	work = append(work, queue...)
+	if len(work) == 0 {
+		return out
+	}
+
+	itemCh := make(chan []int)
+	results := make([]boundResult, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			en := newEngine(lit, o, sh, k)
+			var acc boundResult
+			for prefix := range itemCh {
+				r := en.dfs(prefix)
+				acc.merge(r)
+				if r.violation != nil {
+					break // the engine's arenas now back the violation
+				}
+			}
+			results[wi] = acc
+		}(wi)
+	}
+	for _, prefix := range work {
+		select {
+		case itemCh <- prefix:
+		case <-sh.done:
+		}
+		if sh.stopped() {
+			break
+		}
+	}
+	close(itemCh)
+	wg.Wait()
+	for _, r := range results {
+		out.merge(r)
+	}
+	return out
+}
+
+// expansionNode reconstructs the sleep state at depth n of the probe's
+// latest run (the node whose children become work items).
+func (en *engine) expansionNode(dec []Decision, n int) nodeState {
+	if !en.rec.por {
+		return nodeState{}
+	}
+	en.path = en.path[:0]
+	en.buildPrefixPath(dec, n)
+	var ns nodeState
+	if n > 0 {
+		ns.sleep = inheritSleep(en.path[n-1], &dec[n-1])
+	}
+	return ns
+}
+
+// expandChoices lists the children the serial search would explore at an
+// expansion node, in exploration order: the probe's (default) choice
+// first, then every affordable, non-slept alternative in canonical order.
+func expandChoices(d *Decision, ns nodeState, k int) []int {
+	out := []int{d.Chosen}
+	for i := range d.CandIDs {
+		if i == d.Chosen {
+			continue
+		}
+		if ns.sleep&idBit(d.CandIDs[i]) != 0 {
+			continue
+		}
+		cost := 0
+		if d.PrevRunnable && i != d.Default {
+			cost = 1
+		}
+		if d.CumPre+cost <= k {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -26,11 +26,14 @@ type Env struct {
 }
 
 // yieldPoint parks the thread until the kernel grants it the next
-// instruction, then lets it proceed to execute that instruction.
-func (e *Env) yieldPoint(op opKind, cost uint64) {
+// instruction, then lets it proceed to execute that instruction. The
+// footprint fp declares what that instruction will touch (footprint.go);
+// it is what the Choose hook sees as the candidate's next step.
+func (e *Env) yieldPoint(op opKind, cost uint64, fp Footprint) {
 	t := e.t
 	t.pendingOp = op
 	t.pendingCost = cost
+	t.fp = fp
 	select {
 	case t.k.yield <- t:
 	case <-t.k.stop:
@@ -43,39 +46,59 @@ func (e *Env) yieldPoint(op opKind, cost uint64) {
 	}
 }
 
+// declare builds the footprint for an access to w: its word ID, scope
+// mask, and a Sched bit whenever the thread runs non-preemptible (the Nub
+// critical sections — whose windows may wake threads and mutate thread
+// queues — run non-preemptible, so this conservatively marks every step
+// with hidden scheduler effects).
+func (e *Env) declare(w *Word, kind AccessKind) Footprint {
+	return Footprint{
+		Words: [2]uint32{e.k.wordID(w), 0},
+		Kind:  kind,
+		Sched: !e.t.preemptible,
+		Scope: e.k.wordScope[w],
+	}
+}
+
 // Load reads a shared word (one Load-cost instruction).
 func (e *Env) Load(w *Word) uint64 {
-	e.yieldPoint(opInstr, e.k.cost.Load)
+	e.yieldPoint(opInstr, e.k.cost.Load, e.declare(w, AccessRead))
+	e.t.obs = obsMix(e.t.obs, w.v)
 	return w.v
 }
 
 // Store writes a shared word (one Store-cost instruction).
 func (e *Env) Store(w *Word, v uint64) {
-	e.yieldPoint(opInstr, e.k.cost.Store)
+	e.yieldPoint(opInstr, e.k.cost.Store, e.declare(w, AccessWrite))
 	w.v = v
 	if v == 0 {
 		e.wakeAwaiters(w)
 	}
+	e.notifyWatchers(w)
 }
 
 // TAS is the hardware test-and-set: atomically sets the word to 1 and
 // returns its previous value. The atomicity of the Threads primitives is
 // ultimately ensured by the atomicity of this instruction.
 func (e *Env) TAS(w *Word) uint64 {
-	e.yieldPoint(opInstr, e.k.cost.TAS)
+	e.yieldPoint(opInstr, e.k.cost.TAS, e.declare(w, AccessWrite))
 	old := w.v
 	w.v = 1
+	e.t.obs = obsMix(e.t.obs, old)
+	e.notifyWatchers(w)
 	return old
 }
 
 // Add atomically adds d to the word and returns the new value (an
 // interlocked instruction; the VAX family provided several).
 func (e *Env) Add(w *Word, d uint64) uint64 {
-	e.yieldPoint(opInstr, e.k.cost.Store)
+	e.yieldPoint(opInstr, e.k.cost.Store, e.declare(w, AccessWrite))
 	w.v += d
 	if w.v == 0 {
 		e.wakeAwaiters(w)
 	}
+	e.notifyWatchers(w)
+	e.t.obs = obsMix(e.t.obs, w.v)
 	return w.v
 }
 
@@ -89,23 +112,126 @@ func (e *Env) Add(w *Word, d uint64) uint64 {
 // accounting differs from an explicit spin loop (the retries are not
 // charged), so performance experiments should keep the spin.
 func (e *Env) TASAwait(w *Word) {
+	// TASAwait steps always carry Sched=true: a successful acquisition of
+	// the Nub lock opens a critical section whose windows mutate scheduler
+	// state, and the explorer must never commute two of them.
+	fp := e.declare(w, AccessWrite)
+	fp.Sched = true
 	for {
-		e.yieldPoint(opInstr, e.k.cost.TAS)
+		e.yieldPoint(opInstr, e.k.cost.TAS, fp)
 		if w.v == 0 {
 			w.v = 1
+			e.t.obs = obsMix(e.t.obs, 0)
 			return
 		}
+		e.t.obs = obsMix(e.t.obs, w.v)
 		if e.k.awaiting == nil {
 			e.k.awaiting = make(map[*Word][]*T)
 		}
 		e.k.awaiting[w] = append(e.k.awaiting[w], e.t)
 		e.t.blockReason = "awaiting word clear"
-		e.yieldPoint(opBlock, 0)
+		e.t.resumeFP = fp
+		e.yieldPoint(opBlock, 0, fp)
 		e.t.blockReason = ""
 		// Deregister in case the deschedule was consumed by a pending
 		// wakeup that arrived for another reason; a stale registration
 		// would later wake us out of thin air.
 		e.unawait(w)
+	}
+}
+
+// WordVal pairs a word with the value the caller last observed in it, for
+// AwaitChange.
+type WordVal struct {
+	W   *Word
+	Old uint64
+}
+
+// AwaitChange blocks until any of the listed words holds a value different
+// from its paired Old, then returns. If some word already differs it
+// returns immediately (the check and the registration are one atomic
+// step, so no change can slip between them). Like TASAwait, it is the
+// blocking form of a busy-wait — semantically the schedules it admits are
+// the spin loop's minus the unfair ones where the spinner is scheduled
+// forever without the awaited write ever landing — and exists so that
+// algorithms that spin on shared words (Peterson's entry protocol, for
+// example) have a finite decision tree under a controlled scheduler.
+// Callers must re-check their predicate after it returns and loop.
+func (e *Env) AwaitChange(wv ...WordVal) {
+	fp := Footprint{Kind: AccessRead, Sched: !e.t.preemptible}
+	for i, p := range wv {
+		if i < len(fp.Words) {
+			fp.Words[i] = e.k.wordID(p.W)
+		} else {
+			// More words than footprint slots: go conservative.
+			fp.Scope = ^uint64(0)
+		}
+		fp.Scope |= e.k.wordScope[p.W]
+	}
+	for {
+		e.yieldPoint(opInstr, e.k.cost.Load*uint64(len(wv)), fp)
+		for _, p := range wv {
+			if p.W.v != p.Old {
+				e.t.obs = obsMix(e.t.obs, p.W.v)
+				return
+			}
+		}
+		if e.k.watchers == nil {
+			e.k.watchers = make(map[*Word][]*watcher)
+		}
+		wr := &watcher{t: e.t, wv: wv}
+		for _, p := range wv {
+			e.k.watchers[p.W] = append(e.k.watchers[p.W], wr)
+		}
+		e.t.blockReason = "awaiting word change"
+		e.t.resumeFP = fp
+		e.yieldPoint(opBlock, 0, fp)
+		e.t.blockReason = ""
+		e.unwatch(wr)
+	}
+}
+
+// watcher is one AwaitChange registration.
+type watcher struct {
+	t  *T
+	wv []WordVal
+}
+
+// notifyWatchers wakes every AwaitChange watcher of w whose predicate now
+// holds (some watched word changed from its recorded value).
+func (e *Env) notifyWatchers(w *Word) {
+	ws := e.k.watchers[w]
+	if len(ws) == 0 {
+		return
+	}
+	var woken []*watcher
+	for _, wr := range ws {
+		for _, p := range wr.wv {
+			if p.W.v != p.Old {
+				woken = append(woken, wr)
+				break
+			}
+		}
+	}
+	for _, wr := range woken {
+		e.unwatch(wr)
+		e.MakeReady(wr.t)
+	}
+}
+
+// unwatch removes wr from every watch list it is registered on.
+func (e *Env) unwatch(wr *watcher) {
+	for _, p := range wr.wv {
+		ws := e.k.watchers[p.W]
+		for i, x := range ws {
+			if x == wr {
+				e.k.watchers[p.W] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(e.k.watchers[p.W]) == 0 {
+			delete(e.k.watchers, p.W)
+		}
 	}
 }
 
@@ -139,18 +265,20 @@ func (e *Env) Work(n uint64) {
 	if n == 0 {
 		return
 	}
-	e.yieldPoint(opInstr, n*e.k.cost.Unit)
+	e.yieldPoint(opInstr, n*e.k.cost.Unit, Footprint{Kind: AccessNone, Sched: !e.t.preemptible})
 }
 
 // Fork creates a new simulated thread at priority 0. The paper's interface
 // creates "a virtually unlimited number of threads"; the kernel places the
 // new thread in the ready pool and runs it when a processor is free.
 func (e *Env) Fork(name string, fn func(*Env)) *T {
+	e.t.stepSched = true
 	return e.k.Spawn(name, fn)
 }
 
 // ForkPri is Fork with an explicit priority.
 func (e *Env) ForkPri(name string, pri int, fn func(*Env)) *T {
+	e.t.stepSched = true
 	return e.k.SpawnPri(name, pri, fn)
 }
 
@@ -159,8 +287,18 @@ func (e *Env) ForkPri(name string, pri int, fn func(*Env)) *T {
 // consumes it and returns immediately (the sleep/wakeup discipline). The
 // reason string appears in deadlock reports.
 func (e *Env) Deschedule(reason string) {
+	e.DescheduleScope(reason, 0)
+}
+
+// DescheduleScope is Deschedule with a declared emission scope for the
+// resume window: if the code that runs after the wakeup may emit trace
+// events naming some object (a hand-off completion, an alert raise), the
+// blocking site passes that object's scope mask so the explorer treats the
+// resume step as conflicting with other steps on the same object.
+func (e *Env) DescheduleScope(reason string, scope uint64) {
 	e.t.blockReason = reason
-	e.yieldPoint(opBlock, 0)
+	e.t.resumeFP = Footprint{Kind: AccessResume, Scope: scope}
+	e.yieldPoint(opBlock, 0, Footprint{Kind: AccessNone})
 	e.t.blockReason = ""
 }
 
@@ -169,6 +307,7 @@ func (e *Env) Deschedule(reason string) {
 // running or finished thread with no deschedule in flight leaves a pending
 // wakeup that its next Deschedule will consume.
 func (e *Env) MakeReady(t *T) {
+	e.t.stepSched = true
 	if t.state == stateBlocked {
 		t.state = stateReady
 		t.wakePending = false
@@ -190,6 +329,7 @@ func (e *Env) SetPreemptible(on bool) {
 
 // SetPriority changes the calling thread's scheduling priority.
 func (e *Env) SetPriority(pri int) {
+	e.t.stepSched = true
 	e.t.item.Priority = queue.Priority(pri)
 	// If the thread is on the ready pool the heap is fixed up; if it is
 	// running the new priority takes effect at its next preemption.

@@ -83,6 +83,12 @@ type Config struct {
 	// decision of the run; internal/explore drives it to enumerate
 	// schedule spaces. With Choose set the Seed is never consulted.
 	Choose func(prev *T, cands []*T) int
+	// OnStep, if non-nil, receives the footprint of every executed step
+	// (the access the thread had declared, with Sched forced true when the
+	// step's window woke or created a thread or changed a priority). The
+	// explorer accumulates these into per-edge footprints for its
+	// partial-order reduction.
+	OnStep func(t *T, fp Footprint)
 }
 
 // CostProfile gives the instruction cost of each simulated operation.
@@ -154,6 +160,18 @@ type T struct {
 	blockReason string
 	wakePending bool // MakeReady arrived before the Deschedule
 	preemptible bool
+	// fp is the footprint of the access declared at the last yield point —
+	// exactly what the thread will execute when next granted. resumeFP is
+	// installed as fp when an opBlock is processed, so a woken thread's
+	// next step is labelled with the scope its blocking site declared.
+	fp       Footprint
+	resumeFP Footprint
+	// obs is the thread's observation hash: every value its shared reads
+	// returned, folded in order (see obsMix).
+	obs uint64
+	// stepSched is set when the current window wakes/creates a thread or
+	// changes a priority; the kernel folds it into the step's footprint.
+	stepSched bool
 }
 
 // ID returns the thread's kernel-unique id.
@@ -209,6 +227,15 @@ type Kernel struct {
 	lastRun *T
 	// awaiting maps a Word to the threads blocked in TASAwait on it.
 	awaiting map[*Word][]*T
+	// watchers maps a Word to the threads blocked in AwaitChange on it.
+	watchers map[*Word][]*watcher
+	// words and wordIDs register every shared word in first-access order;
+	// wordScope carries the emission-scope masks (see footprint.go).
+	words     []*Word
+	wordIDs   map[*Word]uint32
+	wordScope map[*Word]uint64
+	digesters []func(*Hash128)
+	aborted   bool
 }
 
 // NewKernel builds a machine from cfg.
@@ -330,8 +357,16 @@ func (k *Kernel) Run() error {
 			return &DeadlockError{Blocked: live}
 		}
 		p := k.pick(cand)
+		if k.aborted {
+			// A Choose/OnStep hook cut the run short (state-cache prune).
+			return ErrAborted
+		}
 		t := p.cur
 		k.lastRun = t
+		// The access executing in this step is the one t declared at its
+		// last yield; save it before the window overwrites t.fp with the
+		// next declaration.
+		exec := t.fp
 
 		// Let the thread run from its current yield point to the next.
 		// Only granted threads send on k.yield and none is running now,
@@ -342,11 +377,24 @@ func (k *Kernel) Run() error {
 			panic(fmt.Sprintf("sim: yield from %s while %s was running", got, t))
 		}
 
+		if k.cfg.OnStep != nil {
+			exec.Sched = exec.Sched || t.stepSched
+			k.cfg.OnStep(t, exec)
+		}
+		t.stepSched = false
+
 		switch t.pendingOp {
 		case opExit:
 			t.state = stateDone
 			p.cur = nil
 		case opBlock:
+			// Whether the block sticks or a pending wakeup consumes it,
+			// the next granted step is the resume window.
+			t.fp = t.resumeFP
+			if t.fp.Kind == AccessNone {
+				t.fp.Kind = AccessResume
+			}
+			t.resumeFP = Footprint{}
 			if t.wakePending {
 				// A wakeup raced ahead of the deschedule; consume it
 				// and keep running (the sleep/wakeup discipline of the

@@ -25,6 +25,7 @@ type Condition struct {
 func (w *World) NewCondition() *Condition {
 	w.nextCond++
 	c := &Condition{w: w, id: w.nextCond}
+	w.registerCond(c)
 	return c
 }
 

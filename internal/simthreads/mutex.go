@@ -20,6 +20,7 @@ func (w *World) NewMutex() *Mutex {
 	w.nextMutex++
 	m := &Mutex{w: w, id: w.nextMutex}
 	m.g.w = w
+	w.registerGate(&m.g)
 	return m
 }
 
@@ -97,6 +98,7 @@ func (w *World) NewSemaphore() *Semaphore {
 	w.nextSem++
 	s := &Semaphore{w: w, id: w.nextSem}
 	s.g.w = w
+	w.registerGate(&s.g)
 	return s
 }
 

@@ -62,6 +62,11 @@ type World struct {
 	Stats Stats
 	// opts disables optimizations for the ablation experiments.
 	opts WorldOptions
+	// queues registers every thread queue for state digests, and the
+	// nGates/nConds counters allocate emission-scope bits (see digest.go).
+	queues []*tqueue
+	nGates int
+	nConds int
 }
 
 // Kernel is re-exported so callers need only import simthreads for common
@@ -112,8 +117,10 @@ type alertTarget struct {
 }
 
 // tqueue is a FIFO of simulated threads, manipulated only under the Nub
-// spin lock; each operation charges queueOpCost instructions.
+// spin lock; each operation charges queueOpCost instructions. The id
+// names the queue in state digests (see digest.go).
 type tqueue struct {
+	id    int
 	items []*sim.T
 }
 
@@ -153,6 +160,11 @@ func NewWorld(cfg sim.Config) (*World, *Kernel) {
 		states: make(map[*sim.T]*tstate),
 		traced: cfg.Trace != nil,
 	}
+	// Anything may be emitted under the Nub spin lock, so its word carries
+	// every scope bit; the digester folds queue and tstate contents into
+	// explorer state fingerprints.
+	k.SetWordScope(&w.nub, ^uint64(0))
+	k.AddDigester(w.digest)
 	return w, k
 }
 
