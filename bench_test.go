@@ -479,6 +479,74 @@ func BenchmarkE13_AlertPStorm(b *testing.B) {
 	b.ReportMetric(float64(alerted)/float64(b.N), "alerted-frac")
 }
 
+// ---------------------------------------------------------------------------
+// E18 — deadline plumbing overhead (timer wheel vs time.AfterFunc + Alert).
+// ---------------------------------------------------------------------------
+
+// The cancel path is the one every successful deadline wait pays: arm a
+// wheel entry, perform the wait, cancel-and-drain on the way out. The
+// entry is cached per thread, so the steady state must not allocate.
+
+func BenchmarkE18_AcquireDeadlineUncontended(b *testing.B) {
+	b.ReportAllocs()
+	var m threads.Mutex
+	deadline := time.Now().Add(time.Hour)
+	for i := 0; i < b.N; i++ {
+		if err := m.AcquireDeadline(deadline); err != nil {
+			b.Fatal(err)
+		}
+		m.Release()
+	}
+}
+
+func BenchmarkE18_AlertPDeadlineUncontended(b *testing.B) {
+	b.ReportAllocs()
+	var s threads.Semaphore
+	deadline := time.Now().Add(time.Hour)
+	for i := 0; i < b.N; i++ {
+		s.V()
+		if err := s.AlertPDeadline(deadline); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The hand-rolled pattern the deadline variants replace, done correctly:
+// time.AfterFunc arms a runtime timer whose callback Alerts the waiter,
+// and the epilogue stops the timer and spin-drains if the stop lost. This
+// is the E18 baseline — same semantics, one heap-allocated timer per
+// operation.
+func BenchmarkE18_AfterFuncAlertBaseline(b *testing.B) {
+	b.ReportAllocs()
+	var m threads.Mutex
+	self := threads.Self()
+	for i := 0; i < b.N; i++ {
+		timer := time.AfterFunc(time.Hour, func() { defer threads.Detach(); threads.Alert(self) })
+		m.Acquire()
+		m.Release()
+		if !timer.Stop() {
+			for !threads.TestAlert() {
+			}
+		}
+	}
+}
+
+// The fire path in aggregate: waiters whose deadlines all expire, so every
+// op crosses the wheel runner, an Alert delivery and the drain epilogue.
+func BenchmarkE18_DeadlineExpires(b *testing.B) {
+	b.ReportAllocs()
+	// The paper's binary semaphore is INITIALLY available, so the zero
+	// value carries one token; consume it so that — with no V anywhere —
+	// every wait below genuinely times out.
+	var s threads.Semaphore
+	s.P()
+	for i := 0; i < b.N; i++ {
+		if err := s.AlertPDeadline(time.Now().Add(50 * time.Microsecond)); err != threads.DeadlineExceeded {
+			b.Fatalf("AlertPDeadline = %v, want DeadlineExceeded", err)
+		}
+	}
+}
+
 // BenchmarkExperimentTables runs the full quick experiment suite once per
 // iteration — a one-stop regeneration of every table (used with -benchtime
 // 1x in CI and by the committed bench_output.txt).

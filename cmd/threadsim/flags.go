@@ -129,7 +129,7 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	fs.StringVar(&c.replayPath, "replay", "", "replay a schedule certificate (or re-check a recorded trace) and exit")
 	explore := fs.Bool("explore", false, "bounded-exhaustive schedule exploration of the litmus registry")
 	fuzz := fs.Bool("fuzz", false, "weighted-random schedule sampling of the litmus registry")
-	fs.StringVar(&c.litmus, "litmus", "all", "litmus program to explore/fuzz, or \"all\": "+strings.Join(checker.LitmusNames(), ", "))
+	fs.StringVar(&c.litmus, "litmus", "all", "litmus program(s) to explore/fuzz, comma-separated, or \"all\": "+strings.Join(checker.LitmusNames(), ", "))
 	fs.IntVar(&c.maxK, "maxk", 2, "context bound: explore all schedules with at most this many preemptions")
 	fs.DurationVar(&c.budget, "budget", 0, "wall-clock budget for -explore/-fuzz (0 = none)")
 	fs.IntVar(&c.runs, "runs", 2000, "schedules to sample per litmus (-fuzz)")
@@ -214,8 +214,12 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 			return nil, fmt.Errorf("-procs must be at least 1")
 		}
 	case modeExplore, modeFuzz:
-		if c.litmus != "all" && checker.LitmusByName(c.litmus) == nil {
-			return nil, fmt.Errorf("unknown litmus %q (want all, %s)", c.litmus, strings.Join(checker.LitmusNames(), ", "))
+		if c.litmus != "all" {
+			for _, name := range strings.Split(c.litmus, ",") {
+				if checker.LitmusByName(strings.TrimSpace(name)) == nil {
+					return nil, fmt.Errorf("unknown litmus %q (want all, %s)", strings.TrimSpace(name), strings.Join(checker.LitmusNames(), ", "))
+				}
+			}
 		}
 		if c.mode == modeExplore && c.maxK < 0 {
 			return nil, fmt.Errorf("-maxk must be nonnegative")

@@ -31,6 +31,7 @@ func TestParseModes(t *testing.T) {
 		{[]string{"-trace", "-record", "out.jsonl"}, modeTrace},
 		{[]string{"-replay", "x.json"}, modeReplay},
 		{[]string{"-explore", "-maxk", "1", "-litmus", "mutex"}, modeExplore},
+		{[]string{"-explore", "-maxk", "1", "-litmus", "deadline, phaser,mpsc"}, modeExplore},
 		{[]string{"-fuzz", "-runs", "10", "-seed", "3"}, modeFuzz},
 		{[]string{"-explore", "-budget", "90s", "-cert", "out"}, modeExplore},
 	} {
@@ -67,6 +68,7 @@ func TestParseRejectsCrossModeFlags(t *testing.T) {
 		{[]string{"-explore", "-fuzz"}, "mutually exclusive"},
 		{[]string{"-trace", "-replay", "x"}, "mutually exclusive"},
 		{[]string{"-explore", "-litmus", "nosuch"}, "unknown litmus"},
+		{[]string{"-explore", "-litmus", "mutex,nosuch"}, "unknown litmus"},
 		{[]string{"-explore", "-maxk", "-1"}, "-maxk must be nonnegative"},
 		{[]string{"-por", "off"}, "-por cannot be used with -workload"},
 		{[]string{"-fuzz", "-workers", "2"}, "-workers cannot be used with -fuzz"},

@@ -54,12 +54,17 @@ func main() {
 	}
 }
 
-// selected returns the litmus programs an explore/fuzz invocation covers.
+// selected returns the litmus programs an explore/fuzz invocation covers:
+// the whole registry, or a comma-separated -litmus list in the order given.
 func selected(c *config) []*checker.Litmus {
 	if c.litmus == "all" {
 		return checker.Registry()
 	}
-	return []*checker.Litmus{checker.LitmusByName(c.litmus)}
+	var lits []*checker.Litmus
+	for _, name := range strings.Split(c.litmus, ",") {
+		lits = append(lits, checker.LitmusByName(strings.TrimSpace(name)))
+	}
+	return lits
 }
 
 // remaining splits a total wall-clock budget across the remaining

@@ -1,0 +1,113 @@
+package threads
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"threads/internal/core"
+	"threads/internal/spinlock"
+)
+
+// DeadlineExceeded is returned by the deadline variants — AlertWaitDeadline,
+// AlertPDeadline and AcquireDeadline — when the wait ended because its
+// deadline fired. It matches context.DeadlineExceeded under errors.Is.
+//
+// The deadline variants are built on the package's timer wheel: each wait
+// arms one timer entry that delivers the deadline by Alert, and every exit
+// path cancels-and-drains its own entry, so a deadline that fires after the
+// wait is satisfied can never poison a later wait — the stale-alert race of
+// the hand-rolled time.AfterFunc + Alert + timer.Stop pattern is fixed by
+// construction. See the Alert documentation for the drain obligation the
+// hand-rolled pattern carries.
+var DeadlineExceeded = core.DeadlineExceeded
+
+// ctxAlert states, mirroring the timer wheel's entry state machine: the
+// stop/fire race is resolved by one CAS, and a loser of the fire race waits
+// out the delivery so the alert can be drained before stop returns.
+const (
+	ctxArmed uint32 = iota
+	ctxFiring
+	ctxFired
+	ctxCancelled
+)
+
+// AlertOnDone arranges for t to be alerted when ctx is done, bridging
+// context-style cancellation into the paper's alerting world. The returned
+// stop ends the arrangement and reports whether the alert was delivered
+// (false means delivery was prevented and no drain is needed).
+//
+// The intended shape has the guarded thread itself call stop on every exit
+// path, like the deadline variants do internally:
+//
+//	stop := threads.AlertOnDone(ctx, threads.Self())
+//	err := c.AlertWait(&m)
+//	if stop() && errors.Is(err, threads.Alerted) {
+//	    err = ctx.Err() // the context, not a user Alert, ended the wait
+//	}
+//
+// When stop is called by t itself it also drains a delivered-but-unconsumed
+// alert, so a context that fires after the wait is satisfied cannot poison
+// t's next alertable wait. Called from any other thread, stop cannot drain
+// (TestAlert consumes only the caller's own alert); the true return then
+// tells the caller t may still have the alert pending. As with any consumer
+// of the single-bit alerts set, a drain may also consume a user Alert that
+// merged with the context's — exactly as if t had called TestAlert itself.
+func AlertOnDone(ctx context.Context, t *Thread) (stop func() (fired bool)) {
+	var state atomic.Uint32
+	inner := context.AfterFunc(ctx, func() {
+		if state.CompareAndSwap(ctxArmed, ctxFiring) {
+			core.Alert(t)
+			state.Store(ctxFired)
+		}
+	})
+	return func() bool {
+		if state.CompareAndSwap(ctxArmed, ctxCancelled) {
+			inner()
+			return false
+		}
+		for {
+			switch state.Load() {
+			case ctxFired:
+				// Consume the fired state so stop is idempotent: only the
+				// call that observes the delivery drains and reports it.
+				if !state.CompareAndSwap(ctxFired, ctxCancelled) {
+					return false
+				}
+				if core.Self() == t {
+					_ = core.TestAlert() // the drain: a stale context alert is consumed here by design
+				}
+				return true
+			case ctxCancelled:
+				return false // stop already ran
+			default:
+				spinlock.Pause(16) // firing: the delivery is one Alert call away
+			}
+		}
+	}
+}
+
+// WithContext runs body — typically one alertable wait, or a loop of them —
+// with the calling thread alerted when ctx is done, and maps the outcome:
+// an Alerted return caused by the context becomes ctx.Err()
+// (context.Canceled or context.DeadlineExceeded), while a genuine user
+// Alert passes through unchanged. A context already done returns its error
+// without running body.
+//
+//	err := threads.WithContext(ctx, func() error {
+//	    return c.AlertWait(&m)
+//	})
+//
+// The arrangement is stopped and drained on every return path, so a
+// context firing after body completes never poisons a later wait.
+func WithContext(ctx context.Context, body func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := AlertOnDone(ctx, core.Self())
+	err := body()
+	if stop() && errors.Is(err, Alerted) {
+		return ctx.Err()
+	}
+	return err
+}

@@ -1,0 +1,66 @@
+package derived
+
+import (
+	"time"
+
+	"threads"
+)
+
+// Monitor is the Hoare/Mesa monitor shape the paper's discipline implies:
+// one Mutex guarding an object's state plus any number of named conditions
+// bound to it. Binding the conditions to the monitor enforces statically
+// what the specification demands in prose — a Condition is always waited on
+// with the same Mutex — and the deadline variants thread through, so every
+// monitor wait can carry a timeout.
+type Monitor struct {
+	mu threads.Mutex
+}
+
+// NewMonitor returns a monitor with no conditions; create them with NewCond.
+func NewMonitor() *Monitor { return &Monitor{} }
+
+// Enter begins a monitor region (Acquire on the monitor mutex).
+//
+//threadsvet:ignore lockpair: Enter/Exit split the bracket across calls by design; the monitor's litmus and tests check the pairing dynamically
+func (mo *Monitor) Enter() { mo.mu.Acquire() }
+
+// Exit ends a monitor region.
+//
+//threadsvet:ignore lockpair: the matching Acquire is in Enter; pairing is the monitor's contract, checked dynamically
+func (mo *Monitor) Exit() { mo.mu.Release() }
+
+// Do runs body inside the monitor — the LOCK ... DO ... END bracket.
+func (mo *Monitor) Do(body func()) { threads.Lock(&mo.mu, body) }
+
+// MonitorCond is a condition variable bound to its monitor's mutex.
+type MonitorCond struct {
+	mo *Monitor
+	c  threads.Condition
+}
+
+// NewCond returns a new condition bound to the monitor.
+func (mo *Monitor) NewCond() *MonitorCond { return &MonitorCond{mo: mo} }
+
+// Wait suspends the caller (which must be inside the monitor) until a
+// Signal or Broadcast; return is a hint, so callers re-check the predicate.
+//
+//threadsvet:ignore waitloop: thin delegation — the re-test loop is the caller's obligation, exactly as for Condition.Wait
+func (mc *MonitorCond) Wait() { mc.c.Wait(&mc.mo.mu) }
+
+// AlertWait is Wait, interruptible by Alert.
+//
+//threadsvet:ignore waitloop: thin delegation — the re-test loop is the caller's obligation, exactly as for Condition.AlertWait
+func (mc *MonitorCond) AlertWait() error { return mc.c.AlertWait(&mc.mo.mu) }
+
+// WaitDeadline is Wait with a deadline: nil, threads.DeadlineExceeded, or
+// threads.Alerted. The caller is inside the monitor on every return.
+func (mc *MonitorCond) WaitDeadline(deadline time.Time) error {
+	//threadsvet:ignore waitloop: thin delegation — the re-test loop is the caller's obligation, exactly as for AlertWaitDeadline
+	return mc.c.AlertWaitDeadline(&mc.mo.mu, deadline)
+}
+
+// Signal wakes at least one waiter, if any.
+func (mc *MonitorCond) Signal() { mc.c.Signal() }
+
+// Broadcast wakes all waiters.
+func (mc *MonitorCond) Broadcast() { mc.c.Broadcast() }

@@ -1,0 +1,101 @@
+package derived
+
+import (
+	"time"
+
+	"threads"
+)
+
+// Phaser is the Barrier with its generation made first-class: arrivals are
+// counted per numbered phase, arrival and waiting are separable (Arrive
+// does not block; AwaitAdvance waits for a phase to end), and waiting can
+// carry a deadline. The shape follows the phase-ordering literature: a
+// computation proceeds in phases, and no party enters phase p+1 until all
+// parties have finished phase p.
+type Phaser struct {
+	mu       threads.Mutex
+	advanced threads.Condition
+	parties  int
+	arrived  int
+	phase    uint64
+}
+
+// NewPhaser returns a phaser for the given number of parties (≥ 1), in
+// phase 0.
+func NewPhaser(parties int) *Phaser {
+	if parties < 1 {
+		panic("derived: phaser needs at least one party")
+	}
+	return &Phaser{parties: parties}
+}
+
+// Phase reports the current phase number (advisory).
+func (p *Phaser) Phase() uint64 {
+	p.mu.Acquire()
+	defer p.mu.Release()
+	return p.phase
+}
+
+// Arrive records one arrival in the current phase without waiting and
+// returns the phase number arrived at. The last arrival of a phase
+// advances the phaser and releases the waiters — every waiter may proceed,
+// so Broadcast is required.
+func (p *Phaser) Arrive() uint64 {
+	p.mu.Acquire()
+	phase := p.phase
+	p.arrived++
+	if p.arrived == p.parties {
+		p.arrived = 0
+		p.phase++
+		p.mu.Release()
+		p.advanced.Broadcast()
+		return phase
+	}
+	p.mu.Release()
+	return phase
+}
+
+// AwaitAdvance blocks until the given phase has ended (a no-op if it
+// already has).
+func (p *Phaser) AwaitAdvance(phase uint64) {
+	p.mu.Acquire()
+	for p.phase == phase {
+		p.advanced.Wait(&p.mu)
+	}
+	p.mu.Release()
+}
+
+// AwaitAdvanceDeadline is AwaitAdvance with a deadline: nil once the phase
+// has ended, threads.DeadlineExceeded or threads.Alerted if the wait gave
+// up first (the arrival already made stays counted either way).
+func (p *Phaser) AwaitAdvanceDeadline(phase uint64, deadline time.Time) error {
+	p.mu.Acquire()
+	defer p.mu.Release()
+	for p.phase == phase {
+		if err := p.advanced.AlertWaitDeadline(&p.mu, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ArriveAndAwait arrives and waits for the phase to end — the cyclic
+// barrier operation. It reports whether the caller was the arrival that
+// tripped the phase.
+func (p *Phaser) ArriveAndAwait() (tripped bool) {
+	p.mu.Acquire()
+	phase := p.phase
+	p.arrived++
+	if p.arrived == p.parties {
+		p.arrived = 0
+		p.phase++
+		p.mu.Release()
+		p.advanced.Broadcast()
+		return true
+	}
+	for p.phase == phase {
+		p.advanced.Wait(&p.mu)
+	}
+	p.mu.Release()
+	return false
+}

@@ -1,0 +1,108 @@
+package derived
+
+import (
+	"time"
+
+	"threads"
+)
+
+// Ring is a bounded multi-producer, single-consumer queue: the paper's
+// bounded-buffer shape (a condition per direction) with a fixed circular
+// buffer instead of a slice, so steady-state operation allocates nothing.
+// Any thread may Push; only one thread at a time may Pop (the single
+// consumer is a usage contract, not enforced).
+type Ring[T any] struct {
+	mu       threads.Mutex
+	nonEmpty threads.Condition
+	nonFull  threads.Condition
+	buf      []T
+	head     int // next Pop
+	n        int // occupied
+}
+
+// NewRing returns an empty ring with the given capacity (≥ 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		panic("derived: ring capacity must be at least 1")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends v, waiting while the ring is full. One blocked Pop can
+// benefit from the new item, so Signal suffices.
+func (r *Ring[T]) Push(v T) {
+	r.mu.Acquire()
+	for r.n == len(r.buf) {
+		r.nonFull.Wait(&r.mu)
+	}
+	r.put(v)
+	r.mu.Release()
+	r.nonEmpty.Signal()
+}
+
+// PushDeadline is Push with a deadline: nil on success,
+// threads.DeadlineExceeded or threads.Alerted if the wait for space gave up
+// first (the ring is then unchanged).
+func (r *Ring[T]) PushDeadline(v T, deadline time.Time) error {
+	r.mu.Acquire()
+	for r.n == len(r.buf) {
+		if err := r.nonFull.AlertWaitDeadline(&r.mu, deadline); err != nil {
+			r.mu.Release()
+			return err
+		}
+	}
+	r.put(v)
+	r.mu.Release()
+	r.nonEmpty.Signal()
+	return nil
+}
+
+// Pop removes the oldest item, waiting while the ring is empty. Only one
+// blocked Push can use the freed slot, so Signal suffices.
+func (r *Ring[T]) Pop() T {
+	r.mu.Acquire()
+	for r.n == 0 {
+		r.nonEmpty.Wait(&r.mu)
+	}
+	v := r.take()
+	r.mu.Release()
+	r.nonFull.Signal()
+	return v
+}
+
+// PopDeadline is Pop with a deadline; ok reports whether an item was taken.
+func (r *Ring[T]) PopDeadline(deadline time.Time) (v T, err error) {
+	r.mu.Acquire()
+	for r.n == 0 {
+		if werr := r.nonEmpty.AlertWaitDeadline(&r.mu, deadline); werr != nil {
+			r.mu.Release()
+			return v, werr
+		}
+	}
+	v = r.take()
+	r.mu.Release()
+	r.nonFull.Signal()
+	return v, nil
+}
+
+// Len reports the occupied slots (advisory).
+func (r *Ring[T]) Len() int {
+	r.mu.Acquire()
+	defer r.mu.Release()
+	return r.n
+}
+
+// put and take run under mu.
+func (r *Ring[T]) put(v T) {
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *Ring[T]) take() T {
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

@@ -1,0 +1,207 @@
+package derived
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"threads"
+)
+
+func TestMonitorGuardedCounter(t *testing.T) {
+	mo := NewMonitor()
+	nonZero := mo.NewCond()
+	count := 0
+	const workers, iters = 4, 100
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		threads.Fork(func() {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				mo.Do(func() { count++ })
+				nonZero.Signal()
+			}
+		})
+	}
+	drained := make(chan int, 1)
+	threads.Fork(func() {
+		taken := 0
+		mo.Enter()
+		for taken < workers*iters {
+			for count == 0 {
+				nonZero.Wait()
+			}
+			taken += count
+			count = 0
+		}
+		mo.Exit()
+		drained <- taken
+	})
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	waitDone(t, done, "monitor workers")
+	if got := <-drained; got != workers*iters {
+		t.Fatalf("drained %d increments, want %d", got, workers*iters)
+	}
+}
+
+func TestMonitorWaitDeadline(t *testing.T) {
+	mo := NewMonitor()
+	never := mo.NewCond()
+	done := make(chan struct{})
+	threads.Fork(func() {
+		defer close(done)
+		mo.Enter()
+		defer mo.Exit()
+		err := never.WaitDeadline(time.Now().Add(20 * time.Millisecond))
+		if !errors.Is(err, threads.DeadlineExceeded) {
+			t.Errorf("WaitDeadline = %v, want DeadlineExceeded", err)
+		}
+	})
+	waitDone(t, done, "monitor deadline wait")
+}
+
+func TestPhaserPhases(t *testing.T) {
+	const parties, phases = 4, 5
+	p := NewPhaser(parties)
+	var mu sync.Mutex
+	arrivals := make([]int, phases)
+	bad := false
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for i := 0; i < parties; i++ {
+		threads.Fork(func() {
+			defer wg.Done()
+			for ph := 0; ph < phases; ph++ {
+				mu.Lock()
+				arrivals[ph]++
+				mu.Unlock()
+				p.ArriveAndAwait()
+				mu.Lock()
+				if arrivals[ph] != parties {
+					bad = true
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	waitDone(t, done, "phaser parties")
+	if bad {
+		t.Fatal("a party passed a phase before all arrived")
+	}
+	if got := p.Phase(); got != phases {
+		t.Fatalf("phase = %d, want %d", got, phases)
+	}
+}
+
+func TestPhaserArriveAwaitSeparately(t *testing.T) {
+	p := NewPhaser(2)
+	done := make(chan struct{})
+	threads.Fork(func() {
+		defer close(done)
+		phase := p.Arrive()
+		p.AwaitAdvance(phase)
+	})
+	time.Sleep(5 * time.Millisecond)
+	if tripped := p.ArriveAndAwait(); !tripped {
+		t.Fatal("second arrival did not trip the phase")
+	}
+	waitDone(t, done, "separated arrive/await")
+}
+
+func TestPhaserAwaitAdvanceDeadline(t *testing.T) {
+	p := NewPhaser(2)
+	done := make(chan struct{})
+	threads.Fork(func() {
+		defer close(done)
+		phase := p.Arrive()
+		err := p.AwaitAdvanceDeadline(phase, time.Now().Add(20*time.Millisecond))
+		if !errors.Is(err, threads.DeadlineExceeded) {
+			t.Errorf("AwaitAdvanceDeadline = %v, want DeadlineExceeded", err)
+			return
+		}
+		// The arrival stays counted: one more arrival trips the phase, and
+		// a second await with a generous deadline passes.
+		go p.Arrive()
+		if err := p.AwaitAdvanceDeadline(phase, time.Now().Add(10*time.Second)); err != nil {
+			t.Errorf("second AwaitAdvanceDeadline = %v, want nil", err)
+		}
+	})
+	waitDone(t, done, "phaser deadline await")
+}
+
+func TestRingMPSC(t *testing.T) {
+	const producers, items = 4, 200
+	r := NewRing[int](8)
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for i := 0; i < producers; i++ {
+		base := i * items
+		threads.Fork(func() {
+			defer wg.Done()
+			for n := 0; n < items; n++ {
+				r.Push(base + n)
+			}
+		})
+	}
+	sum := 0
+	perProducerLast := make([]int, producers)
+	for i := range perProducerLast {
+		perProducerLast[i] = -1
+	}
+	fifoBroken := false
+	consumed := make(chan struct{})
+	threads.Fork(func() {
+		defer close(consumed)
+		for n := 0; n < producers*items; n++ {
+			v := r.Pop()
+			sum += v
+			who, seq := v/items, v%items
+			if seq <= perProducerLast[who] {
+				fifoBroken = true
+			}
+			perProducerLast[who] = seq
+		}
+	})
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	waitDone(t, done, "ring producers")
+	waitDone(t, consumed, "ring consumer")
+	total := producers * items
+	if want := (total - 1) * total / 2; sum != want {
+		t.Fatalf("consumed sum %d, want %d (item lost or duplicated)", sum, want)
+	}
+	if fifoBroken {
+		t.Fatal("per-producer FIFO order broken")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring holds %d items at quiescence", r.Len())
+	}
+}
+
+func TestRingDeadlines(t *testing.T) {
+	r := NewRing[int](1)
+	done := make(chan struct{})
+	threads.Fork(func() {
+		defer close(done)
+		// Empty: PopDeadline times out.
+		if _, err := r.PopDeadline(time.Now().Add(20 * time.Millisecond)); !errors.Is(err, threads.DeadlineExceeded) {
+			t.Errorf("PopDeadline on empty ring = %v, want DeadlineExceeded", err)
+		}
+		// One slot: second PushDeadline times out, ring unchanged.
+		if err := r.PushDeadline(1, time.Now().Add(10*time.Second)); err != nil {
+			t.Errorf("first PushDeadline = %v", err)
+		}
+		if err := r.PushDeadline(2, time.Now().Add(20*time.Millisecond)); !errors.Is(err, threads.DeadlineExceeded) {
+			t.Errorf("PushDeadline on full ring = %v, want DeadlineExceeded", err)
+		}
+		if v, err := r.PopDeadline(time.Now().Add(10 * time.Second)); err != nil || v != 1 {
+			t.Errorf("PopDeadline = %d, %v, want 1, nil", v, err)
+		}
+	})
+	waitDone(t, done, "ring deadline paths")
+}

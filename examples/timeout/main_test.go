@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -42,5 +43,104 @@ func TestTimeoutReplyInTime(t *testing.T) {
 	}
 	if v != "pong" {
 		t.Fatalf("await = %q, want pong", v)
+	}
+}
+
+// TestDeadlineAwaitPath pins the deadline form: no timer plumbing, and the
+// error is DeadlineExceeded (which also matches context.DeadlineExceeded),
+// not Alerted.
+func TestDeadlineAwaitPath(t *testing.T) {
+	stuck := &rpc{}
+	v, err := stuck.awaitDeadline(time.Now().Add(30 * time.Millisecond))
+	if !errors.Is(err, threads.DeadlineExceeded) {
+		t.Fatalf("awaitDeadline = %q, %v, want DeadlineExceeded", v, err)
+	}
+}
+
+// staleAlertRace forces the completion/deadline race into the losing
+// position, deterministically: the wait is satisfied first, the timer
+// fires second (here: a direct Alert standing in for the AfterFunc that
+// timer.Stop failed to stop), and only then does the epilogue run. It
+// returns the outcome of the victim thread's next alertable wait — a wait
+// nothing ever signals, carried by a generous deadline, so a clean thread
+// reports DeadlineExceeded and a poisoned one reports Alerted immediately.
+func staleAlertRace(t *testing.T, drain bool) error {
+	t.Helper()
+	r := &rpc{}
+	satisfied := make(chan struct{})
+	fired := make(chan struct{})
+	probe := make(chan error, 1)
+	worker := threads.ForkNamed("victim", func() {
+		v, err := r.await()
+		if err != nil || v != "pong" {
+			probe <- fmt.Errorf("await = %q, %v before any alert", v, err)
+			return
+		}
+		satisfied <- struct{}{}
+		<-fired // the timer has lost the Stop race: a stale alert is pending
+		if drain {
+			// The fixed epilogue (what withTimeout and the *Deadline
+			// variants do): consume the fire before the next wait.
+			if !threads.TestAlert() {
+				probe <- fmt.Errorf("drain found no pending alert")
+				return
+			}
+		}
+		// else: the old epilogue — timer.Stop() alone, which cannot
+		// retract an alert already delivered.
+		idle := &rpc{} // never completed: only the deadline can end this wait
+		_, err = idle.awaitDeadline(time.Now().Add(2 * time.Second))
+		probe <- err
+	})
+	r.complete("pong")
+	<-satisfied
+	threads.Alert(worker) // the late fire
+	close(fired)
+	err := <-probe
+	threads.Join(worker)
+	return err
+}
+
+// TestOldPatternLeaksStaleAlert pins down the bug the original withTimeout
+// had: with no drain, the leftover alert from a timer that fired after the
+// call completed ends the thread's next alertable wait with a timeout that
+// never happened. (If this test ever fails, alerts stopped persisting and
+// the primitives broke — the race did not get better.)
+func TestOldPatternLeaksStaleAlert(t *testing.T) {
+	err := staleAlertRace(t, false)
+	if !errors.Is(err, threads.Alerted) {
+		t.Fatalf("next wait after the undrained race = %v, want Alerted (the stale-alert leak)", err)
+	}
+}
+
+// TestDrainEpilogueProtectsNextWait is the same forced race with the fixed
+// epilogue: the drain consumes the fire and the next wait runs to its own
+// deadline untouched.
+func TestDrainEpilogueProtectsNextWait(t *testing.T) {
+	err := staleAlertRace(t, true)
+	if !errors.Is(err, threads.DeadlineExceeded) {
+		t.Fatalf("next wait after the drained race = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestWithTimeoutSurvivesTheRace hammers the fixed withTimeout at the racy
+// boundary: completions arriving around the deadline. Every outcome must
+// be one of the two legal ones, and no run may deadlock or leak an alert
+// past its own worker.
+func TestWithTimeoutSurvivesTheRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		r := &rpc{}
+		go func() {
+			defer threads.Detach()
+			time.Sleep(time.Duration(i%3) * 50 * time.Microsecond)
+			r.complete("pong")
+		}()
+		v, err := withTimeout(time.Duration((i+1)%3)*50*time.Microsecond, r.await)
+		switch {
+		case err == nil && v == "pong":
+		case errors.Is(err, threads.Alerted) && v == "":
+		default:
+			t.Fatalf("iteration %d: withTimeout = %q, %v", i, v, err)
+		}
 	}
 }

@@ -11,20 +11,30 @@ import (
 // wait into a plain wait whose abort path silently vanishes — the timeout
 // or abort the alert was supposed to deliver never reaches the caller.
 //
+// The deadline variants (AlertWaitDeadline, AlertPDeadline,
+// AcquireDeadline) are held to the same rule for their error result: a
+// discarded DeadlineExceeded means the caller proceeds as if the wait were
+// satisfied when it was not — for AcquireDeadline, as if it held a mutex it
+// never acquired.
+//
 // A call used in any expression context counts as handled; assigning to
 // the blank identifier (`_ = s.AlertP()`) is accepted as an explicit,
 // visible decision to discard.
 var Alerted = &Analyzer{
 	Name: "alerted",
-	Doc: "check that the Alerted result of AlertWait/AlertP/TestAlert is not " +
-		"discarded (paper, Alerts: EXCEPTION Alerted is the operation's point)",
+	Doc: "check that the Alerted result of AlertWait/AlertP/TestAlert and the " +
+		"error of the *Deadline variants is not discarded (paper, Alerts: " +
+		"EXCEPTION Alerted is the operation's point)",
 	Run: runAlerted,
 }
 
 func runAlerted(pass *Pass) error {
 	for _, site := range pass.Calls {
+		deadline := false
 		switch site.Op {
 		case OpAlertWait, OpAlertP, OpTestAlert:
+		case OpAlertWaitDeadline, OpAlertPDeadline, OpAcquireDeadline:
+			deadline = true
 		default:
 			continue
 		}
@@ -40,10 +50,17 @@ func runAlerted(pass *Pass) error {
 		}
 		switch parent.(type) {
 		case *ast.ExprStmt:
-			pass.Reportf(site.Call.Pos(),
-				"result of %s is discarded: it reports whether the wait was alerted "+
-					"(the specification's EXCEPTION Alerted); handle it, or assign to _ "+
-					"to discard explicitly", callLabel(site))
+			if deadline {
+				pass.Reportf(site.Call.Pos(),
+					"error of %s is discarded: it reports DeadlineExceeded or Alerted, and "+
+						"ignoring it means proceeding as if the wait were satisfied; handle it, "+
+						"or assign to _ to discard explicitly", callLabel(site))
+			} else {
+				pass.Reportf(site.Call.Pos(),
+					"result of %s is discarded: it reports whether the wait was alerted "+
+						"(the specification's EXCEPTION Alerted); handle it, or assign to _ "+
+						"to discard explicitly", callLabel(site))
+			}
 		case *ast.GoStmt, *ast.DeferStmt:
 			pass.Reportf(site.Call.Pos(),
 				"result of %s is unobservable in go/defer position: the Alerted outcome "+

@@ -33,7 +33,7 @@ func runCondMutex(pass *Pass) error {
 	first := make(map[string]pairing) // condition key → first observed pairing
 
 	for _, site := range pass.Calls {
-		if site.Op != OpWait && site.Op != OpAlertWait {
+		if site.Op != OpWait && site.Op != OpAlertWait && site.Op != OpAlertWaitDeadline {
 			continue
 		}
 		if site.Recv == nil || site.MutexArg == nil {

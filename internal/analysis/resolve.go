@@ -34,12 +34,15 @@ const (
 	OpLock // threads.Lock / core.Lock(m, body)
 	OpWait
 	OpAlertWait
+	OpAlertWaitDeadline
 	OpSignal
 	OpBroadcast
 	OpP
 	OpTryP
 	OpV
 	OpAlertP
+	OpAlertPDeadline
+	OpAcquireDeadline
 	OpAlert
 	OpTestAlert
 	OpFork
@@ -52,8 +55,10 @@ const (
 var opNames = map[Op]string{
 	OpAcquire: "Acquire", OpTryAcquire: "TryAcquire", OpRelease: "Release",
 	OpLock: "Lock", OpWait: "Wait", OpAlertWait: "AlertWait",
+	OpAlertWaitDeadline: "AlertWaitDeadline", OpAcquireDeadline: "AcquireDeadline",
 	OpSignal: "Signal", OpBroadcast: "Broadcast",
 	OpP: "P", OpTryP: "TryP", OpV: "V", OpAlertP: "AlertP",
+	OpAlertPDeadline: "AlertPDeadline",
 	OpAlert: "Alert", OpTestAlert: "TestAlert", OpFork: "Fork", OpJoin: "Join",
 	OpSpinLock: "Lock", OpSpinTryLock: "TryLock", OpSpinUnlock: "Unlock",
 }
@@ -63,7 +68,8 @@ func (o Op) String() string { return opNames[o] }
 // Blocking reports whether the operation can suspend the calling thread.
 func (o Op) Blocking() bool {
 	switch o {
-	case OpAcquire, OpLock, OpWait, OpAlertWait, OpP, OpAlertP, OpJoin:
+	case OpAcquire, OpAcquireDeadline, OpLock, OpWait, OpAlertWait,
+		OpAlertWaitDeadline, OpP, OpAlertP, OpAlertPDeadline, OpJoin:
 		return true
 	}
 	return false
@@ -171,7 +177,7 @@ func classify(info *types.Info, call *ast.CallExpr) *CallSite {
 		}
 	}
 	switch op {
-	case OpWait, OpAlertWait:
+	case OpWait, OpAlertWait, OpAlertWaitDeadline:
 		idx := 0
 		if face == FaceSim {
 			idx = 1 // (e *sim.Env, m *Mutex)
@@ -205,6 +211,8 @@ func classifyFunc(fn *types.Func) (Face, Op) {
 				return FaceCore, OpTryAcquire
 			case "Release":
 				return FaceCore, OpRelease
+			case "AcquireDeadline":
+				return FaceCore, OpAcquireDeadline
 			}
 		case "Condition":
 			switch fn.Name() {
@@ -212,6 +220,8 @@ func classifyFunc(fn *types.Func) (Face, Op) {
 				return FaceCore, OpWait
 			case "AlertWait":
 				return FaceCore, OpAlertWait
+			case "AlertWaitDeadline":
+				return FaceCore, OpAlertWaitDeadline
 			case "Signal":
 				return FaceCore, OpSignal
 			case "Broadcast":
@@ -227,6 +237,8 @@ func classifyFunc(fn *types.Func) (Face, Op) {
 				return FaceCore, OpV
 			case "AlertP":
 				return FaceCore, OpAlertP
+			case "AlertPDeadline":
+				return FaceCore, OpAlertPDeadline
 			}
 		case "":
 			switch fn.Name() {
@@ -312,7 +324,8 @@ func recvTypeName(fn *types.Func) string {
 func trackedMethod(fn *types.Func) bool {
 	_, op := classifyFunc(fn)
 	switch op {
-	case OpWait, OpAlertWait, OpAcquire, OpRelease, OpP, OpV, OpAlertP:
+	case OpWait, OpAlertWait, OpAlertWaitDeadline, OpAcquire, OpAcquireDeadline,
+		OpRelease, OpP, OpV, OpAlertP, OpAlertPDeadline:
 		return true
 	}
 	return false

@@ -433,8 +433,22 @@ func (w *seqWalker) exprs(st *holds, list ...ast.Expr) {
 				w.walkFunc(n)
 				return false
 			case *ast.CallExpr:
-				if site, ok := w.pass.Site(n); ok && w.client.call != nil {
-					w.client.call(site, w.refOf(site), st)
+				if site, ok := w.pass.Site(n); ok {
+					if w.client.call != nil {
+						w.client.call(site, w.refOf(site), st)
+					}
+					// AcquireDeadline acquires only when it returns nil, and
+					// the walker does not track error branches, so the mutex
+					// degrades straight to maybe-held: a Release on the
+					// success path is not noise, and a leak on it is a false
+					// negative the path-insensitivity contract accepts.
+					if site.Op == OpAcquireDeadline {
+						if ref := w.refOf(site); ref.ok {
+							if _, held := st.def[ref.key]; !held {
+								st.maybe[ref.key] = holdInfo{site: site, ref: ref}
+							}
+						}
+					}
 				}
 				if w.client.node != nil {
 					return w.client.node(n, st)
@@ -454,7 +468,7 @@ func (w *seqWalker) exprs(st *holds, list ...ast.Expr) {
 func (w *seqWalker) refOf(site *CallSite) lockRef {
 	var subject ast.Expr
 	switch site.Op {
-	case OpWait, OpAlertWait, OpLock:
+	case OpWait, OpAlertWait, OpAlertWaitDeadline, OpLock:
 		subject = site.MutexArg
 	default:
 		subject = site.Recv

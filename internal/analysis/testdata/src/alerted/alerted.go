@@ -1,7 +1,11 @@
 // Fixture for the alerted analyzer.
 package alertedfix
 
-import "threads"
+import (
+	"time"
+
+	"threads"
+)
 
 var (
 	mu   threads.Mutex
@@ -58,4 +62,51 @@ func handledTest() {
 
 func explicitDiscard() {
 	_ = threads.TestAlert()
+}
+
+// The deadline variants return an error whose DeadlineExceeded/Alerted
+// outcomes are the operations' point; discarding it is the same hazard.
+
+func discardedWaitDeadline(deadline time.Time) {
+	mu.Acquire()
+	defer mu.Release()
+	for !ready {
+		cond.AlertWaitDeadline(&mu, deadline) // want "error of cond.AlertWaitDeadline is discarded"
+	}
+}
+
+func discardedPDeadline(deadline time.Time) {
+	sem.AlertPDeadline(deadline) // want "error of sem.AlertPDeadline is discarded"
+}
+
+func discardedAcquireDeadline(deadline time.Time) {
+	mu.AcquireDeadline(deadline) // want "error of mu.AcquireDeadline is discarded"
+	mu.Release()
+}
+
+func unobservableDeferDeadline(deadline time.Time) {
+	defer sem.AlertPDeadline(deadline) // want "result of sem.AlertPDeadline is unobservable in go/defer position"
+}
+
+func handledWaitDeadline(deadline time.Time) error {
+	mu.Acquire()
+	defer mu.Release()
+	for !ready {
+		if err := cond.AlertWaitDeadline(&mu, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func handledAcquireDeadline(deadline time.Time) error {
+	if err := mu.AcquireDeadline(deadline); err != nil {
+		return err
+	}
+	mu.Release()
+	return nil
+}
+
+func explicitDiscardDeadline(deadline time.Time) {
+	_ = sem.AlertPDeadline(deadline)
 }

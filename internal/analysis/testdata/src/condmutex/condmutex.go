@@ -1,7 +1,11 @@
 // Fixture for the condmutex analyzer.
 package condmutexfix
 
-import "threads"
+import (
+	"time"
+
+	"threads"
+)
 
 var (
 	muA threads.Mutex
@@ -76,6 +80,18 @@ func (b *broken) bad() {
 		b.cv.Wait(&b.other) // want "condition b.cv is waited on with mutex b.other here but with mutex b.mu"
 	}
 	b.other.Release()
+}
+
+// Deadline waits are pairing sites too: an AlertWaitDeadline naming a
+// different mutex than the condition's established one is the same bug.
+func waitDeadlineB(deadline time.Time) {
+	muB.Acquire()
+	for state == 0 {
+		if err := c.AlertWaitDeadline(&muB, deadline); err != nil { // want "condition c is waited on with mutex muB here but with mutex muA"
+			break
+		}
+	}
+	muB.Release()
 }
 
 func source() *threads.Condition { return &c }

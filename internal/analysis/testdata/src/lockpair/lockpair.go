@@ -1,7 +1,11 @@
 // Fixture for the lockpair analyzer: flagged cases.
 package lockpairfix
 
-import "threads"
+import (
+	"time"
+
+	"threads"
+)
 
 var mu threads.Mutex
 
@@ -34,6 +38,17 @@ func doubleAcquire() {
 	mu.Acquire()
 	mu.Acquire() // want "second Acquire of mu while already held"
 	mu.Release()
+}
+
+// AcquireDeadline acquires only when it returns nil, so the walker treats
+// the mutex as maybe-held: the Release on the success path is not flagged,
+// and neither is the error path that never acquired.
+func deadlineAcquire(deadline time.Time) error {
+	if err := mu.AcquireDeadline(deadline); err != nil {
+		return err
+	}
+	mu.Release()
+	return nil
 }
 
 type guarded struct {

@@ -1,7 +1,11 @@
 // Fixture for the waitloop analyzer: flagged cases.
 package waitloopfix
 
-import "threads"
+import (
+	"time"
+
+	"threads"
+)
 
 type box struct {
 	mu   threads.Mutex
@@ -37,6 +41,26 @@ func methodValue(b *box) {
 		w(&b.mu)
 	}
 	b.mu.Release()
+}
+
+// A deadline does not excuse the loop: return from AlertWaitDeadline with
+// a nil error is still only a hint.
+func deadlineNoLoop(b *box, deadline time.Time) error {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	err := b.cond.AlertWaitDeadline(&b.mu, deadline) // want "is not inside a for loop"
+	return err
+}
+
+func deadlineLooped(b *box, deadline time.Time) error {
+	b.mu.Acquire()
+	defer b.mu.Release()
+	for !b.done {
+		if err := b.cond.AlertWaitDeadline(&b.mu, deadline); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // A loop in the caller does not excuse a wait in a closure: the closure

@@ -22,7 +22,7 @@ var WaitLoop = &Analyzer{
 
 func runWaitLoop(pass *Pass) error {
 	for _, site := range pass.Calls {
-		if site.Op != OpWait && site.Op != OpAlertWait {
+		if site.Op != OpWait && site.Op != OpAlertWait && site.Op != OpAlertWaitDeadline {
 			continue
 		}
 		var guardIf *ast.IfStmt
@@ -61,7 +61,7 @@ func runWaitLoop(pass *Pass) error {
 	// A Wait captured as a method value escapes the syntactic check
 	// entirely; report it so the discipline cannot be silently bypassed.
 	for _, mv := range pass.MethodVals {
-		if name := mv.Method.Name(); name == "Wait" || name == "AlertWait" {
+		if name := mv.Method.Name(); name == "Wait" || name == "AlertWait" || name == "AlertWaitDeadline" {
 			pass.Reportf(mv.Sel.Pos(),
 				"%s is captured as a method value: the wait-in-a-loop discipline cannot be "+
 					"checked statically at its eventual call sites; call it directly inside "+

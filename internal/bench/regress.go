@@ -211,6 +211,26 @@ func CollectRegressionMetrics(quick bool) Baseline {
 	add("e17.explore_sched_per_sec", float64(sched)/expElapsed, "higher", false, 0)
 	add("e17.por_prune_frac", float64(expRep.Pruned)/float64(sched+expRep.Pruned), "higher", true, 0.02)
 
+	// E18: the deadline cancel path — arm a timer-wheel entry, take the
+	// uncontended mutex, cancel-and-drain on the way out. Steady-state
+	// allocations must be zero (the timer entry is cached per thread;
+	// that is the stable metric); the wall-clock cost is dominated by
+	// SELF recovery, shared with every alertable operation, and enforced
+	// only with -timed.
+	dlTotal := o.pick(20_000, 100_000)
+	var dm core.Mutex
+	dlFar := time.Now().Add(time.Hour)
+	ns, allocs = timeAndAllocs(dlTotal, func(n int) {
+		for i := 0; i < n; i++ {
+			if err := dm.AcquireDeadline(dlFar); err != nil {
+				panic(err)
+			}
+			dm.Release()
+		}
+	})
+	add("e18.acquire_deadline_ns", ns, "lower", false, 0)
+	add("e18.arm_cancel_allocs", allocs, "lower", true, 0.05)
+
 	// Park-path allocations, measured directly: one Fork thread blocking
 	// repeatedly on a semaphore. Zero-allocation parking is the headline
 	// property; the cached waiter makes this exactly 0 in steady state,

@@ -1,0 +1,255 @@
+package checker
+
+import (
+	"fmt"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+// The builders in this file are the sim faces of the derived/ toolkit:
+// each expresses a derived primitive's protocol with the simulated
+// paper primitives, so registering it here is what gives the primitive
+// explorer coverage (see primitives.go for the wiring contract).
+
+// simMonitor is derived.Monitor's shape: a guarded counter plus one bound
+// condition. Producers increment inside the monitor; a drainer waits on the
+// predicate count > 0 and consumes. The detectors are mutual exclusion on
+// the guarded state (monitor regions must not overlap) and conservation
+// (every increment is drained).
+func simMonitor(producers, iters int) SimProgram {
+	return SimProgram{
+		Procs: producers + 1,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			nonZero := w.NewCondition()
+			var count, inCS, overlap, drained sim.Word
+			enter := func(e *sim.Env) {
+				if e.Add(&inCS, 1) != 1 {
+					e.Store(&overlap, 1)
+				}
+			}
+			exit := func(e *sim.Env) { e.Add(&inCS, ^uint64(0)) }
+			for i := 0; i < producers; i++ {
+				k.Spawn(fmt.Sprintf("prod%d", i+1), func(e *sim.Env) {
+					for n := 0; n < iters; n++ {
+						m.Acquire(e)
+						enter(e)
+						e.Add(&count, 1)
+						exit(e)
+						m.Release(e)
+						nonZero.Signal(e)
+					}
+				})
+			}
+			total := uint64(producers * iters)
+			k.Spawn("drainer", func(e *sim.Env) {
+				taken := uint64(0)
+				m.Acquire(e)
+				for taken < total {
+					for e.Load(&count) == 0 {
+						nonZero.Wait(e, m)
+					}
+					enter(e)
+					taken += e.Load(&count)
+					e.Store(&count, 0)
+					exit(e)
+				}
+				m.Release(e)
+				e.Store(&drained, taken)
+			})
+			return func() error {
+				if overlap.Peek() != 0 {
+					return fmt.Errorf("monitor regions overlapped")
+				}
+				if got := drained.Peek(); got != total {
+					return fmt.Errorf("drained %d increments, want %d", got, total)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simMPSC is derived.Ring's protocol: a bounded circular buffer with a
+// condition per direction, multiple producers, one consumer. The detectors
+// are conservation (the consumed sum identifies lost or duplicated items)
+// and per-producer FIFO (each producer's values must arrive in its push
+// order — the property the ring's single head/tail discipline provides).
+func simMPSC(producers, items, capacity int) SimProgram {
+	return SimProgram{
+		Procs: producers + 1,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			nonEmpty := w.NewCondition()
+			nonFull := w.NewCondition()
+			buf := make([]sim.Word, capacity)
+			var head, n sim.Word // ring state, guarded by m
+			var sum, fifoBad sim.Word
+			for i := 0; i < producers; i++ {
+				base := uint64((i + 1) * 100)
+				k.Spawn(fmt.Sprintf("prod%d", i+1), func(e *sim.Env) {
+					for v := uint64(0); v < uint64(items); v++ {
+						m.Acquire(e)
+						for e.Load(&n) == uint64(capacity) {
+							nonFull.Wait(e, m)
+						}
+						slot := (e.Load(&head) + e.Load(&n)) % uint64(capacity)
+						e.Store(&buf[slot], base+v)
+						e.Add(&n, 1)
+						m.Release(e)
+						nonEmpty.Signal(e)
+					}
+				})
+			}
+			lastSeen := make([]sim.Word, producers)
+			k.Spawn("cons", func(e *sim.Env) {
+				for got := 0; got < producers*items; got++ {
+					m.Acquire(e)
+					for e.Load(&n) == 0 {
+						nonEmpty.Wait(e, m)
+					}
+					h := e.Load(&head)
+					v := e.Load(&buf[h])
+					e.Store(&buf[h], 0)
+					e.Store(&head, (h+1)%uint64(capacity))
+					e.Add(&n, ^uint64(0))
+					m.Release(e)
+					nonFull.Signal(e)
+					e.Add(&sum, v)
+					who := int(v/100) - 1
+					seq := v%100 + 1 // 1-based so "nothing seen" is 0
+					if seq <= e.Load(&lastSeen[who]) {
+						e.Store(&fifoBad, 1)
+					}
+					e.Store(&lastSeen[who], seq)
+				}
+			})
+			var want uint64
+			for i := 0; i < producers; i++ {
+				for v := 0; v < items; v++ {
+					want += uint64((i+1)*100 + v)
+				}
+			}
+			return func() error {
+				if fifoBad.Peek() != 0 {
+					return fmt.Errorf("per-producer FIFO order broken")
+				}
+				if got := sum.Peek(); got != want {
+					return fmt.Errorf("consumed sum %d, want %d (item lost or duplicated)", got, want)
+				}
+				if left := n.Peek(); left != 0 {
+					return fmt.Errorf("%d items left in the ring at quiescence", left)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simFuture is derived.Future's protocol — a single-assignment cell with
+// Broadcast on Set and an alertable Get — plus the timeout composition the
+// type documents: one getter carries a deadline (a DeadlineTimer), the
+// other waits indefinitely. Detectors: both getters that complete must see
+// the set value, and the alerted getter must not have consumed anyone
+// else's wakeup.
+func simFuture() SimProgram {
+	return SimProgram{
+		Procs: 3,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			set := w.NewCondition()
+			dt := w.NewDeadlineTimer()
+			var done, value sim.Word // future state, guarded by m
+			var got1, got2, bad sim.Word
+			deadlineGetter := k.Spawn("getterD", func(e *sim.Env) {
+				m.Acquire(e)
+				alerted := false
+				for e.Load(&done) == 0 {
+					if set.AlertWait(e, m) {
+						alerted = true
+						break
+					}
+				}
+				if !alerted {
+					if v := e.Load(&value); v != 7 {
+						e.Store(&bad, 1)
+					}
+					e.Store(&got1, 1)
+				}
+				m.Release(e)
+				dt.CancelAndDrain(e)
+			})
+			k.Spawn("getter", func(e *sim.Env) {
+				m.Acquire(e)
+				for e.Load(&done) == 0 {
+					set.Wait(e, m)
+				}
+				if v := e.Load(&value); v != 7 {
+					e.Store(&bad, 1)
+				}
+				m.Release(e)
+				e.Store(&got2, 1)
+			})
+			k.Spawn("setter", func(e *sim.Env) {
+				dt.Fire(e, deadlineGetter)
+				m.Acquire(e)
+				e.Store(&value, 7)
+				e.Store(&done, 1)
+				m.Release(e)
+				set.Broadcast(e)
+			})
+			return func() error {
+				if bad.Peek() != 0 {
+					return fmt.Errorf("a getter observed the wrong value")
+				}
+				if got2.Peek() == 0 {
+					return fmt.Errorf("the plain getter never completed")
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// simLatch is derived.Latch's protocol: a one-shot gate opened by
+// Broadcast. openers CountDown-style threads open it once; waiters must
+// not pass while it is closed.
+func simLatch(waiters int) SimProgram {
+	return SimProgram{
+		Procs: waiters + 1,
+		Build: func(w *simthreads.World, k *simthreads.Kernel) func() error {
+			m := w.NewMutex()
+			opened := w.NewCondition()
+			var open, passedEarly, passed sim.Word
+			for i := 0; i < waiters; i++ {
+				k.Spawn(fmt.Sprintf("w%d", i+1), func(e *sim.Env) {
+					m.Acquire(e)
+					for e.Load(&open) == 0 {
+						opened.Wait(e, m)
+					}
+					m.Release(e)
+					if e.Load(&open) == 0 {
+						e.Store(&passedEarly, 1)
+					}
+					e.Add(&passed, 1)
+				})
+			}
+			k.Spawn("opener", func(e *sim.Env) {
+				m.Acquire(e)
+				e.Store(&open, 1)
+				m.Release(e)
+				opened.Broadcast(e)
+			})
+			return func() error {
+				if passedEarly.Peek() != 0 {
+					return fmt.Errorf("a waiter passed the latch before it opened")
+				}
+				if got := passed.Peek(); got != uint64(waiters) {
+					return fmt.Errorf("%d waiters passed, want %d (lost wakeup)", got, waiters)
+				}
+				return nil
+			}
+		},
+	}
+}

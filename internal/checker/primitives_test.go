@@ -1,0 +1,76 @@
+package checker
+
+import (
+	"testing"
+
+	"threads/internal/analysis"
+)
+
+// TestPrimitiveRegistryClosed is the growth test: every registered
+// primitive must be fully wired — a spec face, at least one litmus that
+// resolves and gives it explorer coverage, and at least one threadsvet
+// obligation naming a real analyzer — and conversely every litmus must be
+// claimed by some primitive. A new derived primitive therefore cannot ship
+// half-wired: adding it to Primitives() without a litmus fails here, and
+// adding a litmus without declaring whose behavior it checks fails too.
+func TestPrimitiveRegistryClosed(t *testing.T) {
+	analyzers := make(map[string]bool)
+	for _, a := range analysis.All() {
+		analyzers[a.Name] = true
+	}
+	layers := map[string]bool{"paper": true, "internal": true, "derived": true}
+
+	claimed := make(map[string]string) // litmus name -> claiming primitive
+	seen := make(map[string]bool)
+	for _, p := range Primitives() {
+		if p.Name == "" {
+			t.Fatal("primitive with empty name")
+		}
+		if seen[p.Name] {
+			t.Errorf("%s: registered twice", p.Name)
+		}
+		seen[p.Name] = true
+		if !layers[p.Layer] {
+			t.Errorf("%s: unknown layer %q", p.Name, p.Layer)
+		}
+		if p.SpecFace == "" {
+			t.Errorf("%s: no spec face", p.Name)
+		}
+		if len(p.Litmuses) == 0 {
+			t.Errorf("%s: no litmus — the primitive has no explorer coverage", p.Name)
+		}
+		for _, name := range p.Litmuses {
+			lit := LitmusByName(name)
+			if lit == nil {
+				t.Errorf("%s: litmus %q is not in the registry", p.Name, name)
+				continue
+			}
+			// Explorer coverage means the sim face exists: the explorer
+			// and both CI pipelines iterate Registry() and drive Sim.
+			if lit.Sim.Build == nil || lit.Sim.Procs <= 0 {
+				t.Errorf("%s: litmus %q has no sim face, so the explorer cannot cover it", p.Name, name)
+			}
+			if prev, dup := claimed[name]; dup && prev != p.Name {
+				// Shared litmuses are fine (e.g. alert scenarios exercise
+				// the condition too) but must be intentional; today each
+				// litmus has one owning primitive.
+				t.Errorf("litmus %q claimed by both %s and %s", name, prev, p.Name)
+			}
+			claimed[name] = p.Name
+		}
+		if len(p.VetObligations) == 0 {
+			t.Errorf("%s: no threadsvet obligation", p.Name)
+		}
+		for _, ob := range p.VetObligations {
+			if !analyzers[ob] {
+				t.Errorf("%s: vet obligation %q names no analyzer in analysis.All()", p.Name, ob)
+			}
+		}
+	}
+
+	for _, lit := range Registry() {
+		if claimed[lit.Name] == "" {
+			t.Errorf("litmus %q is claimed by no primitive — declare whose behavior it checks in Primitives()", lit.Name)
+		}
+	}
+}

@@ -125,6 +125,37 @@ func Registry() []*Litmus {
 			Desc: "cyclic barrier from mutex+condition: 3 threads x 2 phases, Broadcast on the last arrival",
 			Sim:  simPhaser(3, 2),
 		},
+		{
+			Name: "deadline",
+			Desc: "deadline wait via timer-thread Alert (virtual time): cancel-and-drain epilogue; a late fire must not poison the next wait",
+			Sim:  simDeadline(false),
+		},
+		{
+			Name:            "deadline-broken",
+			Desc:            "the stale-alert timeout race: cancel without drain (the timer.Stop pattern) lets a late fire poison the next wait (violation expected)",
+			ExpectViolation: true,
+			Sim:             simDeadline(true),
+		},
+		{
+			Name: "monitor",
+			Desc: "monitor (mutex + bound condition): 2 producers x 1 increment, drainer on count>0; overlap and conservation detectors",
+			Sim:  simMonitor(2, 1),
+		},
+		{
+			Name: "mpsc",
+			Desc: "bounded MPSC ring, capacity 1: 2 producers x 2 items, 1 consumer; conservation and per-producer FIFO detectors",
+			Sim:  simMPSC(2, 2, 1),
+		},
+		{
+			Name: "future",
+			Desc: "single-assignment future: a deadline-carrying getter and a plain getter race one Set (timer via DeadlineTimer)",
+			Sim:  simFuture(),
+		},
+		{
+			Name: "latch",
+			Desc: "one-shot latch: 2 waiters must not pass before the opener's Broadcast",
+			Sim:  simLatch(2),
+		},
 	}
 }
 

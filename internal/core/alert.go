@@ -25,6 +25,16 @@ var Alerted = errors.New("threads: alerted")
 // Alert also makes it ready; if not, the alert stays pending until t calls
 // TestAlert, AlertWait or AlertP. Alerting a thread blocked in plain Wait,
 // P or Acquire does not disturb it — only the alertable operations respond.
+//
+// Drain obligation: an alert, once inserted, persists until t consumes it.
+// A caller using Alert for a timeout that can RACE the awaited event
+// (time.AfterFunc firing against normal completion, say) therefore owns a
+// cleanup obligation — if the event wins, the now-stale alert must be
+// drained (TestAlert on t, by t) before t's next alertable wait, or it will
+// poison that wait. Cancelling the timer is not enough: a Stop after the
+// function has run does not retract the Alert. The deadline variants
+// (AlertWaitDeadline, AlertPDeadline, AcquireDeadline) discharge this
+// obligation internally and should be preferred for timeouts.
 func Alert(t *Thread) {
 	statIncT(t, statAlerts)
 	traced := traceOn.Load()
@@ -70,8 +80,13 @@ func Alert(t *Thread) {
 //	ATOMIC PROCEDURE TestAlert() RETURNS (b: bool)
 //	  MODIFIES AT MOST [alerts]
 //	  ENSURES (b = (SELF IN alerts)) & (alerts' = delete(alerts, SELF))
-func TestAlert() bool {
-	t := Self()
+func TestAlert() bool { return testAlertT(Self()) }
+
+// testAlertT is TestAlert with SELF already recovered. The deadline
+// epilogue (finishDeadline) uses it so one deadline operation computes SELF
+// once — the runtime.Stack header parse behind Self dominates the cost of
+// every alertable operation, so the variants must not pay it twice.
+func testAlertT(t *Thread) bool {
 	var b bool
 	if traceOn.Load() {
 		// Stamp the read-and-delete under alertLock so it cannot straddle a

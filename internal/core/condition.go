@@ -387,8 +387,11 @@ func (c *Condition) Broadcast() {
 // caller is in a critical section either way. The RETURNS and RAISES WHEN
 // clauses overlap; when a Signal and an Alert race, either outcome may be
 // observed (experiment E8).
-func (c *Condition) AlertWait(m *Mutex) error {
-	t := Self()
+func (c *Condition) AlertWait(m *Mutex) error { return c.alertWait(m, Self()) }
+
+// alertWait is AlertWait with SELF already recovered, so AlertWaitDeadline
+// pays the identity lookup once per operation rather than once per layer.
+func (c *Condition) alertWait(m *Mutex, t *Thread) error {
 	statIncT(t, statWaitCount)
 	c.committed.Add(1)
 	if traceOn.Load() {

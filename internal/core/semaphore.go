@@ -65,8 +65,11 @@ func (s *Semaphore) V() {
 // implementation makes an arbitrary choice (the non-determinism discussed
 // in the paper — the original specification required raising if possible,
 // and was weakened to match the more efficient implementation).
-func (s *Semaphore) AlertP() error {
-	t := Self()
+func (s *Semaphore) AlertP() error { return s.alertP(Self()) }
+
+// alertP is AlertP with SELF already recovered, so AlertPDeadline pays the
+// identity lookup once per operation rather than once per layer.
+func (s *Semaphore) alertP(t *Thread) error {
 	var tc traceCtx
 	if traceOn.Load() {
 		tc = traceCtx{kind: TraceAlertPReturn, tid: t.id}

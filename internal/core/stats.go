@@ -48,6 +48,11 @@ type Stats struct {
 	AlertedWait   uint64 // AlertWait returned Alerted
 	AlertedP      uint64 // AlertP returned Alerted
 	TestAlertTrue uint64 // TestAlert returned true
+
+	TimerArm    uint64 // deadline waits that armed a timer-wheel entry
+	TimerFire   uint64 // wheel entries that fired (delivered an Alert)
+	TimerCancel uint64 // wheel entries cancelled before firing
+	TimerDrain  uint64 // stale timer alerts drained after a satisfied wait
 }
 
 // statID names one counter; it indexes into a shard's counter block.
@@ -87,6 +92,10 @@ const (
 	statAlertedWait
 	statAlertedP
 	statTestAlertTrue
+	statTimerArm
+	statTimerFire
+	statTimerCancel
+	statTimerDrain
 	numStats
 )
 
@@ -214,6 +223,10 @@ func SnapshotStats() Stats {
 		AlertedWait:    c[statAlertedWait],
 		AlertedP:       c[statAlertedP],
 		TestAlertTrue:  c[statTestAlertTrue],
+		TimerArm:       c[statTimerArm],
+		TimerFire:      c[statTimerFire],
+		TimerCancel:    c[statTimerCancel],
+		TimerDrain:     c[statTimerDrain],
 	}
 }
 

@@ -42,6 +42,11 @@ type Thread struct {
 	// done is closed when a forked thread's function returns. Join
 	// receives on it. Adopted threads have a nil done channel.
 	done chan struct{}
+
+	// timerE is the thread's cached timer-wheel entry, reused by every
+	// deadline wait so arming allocates nothing in steady state. Only the
+	// owning thread touches the field (see timerwheel.go).
+	timerE *timerEntry
 }
 
 // ID returns a process-unique identifier for the thread.

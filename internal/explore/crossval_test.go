@@ -17,12 +17,12 @@ import (
 // certificate — must be identical to the unoptimized explorer's.
 
 // crossValK returns the context bound a litmus is cross-validated at: 2,
-// except for prodcons and phaser, whose naive k=2 spaces alone take
+// except for prodcons, phaser and mpsc, whose naive k=2 spaces alone take
 // minutes (the optimized explorer covers them at k=2 in seconds, but the
 // naive reference side would dominate the whole test suite), and except
 // in -short mode.
 func crossValK(lit *checker.Litmus) int {
-	if testing.Short() || lit.Name == "prodcons" || lit.Name == "phaser" {
+	if testing.Short() || lit.Name == "prodcons" || lit.Name == "phaser" || lit.Name == "mpsc" {
 		return 1
 	}
 	return 2

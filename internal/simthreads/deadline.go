@@ -1,0 +1,65 @@
+package simthreads
+
+import "threads/internal/sim"
+
+// DeadlineTimer models one armed timer-wheel entry (internal/core's
+// timerEntry) on the simulated multiprocessor, in virtual time: the wheel's
+// runner goroutine becomes an explicit "timer" thread whose single Fire
+// step the explorer places anywhere in the schedule. Where the step lands
+// IS the firing time — before the wait (a pending alert), during it (the
+// deadline path), or after the wait is satisfied (the stale-alert race) —
+// so bounded-exhaustive exploration model-checks every deadline/completion
+// interleaving without any clock.
+//
+// The claim word carries the core entry's armed→{firing,cancelled} CAS: the
+// first TAS wins, exactly one of Fire and Cancel takes effect.
+type DeadlineTimer struct {
+	w     *World
+	claim sim.Word // 0 = armed; 1 = claimed by Fire or by a cancel
+	fired sim.Word // set by Fire after the Alert is delivered
+}
+
+// NewDeadlineTimer creates an armed timer (the simulated analogue of
+// core's armDeadline).
+func (w *World) NewDeadlineTimer() *DeadlineTimer {
+	return &DeadlineTimer{w: w}
+}
+
+// Fire delivers the deadline to t: the timer thread's one step, placed by
+// the explored schedule. A cancel that already claimed the entry makes
+// Fire a no-op.
+func (dt *DeadlineTimer) Fire(e *sim.Env, t *sim.T) {
+	if e.TAS(&dt.claim) != 0 {
+		return // cancelled first: the deadline never fires
+	}
+	dt.w.Alert(e, t)
+	e.Store(&dt.fired, 1)
+}
+
+// CancelAndDrain is the deadline epilogue run by the owning thread on every
+// exit path (core's cancelAndDrain + finishDeadline drain): claim the entry
+// or, if Fire won, wait out the delivery and drain the alert so it cannot
+// poison a later wait. Reports whether the deadline fired.
+func (dt *DeadlineTimer) CancelAndDrain(e *sim.Env) (fired bool) {
+	if e.TAS(&dt.claim) == 0 {
+		return false // cancel won: the entry never alerted and never will
+	}
+	for {
+		v := e.Load(&dt.fired)
+		if v != 0 {
+			break
+		}
+		e.AwaitChange(sim.WordVal{W: &dt.fired, Old: v})
+	}
+	_ = dt.w.TestAlert(e) // drain; false if the wait consumed the alert itself
+	return true
+}
+
+// CancelBroken models the hand-rolled pattern this package's deadline
+// variants replace: timer.Stop with no drain. A Stop that loses the race
+// (Fire already claimed) leaves the delivered alert pending — the
+// stale-alert bug the "deadline-broken" litmus expects exploration to
+// expose.
+func (dt *DeadlineTimer) CancelBroken(e *sim.Env) {
+	e.TAS(&dt.claim)
+}

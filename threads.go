@@ -56,6 +56,25 @@
 // TestAlert. It is typically used for timeouts and aborts, where the
 // decision to interrupt happens at a higher abstraction level than the wait.
 //
+// # Deadlines and cancellation
+//
+// The deadline variants — Condition.AlertWaitDeadline,
+// Semaphore.AlertPDeadline, Mutex.AcquireDeadline — are alertable waits
+// that also give up when a deadline passes, returning DeadlineExceeded.
+// They are built on an internal timer wheel that delivers the deadline by
+// Alert, and they cancel-and-drain their own timer entry on every exit
+// path, so they are immune to the stale-alert race of the hand-rolled
+// pattern (arrange an Alert with time.AfterFunc, Stop the timer on
+// completion): when completion races the timer, Stop can lose, and the
+// leftover alert poisons the thread's next alertable wait. Prefer the
+// deadline variants for timeouts; see Alert for the drain obligation the
+// hand-rolled pattern carries. WithContext and AlertOnDone bridge
+// context.Context cancellation onto the same mechanism:
+//
+//	err := threads.WithContext(ctx, func() error {
+//	    return c.AlertWait(&m)
+//	})
+//
 // # Threads
 //
 // The primitives identify callers by Thread. Goroutines created by Fork are
@@ -143,6 +162,16 @@ func Lock(m *Mutex, body func()) { core.Lock(m, body) }
 //
 //	ATOMIC PROCEDURE Alert(t: Thread)
 //	  MODIFIES AT MOST [alerts]  ENSURES alerts' = insert(alerts, t)
+//
+// Drain obligation: an alert, once inserted, persists until t consumes it
+// (TestAlert, or the Alerted return of AlertWait/AlertP). Code that uses
+// Alert for a timeout which can race the awaited event must, when the event
+// wins, have t drain the stale alert with TestAlert before t's next
+// alertable wait — cancelling the timer is not enough, since a Stop after
+// the timer function has run does not retract the Alert. The deadline
+// variants (AlertWaitDeadline, AlertPDeadline, AcquireDeadline) and the
+// context bridge (WithContext, AlertOnDone) discharge this obligation
+// internally; prefer them for timeouts.
 func Alert(t *Thread) { core.Alert(t) }
 
 // TestAlert reports whether the calling thread has a pending alert,
