@@ -56,6 +56,8 @@ type config struct {
 	consumers int
 	items     int
 	capacity  int
+	med       int
+	pi        bool
 	seed      int64
 
 	// Trace mode.
@@ -73,6 +75,7 @@ type config struct {
 	por        string // off or sleepsets
 	workers    int
 	stateCache string // directory for fingerprint snapshots
+	summary    string // markdown summary file (-explore), e.g. $GITHUB_STEP_SUMMARY
 }
 
 // flagOwner maps each flag to the only modes allowed to set it.
@@ -86,6 +89,8 @@ var flagOwner = map[string][]mode{
 	"consumers":  {modeWorkload},
 	"items":      {modeWorkload},
 	"capacity":   {modeWorkload},
+	"med":        {modeWorkload},
+	"pi":         {modeWorkload},
 	"procs":      {modeWorkload, modeTrace},
 	"seed":       {modeWorkload, modeTrace, modeFuzz},
 	"record":     {modeTrace},
@@ -96,14 +101,25 @@ var flagOwner = map[string][]mode{
 	"por":        {modeExplore},
 	"workers":    {modeExplore},
 	"statecache": {modeExplore},
+	"summary":    {modeExplore},
 	"runs":       {modeFuzz},
 }
 
-// contentionOnly / prodconsOnly split the workload flags by workload.
-var (
-	contentionOnly = []string{"threads", "iters", "cswork"}
-	prodconsOnly   = []string{"producers", "consumers", "items", "capacity"}
-)
+// workloadOwner maps each workload-specific flag to the workloads that
+// accept it; flags absent here (-think, -procs, -seed) are shared by all
+// workloads. The same strictness as flagOwner: a priority knob on a
+// contention run would be silently ignored, so it is an error instead.
+var workloadOwner = map[string][]string{
+	"threads":   {"contention"},
+	"iters":     {"contention", "priority"},
+	"cswork":    {"contention"},
+	"producers": {"prodcons"},
+	"consumers": {"prodcons"},
+	"items":     {"prodcons"},
+	"capacity":  {"prodcons"},
+	"med":       {"priority"},
+	"pi":        {"priority"},
+}
 
 // parseFlags parses and validates an argument list (without the program
 // name). It returns a usage error — never calls os.Exit — so main can
@@ -113,7 +129,7 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	fs := flag.NewFlagSet("threadsim", flag.ContinueOnError)
 	fs.SetOutput(usageOut)
 
-	fs.StringVar(&c.workload, "workload", "contention", "contention or prodcons")
+	fs.StringVar(&c.workload, "workload", "contention", "contention, prodcons or priority")
 	fs.IntVar(&c.procs, "procs", 5, "simulated processors (the Firefly had 5)")
 	fs.IntVar(&c.threads, "threads", 8, "threads (contention workload)")
 	fs.IntVar(&c.iters, "iters", 500, "critical sections per thread (contention)")
@@ -123,6 +139,8 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	fs.IntVar(&c.consumers, "consumers", 4, "consumers (prodcons workload)")
 	fs.IntVar(&c.items, "items", 200, "items per producer (prodcons)")
 	fs.IntVar(&c.capacity, "capacity", 8, "buffer capacity (prodcons)")
+	fs.IntVar(&c.med, "med", 0, "medium-priority compute threads (priority workload); 0 = one per processor")
+	fs.BoolVar(&c.pi, "pi", false, "enable priority inheritance on the mutex (priority workload)")
 	fs.Int64Var(&c.seed, "seed", 1, "scheduling seed (workload/trace) or base fuzz seed")
 	traced := fs.Bool("trace", false, "run the mixed workload, record the action trace, check it against the formal specification")
 	fs.StringVar(&c.record, "record", "", "with -trace: also write the trace to this file (JSON Lines)")
@@ -137,6 +155,7 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	fs.StringVar(&c.por, "por", "sleepsets", "partial-order reduction for -explore: off or sleepsets")
 	fs.IntVar(&c.workers, "workers", runtime.GOMAXPROCS(0), "parallel exploration workers (-explore); 1 = serial")
 	fs.StringVar(&c.stateCache, "statecache", "", "directory for state-fingerprint snapshots (-explore): resume pruning across runs")
+	fs.StringVar(&c.summary, "summary", "", "append a markdown exploration summary to this file (-explore); point it at $GITHUB_STEP_SUMMARY in CI")
 
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -195,20 +214,29 @@ func parseFlags(args []string, usageOut io.Writer) (*config, error) {
 	switch c.mode {
 	case modeWorkload:
 		switch c.workload {
-		case "contention":
-			for _, f := range prodconsOnly {
-				if set[f] {
-					return nil, fmt.Errorf("-%s only applies to -workload prodcons", f)
-				}
-			}
-		case "prodcons":
-			for _, f := range contentionOnly {
-				if set[f] {
-					return nil, fmt.Errorf("-%s only applies to -workload contention", f)
-				}
-			}
+		case "contention", "prodcons", "priority":
 		default:
-			return nil, fmt.Errorf("unknown workload %q (want contention or prodcons)", c.workload)
+			return nil, fmt.Errorf("unknown workload %q (want contention, prodcons or priority)", c.workload)
+		}
+		var strayWl []string
+		for name, wls := range workloadOwner {
+			if !set[name] {
+				continue
+			}
+			ok := false
+			for _, wl := range wls {
+				if wl == c.workload {
+					ok = true
+				}
+			}
+			if !ok {
+				strayWl = append(strayWl, name)
+			}
+		}
+		if len(strayWl) > 0 {
+			sort.Strings(strayWl)
+			name := strayWl[0]
+			return nil, fmt.Errorf("-%s only applies to -workload %s", name, strings.Join(workloadOwner[name], " or "))
 		}
 		if c.procs < 1 {
 			return nil, fmt.Errorf("-procs must be at least 1")

@@ -28,11 +28,17 @@ func TestParseModes(t *testing.T) {
 		want mode
 	}{
 		{[]string{"-workload", "prodcons", "-producers", "2"}, modeWorkload},
+		{[]string{"-workload", "priority", "-pi", "-med", "3"}, modeWorkload},
+		{[]string{"-workload", "priority", "-iters", "50", "-procs", "2"}, modeWorkload},
 		{[]string{"-trace", "-record", "out.jsonl"}, modeTrace},
 		{[]string{"-replay", "x.json"}, modeReplay},
 		{[]string{"-explore", "-maxk", "1", "-litmus", "mutex"}, modeExplore},
 		{[]string{"-explore", "-maxk", "1", "-litmus", "deadline, phaser,mpsc"}, modeExplore},
+		{[]string{"-explore", "-maxk", "2", "-litmus", "priority-inversion"}, modeExplore},
+		{[]string{"-explore", "-litmus", "priority-inversion,priority-inversion-broken"}, modeExplore},
+		{[]string{"-explore", "-summary", "sum.md"}, modeExplore},
 		{[]string{"-fuzz", "-runs", "10", "-seed", "3"}, modeFuzz},
+		{[]string{"-fuzz", "-litmus", "priority-inversion-broken", "-runs", "10"}, modeFuzz},
 		{[]string{"-explore", "-budget", "90s", "-cert", "out"}, modeExplore},
 	} {
 		c, err := parse(t, tc.args...)
@@ -58,6 +64,21 @@ func TestParseRejectsCrossModeFlags(t *testing.T) {
 		{[]string{"-workload", "prodcons", "-cswork", "5"}, "-cswork only applies"},
 		{[]string{"-workload", "contention", "-producers", "2"}, "-producers only applies to -workload prodcons"},
 		{[]string{"-capacity", "4"}, "-capacity only applies"},
+		// Priority knobs are rejected everywhere but the priority workload —
+		// in particular in replay mode, where they could silently suggest
+		// the replay honors them.
+		{[]string{"-pi"}, "-pi only applies to -workload priority"},
+		{[]string{"-med", "2"}, "-med only applies to -workload priority"},
+		{[]string{"-workload", "prodcons", "-pi"}, "-pi only applies to -workload priority"},
+		{[]string{"-workload", "priority", "-threads", "4"}, "-threads only applies to -workload contention"},
+		{[]string{"-workload", "priority", "-cswork", "9"}, "-cswork only applies to -workload contention"},
+		{[]string{"-replay", "x", "-pi"}, "-pi cannot be used with -replay"},
+		{[]string{"-replay", "x", "-med", "2"}, "-med cannot be used with -replay"},
+		{[]string{"-explore", "-pi"}, "-pi cannot be used with -explore"},
+		{[]string{"-fuzz", "-runs", "5", "-med", "2"}, "-med cannot be used with -fuzz"},
+		{[]string{"-summary", "s.md"}, "-summary cannot be used with -workload"},
+		{[]string{"-fuzz", "-runs", "5", "-summary", "s.md"}, "-summary cannot be used with -fuzz"},
+		{[]string{"-replay", "x", "-summary", "s.md"}, "-summary cannot be used with -replay"},
 		{[]string{"-workload", "nosuch"}, "unknown workload"},
 		{[]string{"-explore", "-threads", "4"}, "-threads cannot be used with -explore"},
 		{[]string{"-fuzz", "-maxk", "2"}, "-maxk cannot be used with -fuzz"},

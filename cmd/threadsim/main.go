@@ -96,6 +96,13 @@ func writeCert(dir string, cert *explore.Certificate) (string, error) {
 	return path, nil
 }
 
+// summaryRow pairs a litmus with its exploration report for the -summary
+// markdown writer.
+type summaryRow struct {
+	lit *checker.Litmus
+	rep *explore.Report
+}
+
 func runExplore(c *config) int {
 	lits := selected(c)
 	var deadline time.Time
@@ -107,6 +114,7 @@ func runExplore(c *config) int {
 		por = explore.PORSleepSets
 	}
 	fail := 0
+	var rows []summaryRow
 	for i, lit := range lits {
 		opts := explore.Options{
 			MaxPreemptions: c.maxK,
@@ -129,8 +137,12 @@ func runExplore(c *config) int {
 				return 1
 			}
 		}
+		rows = append(rows, summaryRow{lit, rep})
+		// The schedule cap firing means the space was not exhausted and
+		// the "explored clean" claim is hollow — that is a failure, unlike
+		// an explicit wall-clock -budget, which the caller asked for.
 		status := "ok"
-		if !rep.Ok() {
+		if !rep.Ok() || rep.SchedCapHit {
 			status = "FAIL"
 			fail++
 		}
@@ -149,7 +161,7 @@ func runExplore(c *config) int {
 			fmt.Printf("    partial: wall-clock budget exhausted before the space\n")
 		}
 		if rep.SchedCapHit {
-			fmt.Printf("    partial: per-bound schedule cap hit before the space\n")
+			fmt.Printf("    FAIL: per-bound schedule cap hit before the space was exhausted\n")
 		}
 		if rep.Violation != nil {
 			fmt.Printf("    violation (%s): %s\n", rep.Violation.Kind, rep.Violation.Detail)
@@ -172,12 +184,70 @@ func runExplore(c *config) int {
 			fmt.Printf("    FAIL: intentionally broken litmus explored clean — checker regression\n")
 		}
 	}
+	if c.summary != "" {
+		if err := writeSummary(c.summary, c.maxK, rows, fail); err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			return 1
+		}
+	}
 	if fail > 0 {
 		fmt.Printf("explore: %d of %d litmus programs FAILED\n", fail, len(lits))
 		return 1
 	}
 	fmt.Printf("explore: all %d litmus programs ok at k<=%d\n", len(lits), c.maxK)
 	return 0
+}
+
+// writeSummary appends a markdown exploration report to path — the format
+// GitHub renders when the path is $GITHUB_STEP_SUMMARY.
+func writeSummary(path string, maxK int, rows []summaryRow, fail int) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "## Schedule exploration (k ≤ %d)\n\n", maxK)
+	fmt.Fprintf(f, "| litmus | status | schedules | decisions | per bound | elapsed | notes |\n")
+	fmt.Fprintf(f, "|---|---|---:|---:|---|---:|---|\n")
+	totalRuns := 0
+	for _, r := range rows {
+		rep := r.rep
+		totalRuns += rep.Runs
+		status := "ok"
+		if !rep.Ok() || rep.SchedCapHit {
+			status = "**FAIL**"
+		}
+		var perK []string
+		for _, ks := range rep.PerK {
+			perK = append(perK, fmt.Sprintf("k%d: %d", ks.K, ks.Schedules))
+		}
+		var notes []string
+		if rep.Violation != nil {
+			note := fmt.Sprintf("%s violation", rep.Violation.Kind)
+			if r.lit.ExpectViolation {
+				note += " (expected)"
+			}
+			notes = append(notes, note)
+		} else if r.lit.ExpectViolation {
+			notes = append(notes, "broken litmus explored clean")
+		}
+		if rep.BudgetHit {
+			notes = append(notes, "partial: budget hit")
+		}
+		if rep.SchedCapHit {
+			notes = append(notes, "partial: schedule cap hit")
+		}
+		fmt.Fprintf(f, "| %s | %s | %d | %d | %s | %s | %s |\n",
+			r.lit.Name, status, rep.Runs, rep.Decisions,
+			strings.Join(perK, ", "), rep.Elapsed.Round(time.Millisecond),
+			strings.Join(notes, "; "))
+	}
+	if fail > 0 {
+		fmt.Fprintf(f, "\n**%d of %d litmus programs failed.**\n\n", fail, len(rows))
+	} else {
+		fmt.Fprintf(f, "\n%d schedules visited; all %d litmus programs ok.\n\n", totalRuns, len(rows))
+	}
+	return nil
 }
 
 func runFuzz(c *config) int {
@@ -318,6 +388,33 @@ func runWorkload(c *config) {
 			res.Stats.SignalFast, res.Stats.SignalNub, res.Stats.SignalWoke)
 		fmt.Printf("  broadcasts      fast %d, nub %d, woke %d\n",
 			res.Stats.BcastFast, res.Stats.BcastNub, res.Stats.BcastWoke)
+	case "priority":
+		pcfg := workload.DefaultPriorityConfig(c.pi)
+		pcfg.Procs = c.procs
+		pcfg.Med = c.med
+		if pcfg.Med == 0 {
+			// The band must cover every processor or the holder is never
+			// starved and the run measures nothing.
+			pcfg.Med = c.procs
+		}
+		pcfg.Iters = c.iters
+		pcfg.Seed = c.seed
+		res, err := workload.SimPriorityTail(pcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadsim:", err)
+			os.Exit(1)
+		}
+		inh := "off"
+		if c.pi {
+			inh = "on"
+		}
+		fmt.Printf("priority: %d procs, %d medium threads, %d acquisitions, inheritance %s\n",
+			pcfg.Procs, pcfg.Med, res.Samples, inh)
+		fmt.Printf("  high-priority acquire latency (sim instructions):\n")
+		fmt.Printf("  p50  %8d\n  p99  %8d\n  p999 %8d\n  max  %8d\n", res.P50, res.P99, res.P999, res.Max)
+		fmt.Printf("  makespan          %d instructions\n", res.Makespan)
+		fmt.Printf("  acquire fast/nub  %d / %d (parks %d)\n",
+			res.Stats.AcquireFast, res.Stats.AcquireNub, res.Stats.AcquirePark)
 	}
 }
 

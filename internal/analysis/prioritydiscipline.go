@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PriorityDiscipline checks that no scheduling priority is changed — and no
+// priority-carrying thread forked — while a spin lock from internal/spinlock
+// is held. Thread.SetPriority and Mutex.SetPriorityInheritance take the
+// target thread's donation lock, which by the core lock order is the DEEPEST
+// lock in the system (gate spin lock → donation lock, never the reverse);
+// calling them with any spin lock held either inverts that order or extends
+// a Nub critical section by a full donation-table recalculation plus trace
+// emission. ForkPri/ForkNamedPri additionally allocate and spawn. The
+// nubdiscipline analyzer catches generic blocking and allocation; this one
+// names the priority API specifically, because Thread.SetPriority is
+// spin-lock-free in isolation and would otherwise pass.
+//
+// Flagged while a spin lock is held:
+//
+//   - Thread.SetPriority and Mutex.SetPriorityInheritance (donation-lock
+//     order violation);
+//   - ForkPri / ForkNamedPri (allocation and scheduler entry with a
+//     priority in hand);
+//   - calls to same-package functions that transitively do any of the above.
+//
+// The analyzer runs only on packages that import internal/spinlock, and not
+// on internal/spinlock itself.
+var PriorityDiscipline = &Analyzer{
+	Name: "prioritydiscipline",
+	Doc: "check that no priority is set and no priority-carrying thread is " +
+		"forked while an internal/spinlock lock is held (the donation lock " +
+		"is the deepest lock; see DESIGN.md on priority inheritance)",
+	Run: runPriorityDiscipline,
+}
+
+func runPriorityDiscipline(pass *Pass) error {
+	if pass.Pkg.ImportPath == pkgSpinlock {
+		return nil
+	}
+	imports := false
+	for _, imp := range pass.Pkg.Types.Imports() {
+		if imp.Path() == pkgSpinlock {
+			imports = true
+			break
+		}
+	}
+	if !imports {
+		return nil
+	}
+
+	sums := newPriorityCallSummaries(pass)
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, lock, what string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "%s while spin lock %s is held: priority changes take the "+
+			"donation lock, the deepest lock in the core lock order (DESIGN.md)", what, lock)
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			w := &seqWalker{pass: pass}
+			w.client = seqClient{
+				node: func(n ast.Node, st *holds) bool {
+					lock, held := spinHeld(st)
+					if !held {
+						return true
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if what := classifyPriorityCall(pass, sums, call); what != "" {
+						report(call.Pos(), lock, what)
+						return false
+					}
+					return true
+				},
+			}
+			w.walkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// classifyPriorityCall returns a description if call reaches the priority
+// API (directly, or transitively through a same-package function), else "".
+func classifyPriorityCall(pass *Pass, sums *priorityCallSummaries, call *ast.CallExpr) string {
+	fn, ok := Callee(pass.Pkg.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	if what := priorityAPICall(fn); what != "" {
+		return what
+	}
+	if fn.Pkg().Path() == pass.Pkg.ImportPath {
+		if hit := sums.lookup(fn); hit != nil {
+			return fmt.Sprintf("call to %s, which performs %s at %s",
+				fn.Name(), hit.what, pass.Fset.Position(hit.pos))
+		}
+	}
+	return ""
+}
+
+// priorityAPICall names the priority-mutating entry points of the threads
+// facade and internal/core (the facade is type aliases onto core, so both
+// resolve to core objects).
+func priorityAPICall(fn *types.Func) string {
+	switch fn.Pkg().Path() {
+	case pkgThreads, pkgCore:
+	default:
+		return ""
+	}
+	switch recvTypeName(fn) {
+	case "Thread":
+		if fn.Name() == "SetPriority" {
+			return "Thread.SetPriority call"
+		}
+	case "Mutex":
+		if fn.Name() == "SetPriorityInheritance" {
+			return "Mutex.SetPriorityInheritance call"
+		}
+	case "":
+		switch fn.Name() {
+		case "ForkPri", "ForkNamedPri":
+			return fn.Name() + " call"
+		}
+	}
+	return ""
+}
+
+// priorityHit is the first priority-API call found in a function body.
+type priorityHit struct {
+	what string
+	pos  token.Pos
+}
+
+// priorityCallSummaries lazily computes, per same-package function, whether
+// its body (transitively) calls the priority API.
+type priorityCallSummaries struct {
+	pass  *Pass
+	decls map[*types.Func]*ast.FuncDecl
+	memo  map[*types.Func]*priorityHit
+	stack map[*types.Func]bool
+}
+
+func newPriorityCallSummaries(pass *Pass) *priorityCallSummaries {
+	s := &priorityCallSummaries{
+		pass:  pass,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		memo:  make(map[*types.Func]*priorityHit),
+		stack: make(map[*types.Func]bool),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
+				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					s.decls[fn] = fd
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *priorityCallSummaries) lookup(fn *types.Func) *priorityHit {
+	if got, ok := s.memo[fn]; ok {
+		return got
+	}
+	if s.stack[fn] {
+		return nil
+	}
+	decl, ok := s.decls[fn]
+	if !ok || decl.Body == nil {
+		s.memo[fn] = nil
+		return nil
+	}
+	s.stack[fn] = true
+	defer delete(s.stack, fn)
+
+	var found *priorityHit
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := Callee(s.pass.Pkg.Info, call).(*types.Func)
+		if !ok || callee.Pkg() == nil {
+			return true
+		}
+		if what := priorityAPICall(callee); what != "" {
+			found = &priorityHit{what: what, pos: call.Pos()}
+			return false
+		}
+		if callee.Pkg().Path() == s.pass.Pkg.ImportPath {
+			if hit := s.lookup(callee); hit != nil {
+				found = &priorityHit{what: hit.what, pos: hit.pos}
+				return false
+			}
+		}
+		return true
+	})
+	s.memo[fn] = found
+	return found
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestPriorityDiscipline(t *testing.T) {
+	runFixture(t, "prioritydiscipline", PriorityDiscipline, nil)
+}

@@ -59,7 +59,7 @@ var opNames = map[Op]string{
 	OpSignal: "Signal", OpBroadcast: "Broadcast",
 	OpP: "P", OpTryP: "TryP", OpV: "V", OpAlertP: "AlertP",
 	OpAlertPDeadline: "AlertPDeadline",
-	OpAlert: "Alert", OpTestAlert: "TestAlert", OpFork: "Fork", OpJoin: "Join",
+	OpAlert:          "Alert", OpTestAlert: "TestAlert", OpFork: "Fork", OpJoin: "Join",
 	OpSpinLock: "Lock", OpSpinTryLock: "TryLock", OpSpinUnlock: "Unlock",
 }
 

@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		Alerted,
 		LockOrder,
 		NubDiscipline,
+		PriorityDiscipline,
 	}
 }
 

@@ -1,0 +1,75 @@
+// Fixture for the prioritydiscipline analyzer: priority-API calls while an
+// internal/spinlock lock is held.
+package priofix
+
+import (
+	"threads"
+	"threads/internal/core"
+	"threads/internal/spinlock"
+)
+
+type sched struct {
+	lock spinlock.Lock
+	t    *threads.Thread
+	m    *core.Mutex
+}
+
+func setUnderLock(s *sched) {
+	s.lock.Lock()
+	s.t.SetPriority(3) // want "Thread.SetPriority call while spin lock s.lock is held"
+	s.lock.Unlock()
+}
+
+func setAfterUnlock(s *sched) {
+	s.lock.Lock()
+	s.lock.Unlock()
+	s.t.SetPriority(3) // clean: the lock is no longer held
+}
+
+func inheritUnderLock(s *sched) {
+	s.lock.Lock()
+	s.m.SetPriorityInheritance(true) // want "Mutex.SetPriorityInheritance call while spin lock s.lock is held"
+	s.lock.Unlock()
+}
+
+func forkPriUnderLock(s *sched) {
+	s.lock.Lock()
+	threads.ForkPri(2, noop) // want "ForkPri call while spin lock s.lock is held"
+	s.lock.Unlock()
+}
+
+func forkNamedPriUnderLock(s *sched) {
+	s.lock.Lock()
+	core.ForkNamedPri("t", 2, noop) // want "ForkNamedPri call while spin lock s.lock is held"
+	s.lock.Unlock()
+}
+
+func noop() {}
+
+func boost(s *sched) {
+	s.t.SetPriority(5)
+}
+
+func indirectBoost(s *sched) {
+	boost(s)
+}
+
+func callBoostUnderLock(s *sched) {
+	s.lock.Lock()
+	boost(s) // want "call to boost, which performs Thread.SetPriority call"
+	s.lock.Unlock()
+}
+
+func callIndirectBoostUnderLock(s *sched) {
+	s.lock.Lock()
+	indirectBoost(s) // want "call to indirectBoost, which performs Thread.SetPriority call"
+	s.lock.Unlock()
+}
+
+func forkPlainUnderLock(s *sched) {
+	s.lock.Lock()
+	// Plain Fork carries no priority; nubdiscipline owns the general
+	// no-allocation rule, so prioritydiscipline stays quiet here.
+	threads.Fork(noop)
+	s.lock.Unlock()
+}

@@ -24,8 +24,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 12 {
-		t.Fatalf("registered %d experiments, want 12", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("registered %d experiments, want 13", len(exps))
 	}
 	for i, e := range exps {
 		if e.ID == "" || e.Name == "" || e.Run == nil {

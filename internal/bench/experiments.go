@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"e9", "implementation conformance to the specification", E9},
 		{"e10", "throughput scaling vs baselines", E10},
 		{"e16", "scaling walls: core-count sweep, before/after the fixes", E16},
+		{"e19", "priority inversion: tail latency with and without inheritance", E19},
 		{"ea", "ablations: remove the paper's optimizations", EA},
 	}
 }
@@ -860,6 +861,41 @@ the paper's design decisions are exactly the deltas.`,
 	} {
 		pair, signals, contended := measure(cfg.opts)
 		t.Add(cfg.name, pair, signals, F(contended, 2))
+	}
+	return []*Table{t}
+}
+
+// ---------------------------------------------------------------------------
+// E19 — priority inversion: the Nub "does priority scheduling and time
+// slicing" (§Implementation); inheritance keeps a preempted lock holder
+// from being starved by the medium band.
+// ---------------------------------------------------------------------------
+
+// E19 runs the mixed-priority workload (workload.SimPriorityTail) with
+// priority inheritance off and on, and reports the high-priority thread's
+// lock-acquire latency distribution. The workload is deterministic, so the
+// rows are exact — the same numbers the regression baseline pins.
+func E19(Options) []*Table {
+	t := &Table{
+		ID:    "E19",
+		Title: "mixed-priority tail latency (sim instructions)",
+		Note: `one low-priority lock holder, one high-priority client, a medium-priority
+compute band covering every processor; the holder's critical section spans
+several quanta, so the slicer preempts it mid-section. Without inheritance
+the medium band then starves the holder — the Mars Pathfinder shape — and
+the high-priority client eats the band's whole burst as lock latency.`,
+		Headers: []string{"inheritance", "p50", "p99", "p999", "max", "makespan"},
+	}
+	for _, pi := range []bool{false, true} {
+		res, err := workload.SimPriorityTail(workload.DefaultPriorityConfig(pi))
+		if err != nil {
+			panic(err)
+		}
+		name := "off"
+		if pi {
+			name = "on"
+		}
+		t.Add(name, res.P50, res.P99, res.P999, res.Max, res.Makespan)
 	}
 	return []*Table{t}
 }

@@ -240,6 +240,26 @@ func CollectRegressionMetrics(quick bool) Baseline {
 	add("park.ns_per_park", nsPark, "lower", false, 0)
 	add("park.allocs_per_park", allocsPark, "lower", true, 0.05)
 
+	// E19: mixed-priority tail latency. Both runs are deterministic
+	// simulator workloads (fixed seed, no wall clock), so the percentiles
+	// are exact and the stable tolerance guards the priority-inheritance
+	// machinery: if a scheduler change reintroduces the inversion, the
+	// with-inheritance p99 blows up by the medium band's burst length.
+	piOff, err := workload.SimPriorityTail(workload.DefaultPriorityConfig(false))
+	if err != nil {
+		panic(err)
+	}
+	piOn, err := workload.SimPriorityTail(workload.DefaultPriorityConfig(true))
+	if err != nil {
+		panic(err)
+	}
+	add("e19.hi_p99_instr_pi_on", float64(piOn.P99), "lower", true, 0)
+	add("e19.hi_p999_instr_pi_on", float64(piOn.P999), "lower", true, 0)
+	// The off/on ratio is the size of the inversion itself; it shrinking
+	// toward 1 means inheritance stopped mattering (either the boost broke
+	// or the workload no longer creates the hazard).
+	add("e19.hi_p99_ratio_off_over_on", float64(piOff.P99)/float64(piOn.P99), "higher", true, 0)
+
 	return b
 }
 

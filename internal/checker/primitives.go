@@ -126,6 +126,13 @@ func Primitives() []*Primitive {
 			VetObligations: []string{"waitloop", "alerted"},
 		},
 		{
+			Name:           "priority",
+			Layer:          "internal",
+			SpecFace:       "below the paper's interface: the Nub's priority scheduling (SRC Report 20 §Implementation) with priority inheritance on mutexes; boost/restore stamps replay through spec §Priorities",
+			Litmuses:       []string{"priority-inversion", "priority-inversion-broken"},
+			VetObligations: []string{"prioritydiscipline"},
+		},
+		{
 			Name:           "mpsc-ring",
 			Layer:          "derived",
 			SpecFace:       "derived from Mutex+Condition: bounded circular buffer, one condition per direction; traces replay through the spec state machine",

@@ -29,10 +29,17 @@ import (
 // simulated multiprocessor, sized so bounded-exhaustive schedule
 // enumeration stays tractable.
 type SimProgram struct {
-	// Procs is the processor count to run with — at least the thread
-	// count, so every ready thread is a scheduling candidate and the
-	// explorer controls the full interleaving space.
+	// Procs is the processor count to run with — usually at least the
+	// thread count, so every ready thread is a scheduling candidate and the
+	// explorer controls the full interleaving space. Scheduler litmuses
+	// (priority inversion) instead run with FEWER processors than threads,
+	// so the kernel's priority dispatch — the subject under test — decides
+	// who runs.
 	Procs int
+	// Quantum is the time-slice length in cost units (0 disables time
+	// slicing). Scheduler litmuses need it so a compute-bound thread can be
+	// preempted by a higher-priority wakeup.
+	Quantum uint64
 	// Opts configures the World (the broken litmus turns on
 	// BuggyAlertSeize). The explorer adds NubAwait itself.
 	Opts simthreads.WorldOptions
@@ -155,6 +162,21 @@ func Registry() []*Litmus {
 			Name: "latch",
 			Desc: "one-shot latch: 2 waiters must not pass before the opener's Broadcast",
 			Sim:  simLatch(2),
+		},
+		{
+			// Like the hand-off litmuses, priority scheduling is an
+			// implementation policy with no spec face: the checking weight is
+			// on conformance replay (boost/restore stamps) and the outcome
+			// detectors.
+			Name: "priority-inversion",
+			Desc: "low/med/high on one processor with time slicing: inheritance boosts the lock holder past the medium-priority spinner",
+			Sim:  simPriorityInversion(true),
+		},
+		{
+			Name:            "priority-inversion-broken",
+			Desc:            "the same program without priority inheritance: the medium spinner starves the lock holder and the high-priority thread behind it (violation expected)",
+			ExpectViolation: true,
+			Sim:             simPriorityInversion(false),
 		},
 	}
 }

@@ -45,7 +45,10 @@ import (
 type Condition struct {
 	nub spinlock.Lock
 	ec  eventcount.Count
-	q   queue.FIFO[*waiter]
+	// q orders waiters by effective priority, FIFO within a band, so
+	// Signal wakes (or morphs) the most urgent waiter first; with no
+	// nonzero priorities in the process the order is exactly FIFO.
+	q queue.PriorityQueue[*waiter]
 	// committed counts threads that have entered the Wait protocol (read
 	// the eventcount) and not yet left it. The user code for Signal and
 	// Broadcast avoids calling the Nub when it is zero. It is incremented
@@ -106,7 +109,7 @@ func (c *Condition) Wait(m *Mutex) {
 		}
 		// The Resume action (WHEN m = NIL & NOT SELF IN c, ENSURES
 		// m' = SELF) is stamped at the reacquiring CAS.
-		m.acquireResume(traceCtx{kind: TraceResume, tid: t.id, obj2: cObj})
+		m.acquireResume(t, traceCtx{kind: TraceResume, tid: t.id, obj2: cObj})
 		return
 	}
 	c.committed.Add(1)
@@ -177,6 +180,7 @@ func (c *Condition) block(i uint64, t *Thread, mg *gate) (reason, hseq uint64) {
 		return reasonWake, 0
 	}
 	w := getWaiter(t)
+	w.capturePri(t)
 	if t != nil {
 		t.setAlertWaiter(w)
 		// A pending alert satisfies the RAISES WHEN clause already;
@@ -209,7 +213,7 @@ func (c *Condition) block(i uint64, t *Thread, mg *gate) (reason, hseq uint64) {
 		w.endEpisode()
 		return reasonWake, 0
 	}
-	c.q.Push(&w.node)
+	c.q.Push(&w.item)
 	c.nub.Unlock()
 	statInc(statWaitPark)
 	reason = w.park()
@@ -223,7 +227,7 @@ func (c *Condition) block(i uint64, t *Thread, mg *gate) (reason, hseq uint64) {
 		// may have popped us already; Remove is then a no-op and that
 		// Signal has re-popped another waiter.
 		c.nub.Lock()
-		c.q.Remove(&w.node)
+		c.q.Remove(&w.item)
 		c.nub.Unlock()
 	}
 	hseq = w.handoffSeq
@@ -293,8 +297,10 @@ func (c *Condition) Signal() {
 // a burst of Signals with it.
 //
 // Called with c.nub held, and returns with it released when the morph
-// succeeds (true). The nesting c.nub → mg.nub is the only spin-lock
-// nesting in the package and nothing acquires in the other order.
+// succeeds (true). The nesting c.nub → mg.nub is one of the package's
+// spin-lock nestings (the other is a gate's nub → a thread's donLock,
+// gate.piDonate) and nothing acquires in the other order; composed, the
+// deepest chain is c.nub → mg.nub → donLock, still cycle-free.
 //
 // The spec face is untouched: a morphed waiter is still, abstractly, a
 // member of c until its Resume; its Resume event is emitted at the
@@ -305,7 +311,7 @@ func (c *Condition) Signal() {
 // Alert; the gate pops it like any Acquire waiter.
 func (c *Condition) morph(w *waiter, mg *gate) bool {
 	mg.nub.Lock()
-	mg.q.Push(&w.node)
+	mg.q.Push(&w.item)
 	mg.qlen.Add(1)
 	if !mg.locked() {
 		// The mutex is free: no future Release is obliged to pop the
@@ -314,11 +320,15 @@ func (c *Condition) morph(w *waiter, mg *gate) bool {
 		// bit after our push, its qlen check — a sequentially consistent
 		// load after its clearing store — sees our increment and enters
 		// releaseNub, so the node is never stranded in the window.)
-		mg.q.Remove(&w.node)
+		mg.q.Remove(&w.item)
 		mg.qlen.Add(-1)
 		mg.nub.Unlock()
 		return false
 	}
+	// The morphed waiter is now an Acquire waiter in every respect,
+	// including priority inheritance: donate its priority to the holder
+	// whose Release it awaits.
+	mg.piDonate(w)
 	mg.nub.Unlock()
 	c.nub.Unlock()
 	statInc(statSignalMorph)
@@ -351,7 +361,7 @@ func (c *Condition) Broadcast() {
 	// drain allocates nothing — where the old PopAll built a slice per
 	// Broadcast.
 	//threadsvet:ignore nubdiscipline: the drain closure is inlined into Broadcast (go build -gcflags=-m: no heap allocation, no indirect call survives)
-	c.q.Drain(func(n *queue.Node[*waiter]) {
+	c.q.Drain(func(n *queue.PItem[*waiter]) {
 		w := n.Value
 		if w.claim(reasonWake) {
 			w.wake()
@@ -408,12 +418,12 @@ func (c *Condition) alertWait(m *Mutex, t *Thread) error {
 			// held, and only the holder may Release — so the Raise still
 			// lands between the previous holder's event and this thread's
 			// next one in stamp order.
-			m.acquireResume(traceCtx{})
+			m.acquireResume(t, traceCtx{})
 			t.consumeAlertEmit(TraceAlertResumeRaise, mObj, cObj)
 			statIncT(t, statAlertedWait)
 			return Alerted
 		}
-		m.acquireResume(traceCtx{kind: TraceAlertResumeReturn, tid: t.id, obj2: cObj})
+		m.acquireResume(t, traceCtx{kind: TraceAlertResumeReturn, tid: t.id, obj2: cObj})
 		return nil
 	}
 	i := c.ec.Read()

@@ -132,8 +132,13 @@ func (m *Mutex) AcquireDeadline(deadline time.Time) error {
 		// point, and stamped honestly when tracing.
 		_ = testAlertT(t) // consumes the alert that ended the wait; finishDeadline maps it to DeadlineExceeded or Alerted
 		waitErr = Alerted
-	} else if check {
-		m.holder.Store(t.id)
+	} else {
+		if check {
+			m.holder.Store(t.id)
+		}
+		if m.g.pi.Load() {
+			m.g.piSetHolder(t)
+		}
 	}
 	return finishDeadline(t, e, waitErr)
 }

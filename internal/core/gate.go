@@ -20,11 +20,23 @@ import (
 // queue holds threads blocked awaiting their WHEN condition, and is
 // manipulated only under the Nub spin lock.
 type gate struct {
-	word    atomic.Uint64
-	qlen    atomic.Int32 // mirror of q.Len(), readable outside the spin lock
-	nub     spinlock.Lock
-	q       queue.FIFO[*waiter]
+	word atomic.Uint64
+	qlen atomic.Int32 // mirror of q.Len(), readable outside the spin lock
+	nub  spinlock.Lock
+	// q orders blocked threads by effective priority, FIFO within a band —
+	// the Nub's priority scheduling applied to wakeup selection. While no
+	// thread has a nonzero priority every waiter is enqueued at 0 and the
+	// order is exactly the old FIFO.
+	q       queue.PriorityQueue[*waiter]
 	traceID atomic.Uint64 // conformance-trace identity, assigned lazily
+
+	// pi enables priority inheritance (Mutex.SetPriorityInheritance): a
+	// blocked Acquire donates its priority to the holder, restored at
+	// Release. piHolder is the thread currently inside the gate, guarded
+	// by nub; nil when the holder is unknown (anonymous acquisition before
+	// priorities were in use) — donors then skip, a heuristic miss.
+	pi       atomic.Bool
+	piHolder *Thread
 }
 
 // gateLockedBit is bit 0 of the gate word.
@@ -81,8 +93,10 @@ func (g *gate) tryAcquire(tc traceCtx) bool {
 
 // acquire implements Acquire/P. The user code test-and-sets the lock bit,
 // then briefly spins for the holder to leave, and calls the Nub subroutine
-// only if the bit stays set.
-func (g *gate) acquire(st *gateStats, tc traceCtx) {
+// only if the bit stays set. t carries the calling thread when the caller
+// already knows it (PI mutexes, alertable paths); nil lets the slow path
+// recover it lazily, and only when priorities are in use.
+func (g *gate) acquire(t *Thread, st *gateStats, tc traceCtx) {
 	if g.tryAcquire(tc) {
 		statInc(st.fast)
 		return
@@ -91,7 +105,7 @@ func (g *gate) acquire(st *gateStats, tc traceCtx) {
 		statInc(st.spin)
 		return
 	}
-	g.acquireNub(st, tc)
+	g.acquireNub(t, st, tc)
 }
 
 // acquireNub is the Nub subroutine for Acquire. Under the spin lock it adds
@@ -103,22 +117,24 @@ func (g *gate) acquire(st *gateStats, tc traceCtx) {
 // One waiter serves every round of the retry loop; the enqueue and the
 // back-out happen under a single hold of the Nub lock, so a backed-out
 // waiter was never visible to releaseNub and its episode ends unclaimed.
-func (g *gate) acquireNub(st *gateStats, tc traceCtx) {
+func (g *gate) acquireNub(t *Thread, st *gateStats, tc traceCtx) {
 	statInc(st.nubEnter)
-	w := getWaiter(nil)
+	w := getWaiter(t)
+	t = w.capturePri(t)
 	w.parkStart = handoffNanos()
 	for {
 		g.nub.Lock()
-		g.q.Push(&w.node)
+		g.q.Push(&w.item)
 		g.qlen.Add(1)
 		if !g.locked() {
 			// A Release slipped in before we enqueued; back out and
 			// retry from the test-and-set.
-			g.q.Remove(&w.node)
+			g.q.Remove(&w.item)
 			g.qlen.Add(-1)
 			g.nub.Unlock()
 			statInc(st.backout)
 		} else {
+			g.piDonate(w)
 			g.nub.Unlock()
 			statInc(st.park)
 			if w.park() == reasonHandoff && g.finishHandoff(w, tc) {
@@ -205,6 +221,13 @@ func (g *gate) releaseNub(st *gateStats) {
 		g.qlen.Add(-1)
 		w := n.Value
 		if w.claim(reasonWake) {
+			if g.pi.Load() {
+				// Not a transfer — the woken thread retries its
+				// test-and-set and may lose — but the holder identity is
+				// unknown until someone wins, so clear it rather than
+				// leave a stale target for donations.
+				g.piHolder = nil
+			}
 			g.nub.Unlock()
 			w.wake()
 			return
@@ -276,6 +299,11 @@ func (g *gate) releaseHandoff(st *gateStats, tc traceCtx) bool {
 		}
 		// Claimed by Alert after enqueueing; it no longer wants the gate.
 	}
+	if g.pi.Load() {
+		// The transfer makes w's thread the holder the moment the wake
+		// lands; install it while the nub lock still serializes donors.
+		g.piHolder = w.owner
+	}
 	g.nub.Unlock()
 	statInc(st.relHandoff)
 	if tc.kind == TraceNone {
@@ -339,6 +367,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 	}
 	statIncT(t, st.nubEnter)
 	w := getWaiter(t)
+	w.capturePri(t)
 	w.parkStart = handoffNanos()
 	for {
 		t.setAlertWaiter(w)
@@ -352,10 +381,10 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 			return true
 		}
 		g.nub.Lock()
-		g.q.Push(&w.node)
+		g.q.Push(&w.item)
 		g.qlen.Add(1)
 		if !g.locked() {
-			g.q.Remove(&w.node)
+			g.q.Remove(&w.item)
 			g.qlen.Add(-1)
 			g.nub.Unlock()
 			statIncT(t, st.backout)
@@ -376,6 +405,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 			w.begin()
 			continue
 		}
+		g.piDonate(w)
 		g.nub.Unlock()
 		statIncT(t, st.park)
 		reason := w.park()
@@ -384,7 +414,7 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 			// Leave the queue before reporting the alert so a later V
 			// is not absorbed by a departed thread.
 			g.nub.Lock()
-			if g.q.Remove(&w.node) {
+			if g.q.Remove(&w.item) {
 				g.qlen.Add(-1)
 			}
 			g.nub.Unlock()
@@ -403,6 +433,66 @@ func (g *gate) alertableAcquire(t *Thread, st *gateStats, tc traceCtx) (alerted 
 		}
 		w.begin()
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Priority inheritance (Mutex opt-in).
+//
+// A blocked Acquire on a PI gate donates its effective priority to the
+// holder; the holder's Release removes the donation. Donation and holder
+// maintenance are serialized by the gate's nub spin lock: donors read
+// piHolder and donate while holding it, and the releaser clears piHolder
+// under it before undonating, so no donation can land on a thread that has
+// already left the gate — a boost can therefore never outlive the hold it
+// compensates for. The nesting nub → donLock is one of the package's two
+// spin-lock nestings (the other is Signal's c.nub → mg.nub); donLock
+// acquires nothing, so no cycle is possible.
+//
+// The boost itself is a scheduling heuristic on this backend: the Go
+// scheduler does not expose thread priorities, so inheritance acts through
+// wakeup ordering (the boosted holder's own subsequent waits outrank the
+// medium band) rather than preemption. The simulated Firefly
+// (internal/simthreads) implements the exact form, where the boost
+// reorders the ready pool retroactively; the priority-inversion litmus
+// model-checks that form, and the conformance stamps emitted here hold
+// both backends to the same boost/restore discipline.
+// ---------------------------------------------------------------------------
+
+// piDonate donates the enqueued waiter's priority to the gate's holder.
+// Called with g.nub held, after the waiter committed to parking. No-ops
+// unless PI is on, the holder is known, and the donation would raise it.
+func (g *gate) piDonate(w *waiter) {
+	if !g.pi.Load() {
+		return
+	}
+	h := g.piHolder
+	if h == nil || h == w.owner {
+		return
+	}
+	pri := int32(w.item.Priority)
+	if pri > h.effPri.Load() {
+		h.donate(g, pri)
+	}
+}
+
+// piSetHolder records t as the gate's current occupant for donation
+// targeting. Called by every PI-mutex acquisition path once it holds the
+// gate.
+func (g *gate) piSetHolder(t *Thread) {
+	g.nub.Lock()
+	g.piHolder = t
+	g.nub.Unlock()
+}
+
+// piClearHolder removes and returns the recorded occupant; the caller (the
+// releasing holder) then undonates. Clearing under nub before the lock
+// word transitions means a donor serialized after us sees nil and skips.
+func (g *gate) piClearHolder() *Thread {
+	g.nub.Lock()
+	h := g.piHolder
+	g.piHolder = nil
+	g.nub.Unlock()
+	return h
 }
 
 // locked reports the lock bit (true = held/unavailable).

@@ -49,11 +49,23 @@ func (m *Mutex) Acquire() {
 		if m.holder.Load() == self.id {
 			panic("threads: recursive Acquire would deadlock: " + self.name + " already holds the mutex")
 		}
-		m.g.acquire(&mutexGateStats, tc)
+		m.g.acquire(self, &mutexGateStats, tc)
 		m.holder.Store(self.id)
+		if m.g.pi.Load() {
+			m.g.piSetHolder(self)
+		}
 		return
 	}
-	m.g.acquire(&mutexGateStats, tc)
+	if m.g.pi.Load() {
+		// PI needs the holder's identity for donation targeting, so a PI
+		// mutex pays the SELF recovery per acquisition (the same trade
+		// checking mode makes).
+		self := Self()
+		m.g.acquire(self, &mutexGateStats, tc)
+		m.g.piSetHolder(self)
+		return
+	}
+	m.g.acquire(nil, &mutexGateStats, tc)
 }
 
 // TryAcquire acquires the mutex if it is NIL and reports whether it did.
@@ -65,6 +77,9 @@ func (m *Mutex) TryAcquire() bool {
 	}
 	if checking.Load() {
 		m.holder.Store(Self().id)
+	}
+	if m.g.pi.Load() {
+		m.g.piSetHolder(Self())
 	}
 	statInc(statAcquireFast)
 	return true
@@ -83,7 +98,41 @@ func (m *Mutex) Release() {
 		}
 		m.holder.Store(0)
 	}
+	m.piRelease()
 	m.g.release(&mutexGateStats, tc)
+}
+
+// SetPriorityInheritance enables or disables priority inheritance on this
+// mutex and returns the previous setting. With PI on, a blocked Acquire
+// donates its thread's effective priority to the holder for the duration
+// of the hold (gate.piDonate); the donation is removed at Release and the
+// boost/restore transitions carry conformance stamps. PI mutexes track
+// their holder, which costs a SELF recovery per acquisition — enable it on
+// the mutexes whose critical sections priority-sensitive threads contend
+// for, not globally. Flip only while the mutex is free.
+func (m *Mutex) SetPriorityInheritance(on bool) bool {
+	prev := m.g.pi.Swap(on)
+	if prev && !on {
+		m.g.piSetHolder(nil)
+	}
+	return prev
+}
+
+// PriorityInheritance reports whether priority inheritance is enabled.
+func (m *Mutex) PriorityInheritance() bool { return m.g.pi.Load() }
+
+// piRelease clears the PI holder record and drops the donation the hold
+// may have accumulated. Runs before the lock word transitions: the clear
+// is serialized under the gate's nub lock, so donors ordered after it see
+// no holder and skip, and the departing holder can never keep a boost for
+// a mutex it no longer holds.
+func (m *Mutex) piRelease() {
+	if !m.g.pi.Load() {
+		return
+	}
+	if h := m.g.piClearHolder(); h != nil {
+		h.undonate(&m.g)
+	}
 }
 
 // releaseEnqueue is Wait's mutex hand-off: the caller already emitted an
@@ -97,16 +146,25 @@ func (m *Mutex) releaseEnqueue(seq uint64) {
 		}
 		m.holder.Store(0)
 	}
+	m.piRelease()
 	m.g.releaseEmbed(&mutexGateStats, seq)
 }
 
 // acquireResume is Wait's mutex reacquisition: like Acquire, but the trace
 // event (Resume or AlertResume.Return, carrying the condition in obj2) is
-// supplied by the caller. A zero tc reacquires silently.
-func (m *Mutex) acquireResume(tc traceCtx) {
-	m.g.acquire(&mutexGateStats, tc)
+// supplied by the caller, who passes the resuming thread (nil lets the
+// slow path recover it if priorities demand). A zero tc reacquires
+// silently.
+func (m *Mutex) acquireResume(t *Thread, tc traceCtx) {
+	m.g.acquire(t, &mutexGateStats, tc)
 	if checking.Load() {
 		m.holder.Store(Self().id)
+	}
+	if m.g.pi.Load() {
+		if t == nil {
+			t = Self()
+		}
+		m.g.piSetHolder(t)
 	}
 }
 

@@ -30,7 +30,7 @@ type Semaphore struct {
 
 // P blocks until the semaphore is available and makes it unavailable.
 func (s *Semaphore) P() {
-	s.g.acquire(&semGateStats, traceAcquireCtx(TraceP))
+	s.g.acquire(nil, &semGateStats, traceAcquireCtx(TraceP))
 }
 
 // TryP makes the semaphore unavailable if it is available and reports

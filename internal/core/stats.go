@@ -53,6 +53,9 @@ type Stats struct {
 	TimerFire   uint64 // wheel entries that fired (delivered an Alert)
 	TimerCancel uint64 // wheel entries cancelled before firing
 	TimerDrain  uint64 // stale timer alerts drained after a satisfied wait
+
+	PriBoost   uint64 // effective-priority raises (inheritance donations, SetPriority up)
+	PriRestore uint64 // effective-priority drops (donation removed, SetPriority down)
 }
 
 // statID names one counter; it indexes into a shard's counter block.
@@ -96,6 +99,8 @@ const (
 	statTimerFire
 	statTimerCancel
 	statTimerDrain
+	statPriBoost
+	statPriRestore
 	numStats
 )
 
@@ -227,6 +232,8 @@ func SnapshotStats() Stats {
 		TimerFire:      c[statTimerFire],
 		TimerCancel:    c[statTimerCancel],
 		TimerDrain:     c[statTimerDrain],
+		PriBoost:       c[statPriBoost],
+		PriRestore:     c[statPriRestore],
 	}
 }
 

@@ -47,6 +47,142 @@ type Thread struct {
 	// deadline wait so arming allocates nothing in steady state. Only the
 	// owning thread touches the field (see timerwheel.go).
 	timerE *timerEntry
+
+	// basePri is the thread's assigned scheduling priority (ForkPri /
+	// SetPriority; larger is more urgent, default 0). effPri caches the
+	// effective priority — the max of basePri and every live mutex
+	// donation — which the park paths read to stamp waiters.
+	basePri atomic.Int32
+	effPri  atomic.Int32
+
+	// donLock guards the donation table and serializes every effective-
+	// priority transition of this thread, so the PriBoost/PriRestore
+	// conformance stamps drawn under it are totally ordered per thread.
+	// Lock order: a gate's nub spin lock may be held when donLock is
+	// taken (gate.piDonate); donLock acquires nothing, so no cycle.
+	donLock   spinlock.Lock
+	donations [maxDonations]donation
+}
+
+// donation records one priority-inheritance boost: while this thread holds
+// the mutex whose gate is g, it runs at least at pri.
+type donation struct {
+	g   *gate
+	pri int32
+}
+
+// maxDonations bounds the donation table. The table lives inline in the
+// Thread and is scanned under spin locks, where the Nub discipline forbids
+// allocation — so it cannot grow. A thread holding more than maxDonations
+// PI mutexes with boosting waiters drops the overflow donations: a missed
+// boost only weakens the scheduling heuristic, never correctness.
+const maxDonations = 4
+
+// prioInUse flips (permanently) when any thread is given a nonzero
+// priority. Until then the park paths skip priority capture entirely, so
+// programs that never touch priorities pay one atomic load per park.
+var prioInUse atomic.Bool
+
+// Priority returns the thread's assigned (base) priority.
+func (t *Thread) Priority() int { return int(t.basePri.Load()) }
+
+// EffectivePriority returns the thread's current effective priority: its
+// base priority or the highest live priority-inheritance donation,
+// whichever is larger (advisory).
+func (t *Thread) EffectivePriority() int { return int(t.effPri.Load()) }
+
+// SetPriority assigns the thread's base priority. Larger values are more
+// urgent; the default is 0. The new priority governs wakeup ordering for
+// waits that park after the change (queued waiters keep the priority they
+// were enqueued with, matching the paper's Nub, which orders its ready
+// pool by the priority in effect when the thread was made ready).
+//
+// SetPriority must not be called while holding a spin lock (threadsvet's
+// prioritydiscipline analyzer enforces this): it takes the target's
+// donation lock and may emit a conformance stamp.
+func (t *Thread) SetPriority(pri int) {
+	if pri != 0 {
+		prioInUse.Store(true)
+	}
+	t.donLock.Lock()
+	t.basePri.Store(int32(pri))
+	t.recalcPriLocked()
+	t.donLock.Unlock()
+}
+
+// donate records that t (a mutex holder) inherits at least pri while it
+// holds the mutex whose gate is g. Called with g's nub spin lock held, so
+// it allocates nothing and calls nothing that blocks.
+func (t *Thread) donate(g *gate, pri int32) {
+	t.donLock.Lock()
+	slot := -1
+	for i := range t.donations {
+		if t.donations[i].g == g {
+			if t.donations[i].pri >= pri {
+				t.donLock.Unlock()
+				return
+			}
+			slot = i
+			break
+		}
+		if slot < 0 && t.donations[i].g == nil {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		// Table full: drop the boost (heuristic miss, see maxDonations).
+		t.donLock.Unlock()
+		return
+	}
+	t.donations[slot] = donation{g: g, pri: pri}
+	t.recalcPriLocked()
+	t.donLock.Unlock()
+}
+
+// undonate removes the donation keyed by g (the holder released that
+// mutex) and restores the effective priority.
+func (t *Thread) undonate(g *gate) {
+	t.donLock.Lock()
+	for i := range t.donations {
+		if t.donations[i].g == g {
+			t.donations[i] = donation{}
+			t.recalcPriLocked()
+			break
+		}
+	}
+	t.donLock.Unlock()
+}
+
+// recalcPriLocked recomputes the effective priority and, when it changed,
+// counts the transition and emits its conformance stamp. Called with
+// donLock held (possibly under a gate's nub spin lock): no allocation, no
+// blocking, no indirect calls.
+func (t *Thread) recalcPriLocked() {
+	eff := t.basePri.Load()
+	for i := range t.donations {
+		if t.donations[i].g != nil && t.donations[i].pri > eff {
+			eff = t.donations[i].pri
+		}
+	}
+	old := t.effPri.Load()
+	if eff == old {
+		return
+	}
+	t.effPri.Store(eff)
+	kind := TracePriRestore
+	stat := statPriRestore
+	if eff > old {
+		kind = TracePriBoost
+		stat = statPriBoost
+	}
+	statIncT(t, stat)
+	if traceOn.Load() {
+		// The stamp is drawn and recorded under donLock: per-thread
+		// priority transitions are totally ordered, which is exactly the
+		// REQUIRES the spec face checks (a boost strictly raises, a
+		// restore strictly lowers).
+		traceEmit(nextTraceSeq(), kind, t.id, uint64(int64(eff)), uint64(int64(old)), false)
+	}
 }
 
 // ID returns a process-unique identifier for the thread.
@@ -163,15 +299,44 @@ func newThread(kind string) *Thread {
 // Fork runs fn as a new thread and returns its handle immediately. The
 // thread's registry entry is removed when fn returns, and Join unblocks.
 func Fork(fn func()) *Thread {
-	return ForkNamed("", fn)
+	return forkNamedPri("", 0, fn)
 }
 
 // ForkNamed is Fork with an explicit thread name (used in traces and
 // diagnostics).
 func ForkNamed(name string, fn func()) *Thread {
+	return forkNamedPri(name, 0, fn)
+}
+
+// ForkPri is Fork with an initial base priority, installed before the
+// thread's function runs so its very first wait is ordered correctly.
+func ForkPri(pri int, fn func()) *Thread {
+	return forkNamedPri("", pri, fn)
+}
+
+// ForkNamedPri combines ForkNamed and ForkPri.
+func ForkNamedPri(name string, pri int, fn func()) *Thread {
+	return forkNamedPri(name, pri, fn)
+}
+
+func forkNamedPri(name string, pri int, fn func()) *Thread {
 	t := newThread("thread")
 	if name != "" {
 		t.name = name
+	}
+	if pri != 0 {
+		prioInUse.Store(true)
+		t.basePri.Store(int32(pri))
+		t.effPri.Store(int32(pri))
+		if traceOn.Load() {
+			// The thread is not yet visible to donors, so this initial
+			// transition is trivially ordered before any later one.
+			kind := TracePriBoost
+			if pri < 0 {
+				kind = TracePriRestore
+			}
+			traceEmit(nextTraceSeq(), kind, t.id, uint64(int64(pri)), 0, false)
+		}
 	}
 	t.parkW = newWaiter()
 	t.done = make(chan struct{})

@@ -83,6 +83,8 @@ const (
 	TraceAlertPRaise                 // Obj = semaphore
 	TraceAlertResumeReturn           // Obj = mutex, Obj2 = condition
 	TraceAlertResumeRaise            // Obj = mutex, Obj2 = condition
+	TracePriBoost                    // TID = boosted thread, Obj = new effective priority, Obj2 = previous
+	TracePriRestore                  // TID = restored thread, Obj = new effective priority, Obj2 = previous
 )
 
 // TraceRecord is one linearized action. TID is the executing thread's ID

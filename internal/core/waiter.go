@@ -52,8 +52,19 @@ const (
 // the queue or alert registration the reference came from). A stale claim
 // therefore fails the CAS no matter when it lands.
 type waiter struct {
-	node  queue.Node[*waiter]
+	// item is the intrusive priority-queue element linking this waiter into
+	// a gate or condition queue. Priority is the blocking thread's effective
+	// priority captured at park time (0 unless some thread in the process
+	// has a nonzero priority — see capturePri), so wakeup selection is
+	// priority-then-FIFO and degenerates to exactly the old FIFO order when
+	// priorities are unused.
+	item  queue.PItem[*waiter]
 	state atomic.Uint64 // generation<<2 | reason
+	// owner is the blocking Thread when known (alertable paths always, any
+	// path once priorities are in use); nil for anonymous blockers.
+	// releaseHandoff reads it under the gate's Nub lock to install the
+	// hand-off recipient as the priority-inheritance holder.
+	owner *Thread
 	// parked is the one-shot parking place, reused across generations. Per
 	// episode at most one token is sent (by the winning claimer) and
 	// exactly one is consumed (by park, or by drain on the paths that
@@ -83,7 +94,7 @@ type waiter struct {
 
 func newWaiter() *waiter {
 	w := &waiter{parked: make(chan struct{}, 1)}
-	w.node.Value = w
+	w.item.Value = w
 	return w
 }
 
@@ -108,7 +119,27 @@ func getWaiter(t *Thread) *waiter {
 	w.parkStart = 0
 	w.handoffSeq = 0
 	w.morphGate = nil
+	w.owner = t
+	w.item.Priority = 0
 	return w
+}
+
+// capturePri stamps the waiter with its thread's effective priority before
+// it is published to a queue. While no thread in the process has a nonzero
+// priority this is a single atomic load and the anonymous slow paths never
+// compute SELF; once priorities are in use, an anonymous blocker pays the
+// identity lookup on the park path (never on the fast path) so the queues
+// can order it. Returns the (possibly just recovered) thread.
+func (w *waiter) capturePri(t *Thread) *Thread {
+	if !prioInUse.Load() {
+		return t
+	}
+	if t == nil {
+		t = Self()
+		w.owner = t
+	}
+	w.item.Priority = queue.Priority(t.effPri.Load())
+	return t
 }
 
 // endEpisode declares the current blocking episode over: every claim has

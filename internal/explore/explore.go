@@ -249,6 +249,7 @@ func runProgram(lit *checker.Litmus, rec *recorder) RunResult {
 	opts.NubAwait = true // finite decision tree; see WorldOptions.NubAwait
 	cfg := sim.Config{
 		Procs:    lit.Sim.Procs,
+		Quantum:  lit.Sim.Quantum,
 		MaxSteps: maxRunSteps,
 		Choose:   rec.choose,
 		Trace: func(ev sim.Event) {

@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"threads/internal/checker"
+)
+
+// TestExploreBrokenPriorityInversion: without priority inheritance the
+// explorer must find the inversion — the medium-priority spinner starving
+// the lock holder on the single processor — and the certificate must
+// reproduce it on replay.
+func TestExploreBrokenPriorityInversion(t *testing.T) {
+	lit := checker.LitmusByName("priority-inversion-broken")
+	if lit == nil {
+		t.Fatal("priority-inversion-broken missing from the registry")
+	}
+	rep := Explore(lit, Options{MaxPreemptions: 2, Budget: testBudget})
+	if rep.Violation == nil {
+		t.Fatalf("no violation found in %d runs; priority inheritance is not being exercised", rep.Runs)
+	}
+	if rep.Violation.Kind != "outcome" {
+		t.Fatalf("violation kind = %q (%s), want outcome", rep.Violation.Kind, rep.Violation.Detail)
+	}
+	if !rep.Ok() {
+		t.Error("Report.Ok() = false for a broken litmus with a violation")
+	}
+	cert := rep.Certificate
+	if cert == nil {
+		t.Fatal("violation reported without a certificate")
+	}
+	res := Replay(lit, cert)
+	if res.Violation == nil || res.Violation.Kind != cert.Violation {
+		t.Fatalf("certificate replay got %v, want kind %q", res.Violation, cert.Violation)
+	}
+}
+
+// TestExploreCleanPriorityInversionK2: with inheritance on, exploration at
+// k<=2 must come up clean — every schedule boosts the holder past the
+// spinner in time.
+func TestExploreCleanPriorityInversionK2(t *testing.T) {
+	lit := checker.LitmusByName("priority-inversion")
+	if lit == nil {
+		t.Fatal("priority-inversion missing from the registry")
+	}
+	rep := Explore(lit, Options{MaxPreemptions: 2, Budget: testBudget})
+	if rep.Partial {
+		t.Fatalf("exploration hit the budget after %d runs; not exhaustive", rep.Runs)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("violation with inheritance on: %v", rep.Violation)
+	}
+}
+
+// TestPriorityInversionCertificateRegression replays the committed
+// minimized certificate of the inversion, so the failure mode stays pinned
+// even if future registry or scheduler changes would otherwise mask it.
+func TestPriorityInversionCertificateRegression(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "priority-inversion-broken.cert.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := DecodeCertificate(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := checker.LitmusByName(cert.Litmus)
+	if lit == nil {
+		t.Fatalf("certificate names unknown litmus %q", cert.Litmus)
+	}
+	res := Replay(lit, cert)
+	if res.Violation == nil || res.Violation.Kind != cert.Violation {
+		t.Fatalf("committed certificate replays to %v, want kind %q", res.Violation, cert.Violation)
+	}
+}

@@ -21,7 +21,10 @@ func (it *PItem[T]) Queued() bool { return it.queued }
 
 // PriorityQueue orders items by descending Priority, breaking ties in FIFO
 // order of insertion, so equal-priority scheduling is fair. The zero value
-// is unusable; use NewPriorityQueue.
+// is an empty queue, ready to use; NewPriorityQueue exists for symmetry
+// with callers that want a pointer. PriorityQueue performs no locking; the
+// caller serializes access (in the implementation, under the Nub spin
+// lock).
 type PriorityQueue[T any] struct {
 	heap []*PItem[T]
 	seq  uint64
@@ -152,6 +155,16 @@ func (pq *PriorityQueue[T]) down(i int) {
 		}
 		pq.swap(i, best)
 		i = best
+	}
+}
+
+// Drain calls fn on each item in (priority desc, FIFO) order while
+// removing it, mirroring FIFO.Drain. fn may push the item onto another
+// queue (wait morphing moves drained condition waiters onto a mutex gate
+// queue); it must not touch this queue.
+func (pq *PriorityQueue[T]) Drain(fn func(*PItem[T])) {
+	for it := pq.Pop(); it != nil; it = pq.Pop() {
+		fn(it)
 	}
 }
 

@@ -336,6 +336,17 @@ func (e *Env) SetPriority(pri int) {
 	e.k.ready.Fix(e.t.item)
 }
 
+// SetPriorityOf changes another thread's scheduling priority — the Nub
+// facility priority inheritance needs (a donor boosting a mutex holder). It
+// is not an instruction: the caller is inside a Nub critical section whose
+// surrounding accesses are the yield points, so the change is part of the
+// current step (marked scheduler-relevant for the explorer).
+func (e *Env) SetPriorityOf(t *T, pri int) {
+	e.t.stepSched = true
+	t.item.Priority = queue.Priority(pri)
+	e.k.ready.Fix(t.item)
+}
+
 // Self returns the calling thread.
 func (e *Env) Self() *T { return e.t }
 

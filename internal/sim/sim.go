@@ -186,6 +186,9 @@ func (t *T) String() string { return t.name }
 // Instret returns the number of instructions the thread has executed.
 func (t *T) Instret() uint64 { return t.instret }
 
+// Priority returns the thread's current scheduling priority.
+func (t *T) Priority() int { return int(t.item.Priority) }
+
 type opKind int
 
 const (

@@ -28,6 +28,7 @@ const gateScopeBand = (uint64(1)<<32 - 1) &^ 1 // bits 1..31
 // registerGate gives a gate's words their scope mask and its queue a
 // digest identity.
 func (w *World) registerGate(g *gate) {
+	w.gates = append(w.gates, g)
 	w.nGates++
 	scope := ^uint64(0)
 	if w.nGates <= 31 {
@@ -67,7 +68,18 @@ func (w *World) digest(h *sim.Hash128) {
 			h.Add(uint64(t.ID()) + 1)
 		}
 	}
+	for _, g := range w.gates {
+		// The holder hint steers future donations, so two states differing
+		// only in it must not be identified.
+		if g.holder != nil {
+			h.Add(0xb0b0<<16 | uint64(g.holder.ID()) + 1)
+		} else {
+			h.Add(0xb0b0 << 16)
+		}
+	}
 	for _, t := range w.k.Threads() {
+		// Effective priority orders the ready pool and the gate queues.
+		h.Add(0x9d9d<<32 | uint64(uint32(int32(t.Priority()))))
 		st, ok := w.states[t]
 		if !ok {
 			h.Add(0)
@@ -85,5 +97,11 @@ func (w *World) digest(h *sim.Hash128) {
 			f |= 1 << 32
 		}
 		h.Add(f)
+		// Donations, in gate-queue registration order (never map order).
+		for _, q := range w.queues {
+			if d, ok := st.donations[q.id]; ok {
+				h.Add(0xd0d0<<32 | uint64(q.id)<<16 | uint64(uint16(int16(d))))
+			}
+		}
 	}
 }

@@ -14,6 +14,15 @@ type gate struct {
 	// is maintained under the Nub spin lock.
 	qne sim.Word
 	q   tqueue
+	// pi enables priority inheritance on this gate (set at construction;
+	// mutexes only).
+	pi bool
+	// holder is the donation target while pi: the thread currently holding
+	// the gate. A plain Go field, not a sim.Word — it adds no yield points,
+	// and it is a heuristic hint with the same misses internal/core's
+	// piHolder has (cleared before the lock-bit store on a plain release,
+	// so a donor arriving mid-release skips its donation).
+	holder *sim.T
 }
 
 // tryAcquire is the user-code fast path: one test-and-set and one branch —
@@ -21,8 +30,13 @@ type gate struct {
 // after the winning test-and-set, in the same execution slice).
 func (g *gate) tryAcquire(e *sim.Env, onAcquired func()) bool {
 	won := e.TAS(&g.lockBit) == 0
-	if won && onAcquired != nil {
-		onAcquired()
+	if won {
+		if g.pi {
+			g.holder = e.Self()
+		}
+		if onAcquired != nil {
+			onAcquired()
+		}
 	}
 	e.Work(branchCost)
 	return won
@@ -55,6 +69,9 @@ func (g *gate) acquireSlow(e *sim.Env, reason string, onAcquired func()) {
 			// in the releaser's slice; must precede the unlock, since a
 			// releaser may pop us the instant the spin lock drops.
 			st.handoffEmit = onAcquired
+			// Donate before parking, while the holder is still visible
+			// under the spin lock.
+			w.piDonate(e, g, self)
 			w.nubUnlock(e)
 			w.Stats.AcquirePark++
 			e.Deschedule(reason)
@@ -110,6 +127,7 @@ func (g *gate) alertableAcquireSlow(e *sim.Env, reason string, onAcquired, onAle
 			continue
 		}
 		st.handoffEmit = onAcquired
+		w.piDonate(e, g, self)
 		w.nubUnlock(e)
 		e.Deschedule(reason)
 		// Woken: find out by whom, under the spin lock.
@@ -148,6 +166,18 @@ func (g *gate) release(e *sim.Env, onReleased func()) (tookNub bool) {
 	if g.w.opts.DirectHandoff && e.Load(&g.qne) != 0 && g.releaseHandoffSlow(e, onReleased) {
 		return true
 	}
+	// The next holder is unknown until someone wins the test-and-set, so a
+	// plain release clears the donation target first. Its own donation is
+	// removed only AFTER the queued successor (if any) is in the ready pool:
+	// dropping the boost first would let a medium-priority thread preempt
+	// this thread inside releaseSlow's Nub critical section — with the
+	// successor still stranded on the gate queue — recreating the very
+	// inversion the donation existed to prevent.
+	var prevHolder *sim.T
+	if g.pi {
+		prevHolder = g.holder
+		g.holder = nil
+	}
 	e.Store(&g.lockBit, 0)
 	if onReleased != nil {
 		onReleased()
@@ -155,9 +185,11 @@ func (g *gate) release(e *sim.Env, onReleased func()) (tookNub bool) {
 	nonEmpty := e.Load(&g.qne) != 0
 	e.Work(branchCost)
 	if !nonEmpty {
+		g.w.piUndonate(e, g, prevHolder)
 		return false
 	}
 	g.releaseSlow(e)
+	g.w.piUndonate(e, g, prevHolder)
 	return true
 }
 
@@ -225,8 +257,19 @@ func (g *gate) releaseHandoffSlow(e *sim.Env, onReleased func()) bool {
 				st.handoffEmit()
 				st.handoffEmit = nil
 			}
+			var old *sim.T
+			if g.pi {
+				// A transfer names its recipient: install it as the new
+				// donation target. The releaser's own boost is dropped only
+				// after the recipient is ready (see release).
+				old = g.holder
+				g.holder = t
+			}
 			st.wakeup = wakeHandoff
 			e.MakeReady(t)
+			if g.pi {
+				w.piUndonate(e, g, old)
+			}
 			w.nubUnlock(e)
 			w.Stats.ReleaseHandoff++
 			return true

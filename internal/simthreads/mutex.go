@@ -15,11 +15,14 @@ type Mutex struct {
 	g  gate
 }
 
-// NewMutex creates a mutex (INITIALLY NIL).
+// NewMutex creates a mutex (INITIALLY NIL). With the world's
+// PriorityInheritance option on, the mutex donates blocked acquirers'
+// priorities to its holder.
 func (w *World) NewMutex() *Mutex {
 	w.nextMutex++
 	m := &Mutex{w: w, id: w.nextMutex}
 	m.g.w = w
+	m.g.pi = w.opts.PriorityInheritance
 	w.registerGate(&m.g)
 	return m
 }

@@ -35,6 +35,13 @@ type WorldOptions struct {
 	// the fast-path release; the NoUserFastPath ablation composes with it
 	// by simply never reaching the hand-off.
 	DirectHandoff bool
+	// PriorityInheritance enables priority inheritance on every mutex the
+	// world creates, mirroring core.Mutex.SetPriorityInheritance: a blocked
+	// Acquire donates its priority to the holder, and the release removes
+	// the donation. The priority-inversion litmus runs once with this off
+	// (the explorer must find the inversion) and once with it on (the
+	// explorer must come up clean).
+	PriorityInheritance bool
 	// BuggyAlertSeize reintroduces, at the implementation level, the bug
 	// the first released specification permitted (spec.VariantNoMNil):
 	// AlertWait's Raise path returns without waiting for the mutex to be
@@ -63,6 +70,9 @@ func (g *gate) acquireNubOnly(e *sim.Env, reason string, onAcquired func()) {
 		w.nubLock(e)
 		if e.Load(&g.lockBit) == 0 {
 			e.Store(&g.lockBit, 1)
+			if g.pi {
+				g.holder = self
+			}
 			if onAcquired != nil {
 				onAcquired()
 			}
@@ -72,6 +82,7 @@ func (g *gate) acquireNubOnly(e *sim.Env, reason string, onAcquired func()) {
 		}
 		g.q.push(e, self)
 		e.Store(&g.qne, 1)
+		w.piDonate(e, g, self)
 		w.nubUnlock(e)
 		w.Stats.AcquireNub++
 		w.Stats.AcquirePark++
@@ -86,6 +97,11 @@ func (g *gate) releaseNubOnly(e *sim.Env, onReleased func()) {
 	w := g.w
 	e.Work(callCost)
 	w.nubLock(e)
+	var prevHolder *sim.T
+	if g.pi {
+		prevHolder = g.holder
+		g.holder = nil
+	}
 	e.Store(&g.lockBit, 0)
 	if onReleased != nil {
 		onReleased()
@@ -106,6 +122,7 @@ func (g *gate) releaseNubOnly(e *sim.Env, onReleased func()) {
 			break
 		}
 	}
+	w.piUndonate(e, g, prevHolder)
 	w.nubUnlock(e)
 	w.Stats.ReleaseNub++
 }

@@ -1,0 +1,70 @@
+package simthreads
+
+import "threads/internal/sim"
+
+// Priority inheritance in the simulated Nub, mirroring internal/core's
+// protocol: a blocked Acquire donates its priority to the gate's holder
+// (keyed by the gate, so nested holds compose), and the release removes the
+// donation. The effective priority — what the kernel's ready pool schedules
+// by — is max(basePri, donations); piRecalc pushes it into the ready heap
+// through Env.SetPriorityOf.
+//
+// All three helpers run inside Nub critical sections (the holder hint is
+// additionally written at fast-path linearization points) and add no yield
+// points: the simulator serializes execution, so plain Go state is sound,
+// and the schedule explorer sees the donation as part of the surrounding
+// step, exactly as core's donLock work is invisible between its gate-word
+// accesses.
+
+// piDonate donates waiter's priority to g's holder if that would raise it.
+// Called under the Nub spin lock with waiter about to park on g's queue.
+func (w *World) piDonate(e *sim.Env, g *gate, waiter *sim.T) {
+	if !g.pi {
+		return
+	}
+	h := g.holder
+	if h == nil || h == waiter {
+		return
+	}
+	pri := waiter.Priority()
+	if pri <= h.Priority() {
+		return
+	}
+	hs := w.state(h)
+	if hs.donations == nil {
+		hs.donations = make(map[int]int)
+	}
+	if d, ok := hs.donations[g.q.id]; ok && d >= pri {
+		return
+	}
+	hs.donations[g.q.id] = pri
+	w.piRecalc(e, h)
+}
+
+// piUndonate removes t's donation keyed by g (t released the gate) and
+// restores its effective priority.
+func (w *World) piUndonate(e *sim.Env, g *gate, t *sim.T) {
+	if !g.pi || t == nil {
+		return
+	}
+	hs := w.state(t)
+	if _, ok := hs.donations[g.q.id]; !ok {
+		return
+	}
+	delete(hs.donations, g.q.id)
+	w.piRecalc(e, t)
+}
+
+// piRecalc recomputes t's effective priority and installs it in the kernel.
+func (w *World) piRecalc(e *sim.Env, t *sim.T) {
+	hs := w.state(t)
+	eff := hs.basePri
+	for _, p := range hs.donations {
+		if p > eff {
+			eff = p
+		}
+	}
+	if eff != t.Priority() {
+		e.SetPriorityOf(t, eff)
+	}
+}

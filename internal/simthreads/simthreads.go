@@ -64,7 +64,10 @@ type World struct {
 	opts WorldOptions
 	// queues registers every thread queue for state digests, and the
 	// nGates/nConds counters allocate emission-scope bits (see digest.go).
+	// gates lists every gate so digests can fold the priority-inheritance
+	// holder hints.
 	queues []*tqueue
+	gates  []*gate
 	nGates int
 	nConds int
 }
@@ -99,6 +102,12 @@ type tstate struct {
 	// Emitting at the recipient's wakeup instead would let a concurrent
 	// V+P pair overtake the recorded order and fail conformance.
 	handoffEmit func()
+	// basePri and donations implement priority inheritance (priority.go):
+	// the thread's effective priority — what the kernel schedules by — is
+	// max(basePri, donations values). basePri is captured at first contact,
+	// before any donation can have landed.
+	basePri   int
+	donations map[int]int // gate queue id -> donated priority
 }
 
 type wakeReason int
@@ -134,8 +143,17 @@ func (q *tqueue) pop(e *sim.Env) *sim.T {
 	if len(q.items) == 0 {
 		return nil
 	}
-	t := q.items[0]
-	q.items = q.items[1:]
+	// The Nub "does priority scheduling": the most urgent waiter leaves
+	// first, FIFO within a band. The scan keeps the first of equals, so
+	// priority-free programs dequeue exactly as the plain FIFO did.
+	best := 0
+	for i := 1; i < len(q.items); i++ {
+		if q.items[i].Priority() > q.items[best].Priority() {
+			best = i
+		}
+	}
+	t := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
 	return t
 }
 
@@ -173,7 +191,10 @@ func NewWorld(cfg sim.Config) (*World, *Kernel) {
 func (w *World) state(t *sim.T) *tstate {
 	st, ok := w.states[t]
 	if !ok {
-		st = &tstate{id: spec.ThreadID(t.ID() + 1)} // spec IDs are 1-based; 0 is NIL
+		// spec IDs are 1-based; 0 is NIL. basePri is the thread's priority
+		// at first contact: no donation can target a thread before it has a
+		// tstate, so the current priority is the undonated base.
+		st = &tstate{id: spec.ThreadID(t.ID() + 1), basePri: t.Priority()}
 		w.states[t] = st
 	}
 	return st

@@ -1,0 +1,80 @@
+package spec
+
+import "fmt"
+
+// Priority scheduling extension. The printed interface has no priority
+// procedures — the paper only records that the Nub "does priority
+// scheduling and time slicing" — so this file specifies the small state the
+// implementation's priority mechanism exposes, in the same style:
+//
+//	VAR pris : Thread -> Int INITIALLY 0
+//
+// pris[t] is t's *effective* scheduling priority: the maximum of its base
+// priority and any priorities donated to it by priority inheritance. Two
+// actions change it, and their REQUIRES clauses are the conformance face of
+// the boost/restore protocol:
+//
+//	ATOMIC ACTION PriBoost(t: Thread; old, new: Int)
+//	  REQUIRES (old = pris[t]) & (new > old)
+//	  MODIFIES AT MOST [pris]  ENSURES pris'[t] = new
+//	ATOMIC ACTION PriRestore(t: Thread; old, new: Int)
+//	  REQUIRES (old = pris[t]) & (new < old)
+//	  MODIFIES AT MOST [pris]  ENSURES pris'[t] = new
+//
+// A boost strictly raises and a restore strictly lowers: the implementation
+// only emits a record when the effective priority actually changes, and the
+// direction names the event. The REQUIRES old = pris[t] clause is what makes
+// the pair a real protocol rather than two unrelated setters — replayed in
+// stamp order, every transition must start from the value the previous one
+// left, so a lost, duplicated or misordered boost/restore surfaces as a
+// conformance violation.
+
+// PriBoost raises thread T's effective priority from Old to New.
+type PriBoost struct {
+	T   ThreadID
+	Old int
+	New int
+}
+
+func (a PriBoost) Kind() string   { return "PriBoost" }
+func (a PriBoost) Self() ThreadID { return a.T }
+func (a PriBoost) Requires(s *State) error {
+	if cur := s.Pri(a.T); cur != a.Old {
+		return fmt.Errorf("PriBoost REQUIRES old = pris[t]: pris[t%d] = %d, old = %d", a.T, cur, a.Old)
+	}
+	if a.New <= a.Old {
+		return fmt.Errorf("PriBoost REQUIRES new > old: old = %d, new = %d", a.Old, a.New)
+	}
+	return nil
+}
+func (a PriBoost) When(*State) bool           { return true }
+func (a PriBoost) Apply(s *State)             { s.SetPri(a.T, a.New) }
+func (a PriBoost) Outcomes(s *State) []*State { return deterministicOutcomes(a, s) }
+func (a PriBoost) String() string {
+	return fmt.Sprintf("PriBoost(t%d, %d -> %d)", a.T, a.Old, a.New)
+}
+
+// PriRestore lowers thread T's effective priority from Old to New.
+type PriRestore struct {
+	T   ThreadID
+	Old int
+	New int
+}
+
+func (a PriRestore) Kind() string   { return "PriRestore" }
+func (a PriRestore) Self() ThreadID { return a.T }
+func (a PriRestore) Requires(s *State) error {
+	if cur := s.Pri(a.T); cur != a.Old {
+		return fmt.Errorf("PriRestore REQUIRES old = pris[t]: pris[t%d] = %d, old = %d", a.T, cur, a.Old)
+	}
+	if a.New >= a.Old {
+		return fmt.Errorf("PriRestore REQUIRES new < old: old = %d, new = %d", a.Old, a.New)
+	}
+	return nil
+}
+func (a PriRestore) When(*State) bool           { return true }
+func (a PriRestore) Apply(s *State)             { s.SetPri(a.T, a.New) }
+func (a PriRestore) Outcomes(s *State) []*State { return deterministicOutcomes(a, s) }
+func (a PriRestore) String() string {
+	return fmt.Sprintf("PriRestore(t%d, %d -> %d)", a.T, a.Old, a.New)
+}

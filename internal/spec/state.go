@@ -136,6 +136,9 @@ type State struct {
 	Conds   map[CondID]ThreadSet
 	Sems    map[SemID]bool // true = unavailable; absent/false = available
 	Alerts  ThreadSet
+	// Pris holds effective scheduling priorities (the priority extension;
+	// see priority.go). Absent means the INITIALLY value 0.
+	Pris map[ThreadID]int
 }
 
 // NewState returns an empty (initial) state.
@@ -145,6 +148,7 @@ func NewState() *State {
 		Conds:   map[CondID]ThreadSet{},
 		Sems:    map[SemID]bool{},
 		Alerts:  ThreadSet{},
+		Pris:    map[ThreadID]int{},
 	}
 }
 
@@ -173,6 +177,18 @@ func (s *State) Cond(c CondID) ThreadSet {
 // CondHas reports t ∈ c without materializing an empty set.
 func (s *State) CondHas(c CondID, t ThreadID) bool {
 	return s.Conds[c].Contains(t)
+}
+
+// Pri returns t's effective priority (0 if never set).
+func (s *State) Pri(t ThreadID) int { return s.Pris[t] }
+
+// SetPri sets t's effective priority.
+func (s *State) SetPri(t ThreadID, pri int) {
+	if pri == 0 {
+		delete(s.Pris, t)
+	} else {
+		s.Pris[t] = pri
+	}
 }
 
 // SemAvailable reports whether semaphore sem is available.
@@ -204,6 +220,11 @@ func (s *State) Clone() *State {
 		}
 	}
 	c.Alerts = s.Alerts.Clone()
+	for t, p := range s.Pris {
+		if p != 0 {
+			c.Pris[t] = p
+		}
+	}
 	return c
 }
 
@@ -247,6 +268,16 @@ func (s *State) Key() string {
 	}
 	if !s.Alerts.Empty() {
 		fmt.Fprintf(&b, "a=%s;", s.Alerts)
+	}
+	var ps []int
+	for t, p := range s.Pris {
+		if p != 0 {
+			ps = append(ps, int(t))
+		}
+	}
+	sort.Ints(ps)
+	for _, t := range ps {
+		fmt.Fprintf(&b, "p%d=%d;", t, s.Pris[ThreadID(t)])
 	}
 	return b.String()
 }

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"runtime"
+	"testing"
+
+	"threads/internal/core"
+	"threads/internal/spec"
+)
+
+// TestRuntimeConformancePriorityInheritance runs a PI mutex under
+// mixed-priority contention with tracing on and replays the merged trace:
+// every PriBoost/PriRestore record must start from the effective priority
+// the previous record for that thread left (the spec face's REQUIRES), so a
+// lost, duplicated or misordered donation surfaces here.
+func TestRuntimeConformancePriorityInheritance(t *testing.T) {
+	withRuntimeTracing(t, 1<<16, func() {
+		var m core.Mutex
+		m.SetPriorityInheritance(true)
+		defer m.SetPriorityInheritance(false)
+
+		// One deterministic boost/restore episode, so the trace provably
+		// contains at least one pair.
+		held := make(chan struct{})
+		releaseIt := make(chan struct{})
+		low := core.ForkPri(1, func() {
+			m.Acquire()
+			close(held)
+			<-releaseIt
+			m.Release()
+		})
+		<-held
+		high := core.ForkPri(5, func() {
+			m.Acquire()
+			m.Release()
+		})
+		for low.EffectivePriority() != 5 {
+			runtime.Gosched()
+		}
+		close(releaseIt)
+		core.Join(low)
+		core.Join(high)
+
+		// Then a storm: four priorities hammering the same PI mutex.
+		var threads []*core.Thread
+		for pri := 1; pri <= 4; pri++ {
+			pri := pri
+			threads = append(threads, core.ForkPri(pri, func() {
+				for i := 0; i < 500; i++ {
+					m.Acquire()
+					runtime.Gosched()
+					m.Release()
+				}
+			}))
+		}
+		for _, th := range threads {
+			core.Join(th)
+		}
+
+		shards, dropped := core.CollectTrace()
+		if dropped > 0 {
+			t.Fatalf("trace rings overflowed: %d records dropped", dropped)
+		}
+		evs, err := FromCore(Merge(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		boosts, restores := 0, 0
+		for _, ev := range evs {
+			switch ev.Action.(type) {
+			case spec.PriBoost:
+				boosts++
+			case spec.PriRestore:
+				restores++
+			}
+		}
+		if boosts == 0 || restores == 0 {
+			t.Fatalf("trace has %d boosts, %d restores; want at least one of each", boosts, restores)
+		}
+		if err := New().Feed(evs); err != nil {
+			t.Fatalf("conformance violation: %v", err)
+		}
+		t.Logf("replayed %d events (%d boosts, %d restores)", len(evs), boosts, restores)
+	})
+}
+
+// TestCheckerPriorityTransitions pins the checker's priority rules directly.
+func TestCheckerPriorityTransitions(t *testing.T) {
+	clean := []Event{
+		{Seq: 1, Action: spec.PriBoost{T: 1, Old: 0, New: 3}},
+		{Seq: 2, Action: spec.PriBoost{T: 1, Old: 3, New: 5}},
+		{Seq: 3, Action: spec.PriRestore{T: 1, Old: 5, New: 3}},
+		{Seq: 4, Action: spec.PriRestore{T: 1, Old: 3, New: 0}},
+		{Seq: 5, Action: spec.PriBoost{T: 2, Old: 0, New: 1}}, // independent thread
+	}
+	if err := New().Feed(clean); err != nil {
+		t.Fatalf("clean boost/restore chain rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		evs  []Event
+	}{
+		{"boost from stale old", []Event{
+			{Seq: 1, Action: spec.PriBoost{T: 1, Old: 0, New: 3}},
+			{Seq: 2, Action: spec.PriBoost{T: 1, Old: 0, New: 5}}, // lost the first boost
+		}},
+		{"boost that does not raise", []Event{
+			{Seq: 1, Action: spec.PriBoost{T: 1, Old: 0, New: 0}},
+		}},
+		{"restore that does not lower", []Event{
+			{Seq: 1, Action: spec.PriBoost{T: 1, Old: 0, New: 3}},
+			{Seq: 2, Action: spec.PriRestore{T: 1, Old: 3, New: 3}},
+		}},
+		{"restore from stale old", []Event{
+			{Seq: 1, Action: spec.PriRestore{T: 1, Old: 4, New: 1}},
+		}},
+	} {
+		if err := New().Feed(tc.evs); err == nil {
+			t.Errorf("%s: accepted, want violation", tc.name)
+		}
+	}
+}

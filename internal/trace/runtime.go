@@ -76,6 +76,10 @@ func FromCore(recs []core.TraceRecord) ([]Event, error) {
 			a = spec.AlertResumeReturn{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2)}
 		case core.TraceAlertResumeRaise:
 			a = spec.AlertResumeRaise{T: t, M: spec.MutexID(r.Obj), C: spec.CondID(r.Obj2), Variant: spec.VariantFinal}
+		case core.TracePriBoost:
+			a = spec.PriBoost{T: t, New: int(int64(r.Obj)), Old: int(int64(r.Obj2))}
+		case core.TracePriRestore:
+			a = spec.PriRestore{T: t, New: int(int64(r.Obj)), Old: int(int64(r.Obj2))}
 		default:
 			return nil, fmt.Errorf("trace: record %d has unknown kind %d", r.Seq, r.Kind)
 		}

@@ -61,6 +61,7 @@ type Checker struct {
 	sems    map[spec.SemID]bool // true = unavailable
 	conds   map[spec.CondID]*condState
 	alerts  map[spec.ThreadID]bool
+	pris    map[spec.ThreadID]int // effective priorities (priority extension)
 	applied int
 	lastSeq uint64
 }
@@ -73,6 +74,7 @@ func New() *Checker {
 		sems:    map[spec.SemID]bool{},
 		conds:   map[spec.CondID]*condState{},
 		alerts:  map[spec.ThreadID]bool{},
+		pris:    map[spec.ThreadID]int{},
 	}
 }
 
@@ -187,6 +189,33 @@ func (c *Checker) Apply(ev Event) error {
 				"returned %v, alerts membership %v", a.Result, want)
 		}
 		delete(c.alerts, a.T)
+
+	case spec.PriBoost:
+		// Boost/restore records are emitted under the target thread's
+		// donation lock, so per thread they are totally ordered and each
+		// must start from the value the previous transition left.
+		if cur := c.pris[a.T]; cur != a.Old {
+			return c.fail(ev, "PriBoost REQUIRES old = pris[t]",
+				"pris[t%d] = %d, record claims old = %d", a.T, cur, a.Old)
+		}
+		if a.New <= a.Old {
+			return c.fail(ev, "PriBoost REQUIRES new > old", "old = %d, new = %d", a.Old, a.New)
+		}
+		c.pris[a.T] = a.New
+
+	case spec.PriRestore:
+		if cur := c.pris[a.T]; cur != a.Old {
+			return c.fail(ev, "PriRestore REQUIRES old = pris[t]",
+				"pris[t%d] = %d, record claims old = %d", a.T, cur, a.Old)
+		}
+		if a.New >= a.Old {
+			return c.fail(ev, "PriRestore REQUIRES new < old", "old = %d, new = %d", a.Old, a.New)
+		}
+		if a.New == 0 {
+			delete(c.pris, a.T)
+		} else {
+			c.pris[a.T] = a.New
+		}
 
 	default:
 		return c.fail(ev, "unknown action", "unhandled action type %T", ev.Action)

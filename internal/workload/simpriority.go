@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"threads/internal/sim"
+	"threads/internal/simthreads"
+)
+
+// SimPriorityConfig parameterizes the mixed-priority tail-latency workload
+// (experiment E19). One low-priority thread (priority 1) and one
+// high-priority thread (priority 3) share a mutex; a band of
+// medium-priority compute threads (priority 2) applies processor pressure.
+// Each iteration the low thread takes the lock and signals both bands: the
+// high thread wakes and blocks on the held mutex, the mediums wake and
+// burn a bounded burst of compute. The low thread's critical section spans
+// several quanta, so the time slicer preempts it mid-section — and without
+// priority inheritance the medium band then outranks it on every dispatch,
+// starving the holder while the high-priority thread waits: the Mars
+// Pathfinder shape, once per iteration. With inheritance the blocked
+// Acquire boosts the holder past the band and the tail collapses to
+// roughly the critical section itself.
+type SimPriorityConfig struct {
+	Procs   int
+	Med     int // medium-priority compute threads
+	Iters   int // measured high-priority acquisitions
+	CSWork  int // critical-section instructions; > Quantum so the slicer hits it
+	Think   int // low-thread instructions between acquisitions
+	Burst   int // medium-band instructions per iteration (the starvation window)
+	Quantum uint64
+	// Inheritance enables priority inheritance on the mutex
+	// (simthreads.WorldOptions.PriorityInheritance) — E19's independent
+	// variable.
+	Inheritance bool
+	Seed        int64
+}
+
+// SimPriorityResult reports the high-priority thread's acquire-latency
+// distribution, in simulated instructions. Deterministic for a fixed
+// config: the simulator has no wall-clock noise.
+type SimPriorityResult struct {
+	Stats    simthreads.Stats
+	Makespan uint64
+	Samples  int    // high-priority acquisitions measured
+	P50      uint64 // median high-priority acquire latency
+	P99      uint64
+	P999     uint64
+	Max      uint64
+}
+
+// workChunked charges total instructions of compute in small slices. A
+// single Work(n) lands its whole cost on the proc clock at once, which
+// both defeats the time slicer (the quantum can only expire between
+// yield points) and teleports the global event clock n units forward,
+// distorting every latency measured against it. Chunking keeps the
+// simulated clocks honest.
+func workChunked(e *sim.Env, total, chunk int) {
+	for done := 0; done < total; done += chunk {
+		n := chunk
+		if total-done < n {
+			n = total - done
+		}
+		e.Work(uint64(n))
+	}
+}
+
+// percentile returns the p-th quantile (0 < p <= 1) of sorted latencies.
+func percentile(sorted []uint64, p float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// SimPriorityTail runs the mixed-priority workload and reports the
+// high-priority thread's lock-acquire latency tail.
+func SimPriorityTail(cfg SimPriorityConfig) (SimPriorityResult, error) {
+	w, k := simthreads.NewWorldOpts(sim.Config{
+		Procs:    cfg.Procs,
+		Seed:     cfg.Seed,
+		Quantum:  cfg.Quantum,
+		MaxSteps: 500_000_000,
+	}, simthreads.WorldOptions{PriorityInheritance: cfg.Inheritance})
+	m := w.NewMutex()
+	// Per-iteration start signals (set by the holder) and completion
+	// counters (set by the bands): the low thread runs the iterations in
+	// lockstep, so the starvation window recurs on every single
+	// acquisition instead of drifting apart after the first.
+	var hiGo, medGo, hiDone, medDone sim.Word
+
+	// workChunk is the compute slice size: well under the quantum, so
+	// expiry lands between slices and clocks advance smoothly.
+	const workChunk = 100
+
+	var lats []uint64 // sim goroutines run serialized; plain append is fine
+	k.SpawnPri("low", 1, func(e *sim.Env) {
+		for n := 0; n < cfg.Iters; n++ {
+			// Deterministic per-iteration jitter: shifts where the quantum
+			// expiry lands inside the critical section, so the latency
+			// samples form a distribution instead of one repeated value.
+			e.Work(uint64(n*613%1024 + 1))
+			m.Acquire(e)
+			// Wake the high-priority client first so it blocks on the
+			// held mutex, then unleash the medium band; the quantum then
+			// expires inside the long critical section below.
+			e.Store(&hiGo, uint64(n+1))
+			e.Store(&medGo, uint64(n+1))
+			workChunked(e, cfg.CSWork+n*401%1024, workChunk)
+			m.Release(e)
+			e.Work(uint64(cfg.Think))
+			for e.Load(&hiDone) != uint64(n+1) {
+				e.AwaitChange(sim.WordVal{W: &hiDone, Old: uint64(n)})
+			}
+			for e.Load(&medDone) != uint64((n+1)*cfg.Med) {
+				e.AwaitChange(sim.WordVal{W: &medDone, Old: e.Load(&medDone)})
+			}
+		}
+	})
+	k.SpawnPri("high", 3, func(e *sim.Env) {
+		for n := 0; n < cfg.Iters; n++ {
+			e.AwaitChange(sim.WordVal{W: &hiGo, Old: uint64(n)})
+			before := e.Now()
+			m.Acquire(e)
+			after := e.Now()
+			lat := uint64(0)
+			if after > before { // proc clocks can skew across a migration
+				lat = after - before
+			}
+			lats = append(lats, lat)
+			m.Release(e)
+			e.Store(&hiDone, uint64(n+1))
+		}
+	})
+	for i := 0; i < cfg.Med; i++ {
+		k.SpawnPri(fmt.Sprintf("med%d", i), 2, func(e *sim.Env) {
+			// One bounded burst per iteration: enough pressure to starve
+			// an unboosted holder for the whole window, but finite, so
+			// the inheritance-off run still terminates.
+			for n := 0; n < cfg.Iters; n++ {
+				e.AwaitChange(sim.WordVal{W: &medGo, Old: uint64(n)})
+				workChunked(e, cfg.Burst, workChunk)
+				e.Add(&medDone, 1)
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		return SimPriorityResult{}, err
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := SimPriorityResult{
+		Stats:    w.Stats,
+		Makespan: k.Makespan(),
+		Samples:  len(lats),
+		P50:      percentile(lats, 0.50),
+		P99:      percentile(lats, 0.99),
+		P999:     percentile(lats, 0.999),
+	}
+	if len(lats) > 0 {
+		res.Max = lats[len(lats)-1]
+	}
+	return res, nil
+}
+
+// DefaultPriorityConfig is E19's fixed shape: two processors, a two-thread
+// medium band that exactly covers them, a critical section three quanta
+// long. Deterministic, so the derived percentiles are stable regression
+// metrics.
+func DefaultPriorityConfig(inheritance bool) SimPriorityConfig {
+	return SimPriorityConfig{
+		Procs:       2,
+		Med:         2,
+		Iters:       200,
+		CSWork:      3_000,
+		Think:       500,
+		Burst:       20_000,
+		Quantum:     1_000,
+		Inheritance: inheritance,
+		Seed:        19,
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import "testing"
+
+// TestSimPriorityTailInheritanceHelps is E19's claim as a test: with the
+// medium band loading both processors, priority inheritance must cut the
+// high-priority band's p99 acquire latency, by a wide margin.
+func TestSimPriorityTailInheritanceHelps(t *testing.T) {
+	off, err := SimPriorityTail(DefaultPriorityConfig(false))
+	if err != nil {
+		t.Fatalf("inheritance off: %v", err)
+	}
+	on, err := SimPriorityTail(DefaultPriorityConfig(true))
+	if err != nil {
+		t.Fatalf("inheritance on: %v", err)
+	}
+	wantSamples := DefaultPriorityConfig(false).Iters
+	if off.Samples != wantSamples || on.Samples != wantSamples {
+		t.Fatalf("samples: off %d, on %d, want %d", off.Samples, on.Samples, wantSamples)
+	}
+	t.Logf("inheritance off: p50=%d p99=%d p999=%d max=%d makespan=%d",
+		off.P50, off.P99, off.P999, off.Max, off.Makespan)
+	t.Logf("inheritance on:  p50=%d p99=%d p999=%d max=%d makespan=%d",
+		on.P50, on.P99, on.P999, on.Max, on.Makespan)
+	if on.P99 >= off.P99 {
+		t.Errorf("p99 did not improve: on %d >= off %d", on.P99, off.P99)
+	}
+	// The inversion is worth an order of magnitude here, not a rounding
+	// error: the unboosted holder eats the medium band's whole burst.
+	if off.P99 < 2*on.P99 {
+		t.Errorf("p99 improvement below 2x: off %d, on %d", off.P99, on.P99)
+	}
+}
+
+// TestSimPriorityTailDeterministic: same config, same distribution —
+// the percentiles are usable as stable regression metrics.
+func TestSimPriorityTailDeterministic(t *testing.T) {
+	a, err := SimPriorityTail(DefaultPriorityConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimPriorityTail(DefaultPriorityConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

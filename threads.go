@@ -141,6 +141,18 @@ func Fork(fn func()) *Thread { return core.Fork(fn) }
 // ForkNamed is Fork with a thread name for diagnostics.
 func ForkNamed(name string, fn func()) *Thread { return core.ForkNamed(name, fn) }
 
+// ForkPri is Fork with an initial scheduling priority (larger is more
+// urgent, default 0). The paper's Nub "does priority scheduling and time
+// slicing"; on this implementation the priority orders wakeup selection:
+// when a Release, V, Signal or Broadcast wakes a blocked thread, the
+// highest-priority waiter is chosen, FIFO within a band, so equal-priority
+// programs keep the old fairness exactly. A thread's priority can be
+// changed later with (*Thread).SetPriority.
+func ForkPri(pri int, fn func()) *Thread { return core.ForkPri(pri, fn) }
+
+// ForkNamedPri combines ForkNamed and ForkPri.
+func ForkNamedPri(name string, pri int, fn func()) *Thread { return core.ForkNamedPri(name, pri, fn) }
+
 // Join blocks until a forked thread's function has returned.
 func Join(t *Thread) { core.Join(t) }
 
