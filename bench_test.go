@@ -557,3 +557,24 @@ func BenchmarkExperimentTables(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// E20 — the static-analysis gate itself.
+// ---------------------------------------------------------------------------
+
+// BenchmarkThreadsvetRepo runs full-repo threadsvet (every analyzer, one
+// cross-package program) per iteration: load, type-check, summaries,
+// entry-held fixpoint, guard inference, all checkers. The wall clock here
+// is what every commit pays in CI; the e20.vet_ms baseline metric tracks
+// the same quantity.
+func BenchmarkThreadsvetRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, findings, err := bench.RunThreadsvetRepo()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if findings != 0 {
+			b.Fatalf("threadsvet reported %d findings over %d packages", findings, pkgs)
+		}
+	}
+}

@@ -13,8 +13,8 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 7 {
-		t.Fatalf("suite has %d analyzers, want 7", len(all))
+	if len(all) != 8 {
+		t.Fatalf("suite has %d analyzers, want 8", len(all))
 	}
 
 	only, err := selectAnalyzers("waitloop, lockpair", "")
@@ -29,7 +29,7 @@ func TestSelectAnalyzers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(skipped) != 6 {
+	if len(skipped) != 7 {
 		t.Errorf("-skip lockorder left %v", names(skipped))
 	}
 	for _, a := range skipped {

@@ -21,7 +21,7 @@ import "threads"
 type CountingSemaphore struct {
 	mu      threads.Mutex
 	nonZero threads.Condition
-	permits int
+	permits int //threads:guardedby mu
 }
 
 // NewCountingSemaphore returns a semaphore with the given initial permits.
@@ -92,7 +92,7 @@ type Barrier struct {
 	mu      threads.Mutex
 	tripped threads.Condition
 	n       int
-	arrived int
+	arrived int //threads:guardedby mu
 	gen     uint64
 }
 
@@ -170,7 +170,7 @@ func (l *Latch) IsOpen() bool {
 type Pool[T any] struct {
 	mu    threads.Mutex
 	freed threads.Condition
-	free  []T
+	free  []T //threads:guardedby mu
 }
 
 // NewPool returns a pool initially holding the given items.

@@ -6,7 +6,7 @@ import "threads"
 // the value. Waiting is alertable, so futures compose with the timeout
 // pattern (alert the waiting thread; Get returns threads.Alerted).
 type Future[T any] struct {
-	mu    threads.Mutex
+	mu    threads.Mutex //threads:guards done,value
 	set   threads.Condition
 	done  bool
 	value T

@@ -13,7 +13,7 @@ import (
 // computation proceeds in phases, and no party enters phase p+1 until all
 // parties have finished phase p.
 type Phaser struct {
-	mu       threads.Mutex
+	mu       threads.Mutex //threads:guards arrived,phase
 	advanced threads.Condition
 	parties  int
 	arrived  int

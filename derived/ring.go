@@ -12,7 +12,7 @@ import (
 // Any thread may Push; only one thread at a time may Pop (the single
 // consumer is a usage contract, not enforced).
 type Ring[T any] struct {
-	mu       threads.Mutex
+	mu       threads.Mutex //threads:guards buf,head,n
 	nonEmpty threads.Condition
 	nonFull  threads.Condition
 	buf      []T

@@ -8,7 +8,7 @@ import "threads"
 // same condition variable for different predicates, so Signal would be
 // incorrect; every state change that could enable anyone uses Broadcast.
 type RWLock struct {
-	mu             threads.Mutex
+	mu             threads.Mutex //threads:guards readers,writing,waitingWriters
 	changed        threads.Condition
 	readers        int
 	writing        bool

@@ -19,7 +19,7 @@ const (
 )
 
 type buffer struct {
-	mu       threads.Mutex
+	mu       threads.Mutex //threads:guards items
 	nonEmpty threads.Condition
 	nonFull  threads.Condition
 	items    []int

@@ -13,7 +13,7 @@ import (
 
 // queue is a tiny bounded hand-off built straight on the primitives.
 type queue struct {
-	mu       threads.Mutex
+	mu       threads.Mutex //threads:guards items
 	nonEmpty threads.Condition
 	nonFull  threads.Condition
 	items    []int

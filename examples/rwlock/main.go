@@ -15,7 +15,7 @@ import (
 
 // RWLock is a writers-preferring readers-writer lock.
 type RWLock struct {
-	mu             threads.Mutex
+	mu             threads.Mutex //threads:guards readers,writing,waitingWriters
 	changed        threads.Condition
 	readers        int
 	writing        bool

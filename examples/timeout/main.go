@@ -24,7 +24,7 @@ import (
 // rpc models a remote call that may never complete: the reply arrives via
 // a condition variable that, in the failure case, is never signalled.
 type rpc struct {
-	mu    threads.Mutex
+	mu    threads.Mutex //threads:guards done,value
 	reply threads.Condition
 	done  bool
 	value string

@@ -39,6 +39,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *Package
 
+	// Prog is the whole program this package was analyzed within. Always
+	// non-nil under the driver; Prog.Summaries() and Prog.Guards() are the
+	// cross-package facts shared by the interprocedural analyzers.
+	Prog *Program
+
 	// Calls lists every resolved call to the threads API (all faces) in
 	// source order. Sites returns the per-CallExpr index.
 	Calls []*CallSite
@@ -58,12 +63,23 @@ type Pass struct {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// Related positions elsewhere in the program (the annotation a guarded
+	// access violates, the callee acquire behind a leak). An ignore
+	// directive at any related position also suppresses the finding.
+	Related []token.Position
+	// Info marks an advisory finding (a -guardedby.suggest proposal): shown,
+	// never counted as failure.
+	Info bool
 }
 
 // Reportf records a finding.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
+
+// Report records a fully built diagnostic (related positions, advisory
+// flag).
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
 
 // Site returns the resolved call site for call, if it is a threads-API
 // call.
@@ -81,8 +97,10 @@ type Finding struct {
 	Analyzer   string
 	Pos        token.Position
 	Message    string
-	Suppressed bool   // silenced by a //threadsvet:ignore directive
-	Reason     string // the directive's justification, when suppressed
+	Related    []token.Position // cross-references (annotation site, callee)
+	Info       bool             // advisory: reported but never a failure
+	Suppressed bool             // silenced by a //threadsvet:ignore directive
+	Reason     string           // the directive's justification, when suppressed
 }
 
 func (f Finding) String() string {
@@ -111,44 +129,60 @@ type ignoreEntry struct {
 	used      bool
 }
 
-// Run analyzes one package and returns its findings (suppressed ones
-// included, marked) sorted by position.
+// Run analyzes one package, as a single-package program, and returns its
+// findings (suppressed ones included, marked) sorted by position.
 func (d *Driver) Run(pkg *Package) ([]Finding, error) {
-	ignores, bad := d.parseIgnores(pkg)
-	findings := bad
+	return d.RunProgram(NewProgram([]*Package{pkg}))
+}
 
-	parents := buildParents(pkg.Files)
-	calls, sites, methodVals := Resolve(pkg, parents)
-
-	for _, a := range d.Analyzers {
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			Pkg:        pkg,
-			Calls:      calls,
-			MethodVals: methodVals,
-			Options:    d.Options,
-			sites:      sites,
-			parents:    parents,
+// RunProgram analyzes every package of the program and returns the
+// combined findings sorted by position. Ignore directives are accounted
+// globally: a directive is stale only if it suppressed nothing anywhere in
+// the program, so a justification next to an annotation in one package can
+// cover findings reported against it from another.
+func (d *Driver) RunProgram(prog *Program) ([]Finding, error) {
+	ignores := make(map[string][]*ignoreEntry)
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		ign, bad := d.parseIgnores(pkg)
+		for file, ents := range ign {
+			ignores[file] = append(ignores[file], ents...)
 		}
-		pass.report = func(diag Diagnostic) {
-			pos := pkg.Fset.Position(diag.Pos)
-			f := Finding{Analyzer: a.Name, Pos: pos, Message: diag.Message}
-			if ent := matchIgnore(ignores, pos, a.Name); ent != nil {
-				ent.used = true
-				f.Suppressed = true
-				f.Reason = ent.reason
+		findings = append(findings, bad...)
+	}
+
+	for _, pkg := range prog.Packages {
+		ctx := prog.ctx[pkg]
+		for _, a := range d.Analyzers {
+			a := a
+			pass := prog.pass(ctx)
+			pass.Analyzer = a
+			pass.Options = d.Options
+			pass.report = func(diag Diagnostic) {
+				pos := pass.Fset.Position(diag.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Pos:      pos,
+					Message:  diag.Message,
+					Related:  diag.Related,
+					Info:     diag.Info,
+				}
+				if ent := matchIgnore(ignores, pos, diag.Related, a.Name); ent != nil {
+					ent.used = true
+					f.Suppressed = true
+					f.Reason = ent.reason
+				}
+				findings = append(findings, f)
 			}
-			findings = append(findings, f)
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
 		}
 	}
 
-	// An ignore directive that suppressed nothing is stale: report it so
-	// directives cannot silently outlive the code they excused.
+	// An ignore directive that suppressed nothing anywhere in the program is
+	// stale: report it so directives cannot silently outlive the code they
+	// excused.
 	for file, ents := range ignores {
 		for _, ent := range ents {
 			if !ent.used {
@@ -228,11 +262,24 @@ func (d *Driver) parseIgnores(pkg *Package) (map[string][]*ignoreEntry, []Findin
 	return ignores, bad
 }
 
-// matchIgnore finds a directive covering pos for analyzer name: one on the
-// same line or on the line directly above.
-func matchIgnore(ignores map[string][]*ignoreEntry, pos token.Position, name string) *ignoreEntry {
-	for _, ent := range ignores[pos.Filename] {
-		if ent.analyzers[name] && (ent.line == pos.Line || ent.line == pos.Line-1) {
+// matchIgnore finds a directive covering the finding for analyzer name:
+// one on the same line as the position or on the line directly above —
+// either at the finding itself or at any of its related positions (so a
+// guarded-by violation can be excused where the annotation lives).
+func matchIgnore(ignores map[string][]*ignoreEntry, pos token.Position, related []token.Position, name string) *ignoreEntry {
+	at := func(p token.Position) *ignoreEntry {
+		for _, ent := range ignores[p.Filename] {
+			if ent.analyzers[name] && (ent.line == p.Line || ent.line == p.Line-1) {
+				return ent
+			}
+		}
+		return nil
+	}
+	if ent := at(pos); ent != nil {
+		return ent
+	}
+	for _, p := range related {
+		if ent := at(p); ent != nil {
 			return ent
 		}
 	}

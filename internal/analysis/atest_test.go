@@ -60,37 +60,58 @@ func loadFixture(t *testing.T, fixture string) *Package {
 // assert over the returned findings directly.
 func runFixture(t *testing.T, fixture string, a *Analyzer, opts map[string]string) []Finding {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
+	return runFixturePkgs(t, []string{fixture}, a, opts)
+}
+
+// runFixturePkgs is runFixture over a multi-package program: every fixture
+// is loaded as an analysis target and they are analyzed together, so
+// cross-package summaries, annotations and suppressions are in play. The
+// want comments of all packages are checked against the combined findings.
+func runFixturePkgs(t *testing.T, fixtures []string, a *Analyzer, opts map[string]string) []Finding {
+	t.Helper()
+	pkgs := make([]*Package, len(fixtures))
+	for i, fixture := range fixtures {
+		pkgs[i] = loadFixture(t, fixture)
+	}
 	analyzers := All()
 	if a != nil {
 		analyzers = []*Analyzer{a}
 	}
 	d := &Driver{Analyzers: analyzers, Options: opts}
-	findings, err := d.Run(pkg)
+	findings, err := d.RunProgram(NewProgram(pkgs))
 	if err != nil {
-		t.Fatalf("running on %s: %v", fixture, err)
+		t.Fatalf("running on %v: %v", fixtures, err)
 	}
+	checkWants(t, pkgs, findings)
+	return findings
+}
 
+// checkWants requires the unsuppressed findings and the fixtures' want
+// comments to match exactly, both directions.
+func checkWants(t *testing.T, pkgs []*Package, findings []Finding) {
+	t.Helper()
 	type expectation struct {
 		re      *regexp.Regexp
 		matched bool
 	}
 	expected := make(map[string][]*expectation) // "file:line" → expectations
 	wantRE := regexp.MustCompile(`// want (.*)$`)
-	for _, file := range pkg.Files {
-		for _, cg := range file.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, q := range splitQuoted(t, m[1], pos) {
-					re, err := regexp.Compile(q)
-					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", posKey(pos), q, err)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					expected[posKey(pos)] = append(expected[posKey(pos)], &expectation{re: re})
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range splitQuoted(t, m[1], pos) {
+						re, err := regexp.Compile(q)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", posKey(pos), q, err)
+						}
+						expected[posKey(pos)] = append(expected[posKey(pos)], &expectation{re: re})
+					}
 				}
 			}
 		}
@@ -121,7 +142,6 @@ func runFixture(t *testing.T, fixture string, a *Analyzer, opts map[string]strin
 			}
 		}
 	}
-	return findings
 }
 
 func posKey(pos token.Position) string {

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGuardedByAnnotated(t *testing.T) {
+	runFixture(t, "guardedby", GuardedBy, nil)
+}
+
+func TestGuardedByInference(t *testing.T) {
+	runFixture(t, "guardedby_infer", GuardedBy, map[string]string{"guardedby.suggest": "true"})
+}
+
+// Without the option the deviation is still a finding but the advisory
+// suggestion is not emitted.
+func TestGuardedByInferenceNoSuggest(t *testing.T) {
+	pkg := loadFixture(t, "guardedby_infer")
+	d := &Driver{Analyzers: []*Analyzer{GuardedBy}}
+	findings, err := d.Run(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if f.Info {
+			t.Errorf("suggestion emitted without guardedby.suggest: %s", f.Message)
+		}
+		if !strings.Contains(f.Message, "likely missing guard") {
+			t.Errorf("unexpected finding: %s", f.Message)
+		}
+	}
+}
+
+// The annotation lives in guardedby_dep; the violation and the
+// summary-covered accesses live in guardedby_x.
+func TestGuardedByCrossPackage(t *testing.T) {
+	findings := runFixturePkgs(t, []string{"guardedby_dep", "guardedby_x"}, GuardedBy, nil)
+	unsuppressed := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			unsuppressed++
+		}
+	}
+	if unsuppressed != 1 {
+		t.Errorf("got %d unsuppressed findings, want exactly the annotated bad read", unsuppressed)
+	}
+}

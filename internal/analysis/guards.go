@@ -1,0 +1,377 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Guarded-by annotations bind shared state to the lock that protects it,
+// in source comments the guardedby analyzer enforces:
+//
+//	type queue struct {
+//		mu    threads.Mutex
+//		items []int //threads:guardedby mu
+//	}
+//
+// or, equivalently, from the lock's side:
+//
+//	mu threads.Mutex //threads:guards items,count
+//
+// Package-level variables annotate the same way, naming a package-level
+// lock. The directive sits in the field's or variable's doc comment or on
+// its line. Unannotated fields of lock-owning structs are inference
+// candidates: the analyzer proposes the lock held at the majority of their
+// write sites (see guardedby.go).
+const (
+	GuardedByDirective = "threads:guardedby"
+	GuardsDirective    = "threads:guards"
+)
+
+// guardSpec is one resolved annotation: fieldKey is guarded by a sibling
+// field or a package-level lock.
+type guardSpec struct {
+	fieldKey  string // "(pkg.T).f" or "pkg.v"
+	fieldName string
+	pkg       string         // owning package import path
+	pos       token.Position // the annotation, for related-position reporting
+	sibling   string         // guard is this sibling field of the same struct
+	global    string         // guard is this package-level lock (universal key)
+	guardDisp string
+}
+
+// requirement renders the spec as a universal lock key for an access whose
+// base has the given universal key.
+func (g *guardSpec) requirement(baseUni string) (uni, disp string, ok bool) {
+	if g.global != "" {
+		return g.global, g.guardDisp, true
+	}
+	if g.sibling != "" && baseUni != "" {
+		return baseUni + "." + g.sibling, g.guardDisp, true
+	}
+	return "", "", false
+}
+
+// fieldInfo is one inference candidate: a data field of a struct that also
+// has a named lock field.
+type fieldInfo struct {
+	key        string
+	name       string
+	pkg        string
+	structName string
+	pos        token.Position // the field name, for related-position links
+	posTok     token.Pos      // the same position, for suggestion anchors
+	siblings   []string       // the struct's named lock fields
+}
+
+// guardErr is a malformed annotation, reported by the guardedby analyzer
+// in the owning package.
+type guardErr struct {
+	pkg string
+	pos token.Pos
+	msg string
+}
+
+// GuardTable is the Program's parsed annotation set.
+type GuardTable struct {
+	specs  map[string]*guardSpec
+	fields map[string]*fieldInfo
+	errs   []guardErr
+}
+
+// parseGuards scans every Program package's struct and var declarations
+// for guard annotations and inference candidates.
+func parseGuards(prog *Program) *GuardTable {
+	t := &GuardTable{
+		specs:  make(map[string]*guardSpec),
+		fields: make(map[string]*fieldInfo),
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				switch gd.Tok {
+				case token.TYPE:
+					for _, spec := range gd.Specs {
+						if ts, ok := spec.(*ast.TypeSpec); ok {
+							if st, ok := ts.Type.(*ast.StructType); ok {
+								t.parseStruct(pkg, ts.Name.Name, st)
+							}
+						}
+					}
+				case token.VAR:
+					t.parseVars(pkg, gd)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// directiveIn finds a guard directive in the comment groups, returning the
+// directive name, its argument and its position.
+func directiveIn(groups ...*ast.CommentGroup) (name, arg string, pos token.Pos, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			for _, d := range []string{GuardedByDirective, GuardsDirective} {
+				if rest, found := strings.CutPrefix(c.Text, "//"+d); found {
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // //threads:guardsomethingelse
+					}
+					return d, strings.TrimSpace(rest), c.Pos(), true
+				}
+			}
+		}
+	}
+	return "", "", token.NoPos, false
+}
+
+// lockFieldType reports whether t is a lock usable as a guard: the module's
+// Mutex faces, the spin lock, or sync.Mutex/RWMutex.
+func lockFieldType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	switch named.Obj().Pkg().Path() {
+	case pkgThreads, pkgCore, pkgSim:
+		return name == "Mutex"
+	case pkgSpinlock:
+		return name == "Lock"
+	case "sync":
+		return name == "Mutex" || name == "RWMutex"
+	}
+	return false
+}
+
+// syncObjectType reports types excluded from guard checking and inference:
+// locks themselves plus the signalling primitives accessed through their
+// own methods.
+func syncObjectType(t types.Type) bool {
+	if lockFieldType(t) {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	switch named.Obj().Pkg().Path() {
+	case pkgThreads, pkgCore, pkgSim:
+		return name == "Condition" || name == "Semaphore" || name == "Alert"
+	case "sync":
+		return name == "Cond" || name == "WaitGroup" || name == "Once"
+	}
+	return false
+}
+
+func (t *GuardTable) errf(pkg *Package, pos token.Pos, msg string) {
+	t.errs = append(t.errs, guardErr{pkg: pkg.ImportPath, pos: pos, msg: msg})
+}
+
+// parseStruct registers a struct's lock fields, inference candidates and
+// annotations.
+func (t *GuardTable) parseStruct(pkg *Package, typeName string, st *ast.StructType) {
+	if st.Fields == nil {
+		return
+	}
+	keyOf := func(field string) string {
+		return "(" + pkg.ImportPath + "." + typeName + ")." + field
+	}
+	var locks []string
+	dataFields := make(map[string]*ast.Ident)
+	fieldType := func(id *ast.Ident) types.Type {
+		if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+			return v.Type()
+		}
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			ft := fieldType(name)
+			if ft == nil {
+				continue
+			}
+			if lockFieldType(ft) {
+				locks = append(locks, name.Name)
+			} else if !syncObjectType(ft) {
+				dataFields[name.Name] = name
+			}
+		}
+	}
+	known := func(field string) bool {
+		if dataFields[field] != nil {
+			return true
+		}
+		for _, l := range locks {
+			if l == field {
+				return true
+			}
+		}
+		return false
+	}
+	isLock := func(field string) bool {
+		for _, l := range locks {
+			if l == field {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Inference candidates: every data field of a lock-owning struct.
+	if len(locks) > 0 {
+		for name, id := range dataFields {
+			t.fields[keyOf(name)] = &fieldInfo{
+				key: keyOf(name), name: name, pkg: pkg.ImportPath, structName: typeName,
+				pos: pkg.Fset.Position(id.Pos()), posTok: id.Pos(), siblings: locks,
+			}
+		}
+	}
+
+	addSpec := func(field, guard string, pos token.Pos) {
+		key := keyOf(field)
+		if prev := t.specs[key]; prev != nil {
+			if prev.sibling != guard {
+				t.errf(pkg, pos, "conflicting guard annotations for "+typeName+"."+field+
+					" (already guarded by "+prev.guardDisp+")")
+			}
+			return
+		}
+		t.specs[key] = &guardSpec{
+			fieldKey: key, fieldName: field, pkg: pkg.ImportPath,
+			pos: pkg.Fset.Position(pos), sibling: guard, guardDisp: guard,
+		}
+	}
+
+	for _, f := range st.Fields.List {
+		dir, arg, pos, ok := directiveIn(f.Doc, f.Comment)
+		if !ok {
+			continue
+		}
+		if len(f.Names) == 0 {
+			t.errf(pkg, pos, "guard annotation on an embedded field is not supported")
+			continue
+		}
+		switch dir {
+		case GuardedByDirective:
+			if arg == "" || strings.ContainsAny(arg, ", \t") {
+				t.errf(pkg, pos, "malformed annotation: want //"+GuardedByDirective+" lockField")
+				continue
+			}
+			if !isLock(arg) {
+				t.errf(pkg, pos, "guard "+arg+" is not a lock field of "+typeName)
+				continue
+			}
+			for _, name := range f.Names {
+				addSpec(name.Name, arg, pos)
+			}
+		case GuardsDirective:
+			if len(f.Names) != 1 || !isLock(f.Names[0].Name) {
+				t.errf(pkg, pos, "//"+GuardsDirective+" belongs on a lock field")
+				continue
+			}
+			lock := f.Names[0].Name
+			if arg == "" {
+				t.errf(pkg, pos, "malformed annotation: want //"+GuardsDirective+" field[,field]")
+				continue
+			}
+			for _, field := range strings.Split(arg, ",") {
+				field = strings.TrimSpace(field)
+				if field == "" {
+					continue
+				}
+				if !known(field) || isLock(field) {
+					t.errf(pkg, pos, "//"+GuardsDirective+" names "+field+", which is not a data field of "+typeName)
+					continue
+				}
+				addSpec(field, lock, pos)
+			}
+		}
+	}
+}
+
+// parseVars registers annotated package-level variables.
+func (t *GuardTable) parseVars(pkg *Package, gd *ast.GenDecl) {
+	pkgLevelLock := func(name string) bool {
+		obj := pkg.Types.Scope().Lookup(name)
+		v, ok := obj.(*types.Var)
+		return ok && lockFieldType(v.Type())
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		doc := vs.Doc
+		if doc == nil && len(gd.Specs) == 1 {
+			doc = gd.Doc
+		}
+		dir, arg, pos, ok := directiveIn(doc, vs.Comment)
+		if !ok {
+			continue
+		}
+		names := make([]string, 0, len(vs.Names))
+		for _, n := range vs.Names {
+			names = append(names, n.Name)
+		}
+		switch dir {
+		case GuardedByDirective:
+			if arg == "" || strings.ContainsAny(arg, ", \t") {
+				t.errf(pkg, pos, "malformed annotation: want //"+GuardedByDirective+" lockVar")
+				continue
+			}
+			if !pkgLevelLock(arg) {
+				t.errf(pkg, pos, "guard "+arg+" is not a package-level lock in "+pkg.ImportPath)
+				continue
+			}
+			for _, name := range names {
+				key := pkg.ImportPath + "." + name
+				t.specs[key] = &guardSpec{
+					fieldKey: key, fieldName: name, pkg: pkg.ImportPath,
+					pos:    pkg.Fset.Position(pos),
+					global: pkg.ImportPath + "." + arg, guardDisp: arg,
+				}
+			}
+		case GuardsDirective:
+			if len(names) != 1 || !pkgLevelLock(names[0]) {
+				t.errf(pkg, pos, "//"+GuardsDirective+" belongs on a package-level lock variable")
+				continue
+			}
+			if arg == "" {
+				t.errf(pkg, pos, "malformed annotation: want //"+GuardsDirective+" var[,var]")
+				continue
+			}
+			for _, field := range strings.Split(arg, ",") {
+				field = strings.TrimSpace(field)
+				if field == "" {
+					continue
+				}
+				if _, ok := pkg.Types.Scope().Lookup(field).(*types.Var); !ok {
+					t.errf(pkg, pos, "//"+GuardsDirective+" names "+field+", which is not a package-level variable")
+					continue
+				}
+				key := pkg.ImportPath + "." + field
+				t.specs[key] = &guardSpec{
+					fieldKey: key, fieldName: field, pkg: pkg.ImportPath,
+					pos:    pkg.Fset.Position(pos),
+					global: pkg.ImportPath + "." + names[0], guardDisp: names[0],
+				}
+			}
+		}
+	}
+}

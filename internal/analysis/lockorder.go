@@ -21,10 +21,11 @@ import (
 // inversion some schedule can turn into deadlock.
 //
 // With Pass.Options["lockorder.interprocedural"] set, acquiring a lock
-// inside a same-package callee also closes edges from locks held at the
-// call site: summaries of which class-keyed locks each function acquires
-// are propagated over the package's call graph to a fixed point. This is
-// the slower mode CI runs nightly.
+// inside a callee — declared in this package or any other package of the
+// analyzed program — also closes edges from locks held at the call site:
+// the Program's function summaries record which class-keyed locks each
+// function acquires transitively over the cross-package call graph. This
+// is the slower mode CI runs nightly.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc: "report cycles in the static lock-acquisition order as potential " +
@@ -62,9 +63,9 @@ func runLockOrder(pass *Pass) error {
 	}
 
 	inter := pass.Options["lockorder.interprocedural"] == "true"
-	var summaries *lockSummaries
-	if inter {
-		summaries = newLockSummaries(pass)
+	var sums *Summaries
+	if inter && pass.Prog != nil {
+		sums = pass.Prog.Summaries()
 	}
 
 	for _, file := range pass.Files {
@@ -88,7 +89,7 @@ func runLockOrder(pass *Pass) error {
 					}
 				},
 				node: func(n ast.Node, st *holds) bool {
-					if summaries == nil {
+					if sums == nil {
 						return true
 					}
 					call, ok := n.(*ast.CallExpr)
@@ -102,10 +103,12 @@ func runLockOrder(pass *Pass) error {
 					if !ok {
 						return true
 					}
-					for to, toDisp := range summaries.acquired(fn) {
-						for _, h := range heldLocks(st) {
-							addEdge(h.ref.classKey, h.ref.display, to, toDisp,
-								call.Pos(), fmt.Sprintf("via call to %s", fn.Name()))
+					if sub := sums.effects(fn); sub != nil {
+						for to, ri := range sub.Acquires {
+							for _, h := range heldLocks(st) {
+								addEdge(h.ref.classKey, h.ref.display, to, ri.Display,
+									call.Pos(), fmt.Sprintf("via call to %s", fn.Name()))
+							}
 						}
 					}
 					return true
@@ -216,83 +219,4 @@ func reportCycle(pass *Pass, cycle []string, adj map[string]map[string]lockEdge,
 		"potential deadlock: lock-acquisition cycle %s: two threads acquiring "+
 			"around the cycle block on each other's WHEN m = NIL forever "+
 			"(paper, Mutexes); acquire these locks in one global order", b.String())
-}
-
-// lockSummaries computes, per function, the set of class-keyed locks the
-// function (transitively, within the package) acquires.
-type lockSummaries struct {
-	pass  *Pass
-	decls map[*types.Func]*ast.FuncDecl
-	memo  map[*types.Func]map[string]string // fn → classKey → display
-	stack map[*types.Func]bool
-}
-
-func newLockSummaries(pass *Pass) *lockSummaries {
-	s := &lockSummaries{
-		pass:  pass,
-		decls: make(map[*types.Func]*ast.FuncDecl),
-		memo:  make(map[*types.Func]map[string]string),
-		stack: make(map[*types.Func]bool),
-	}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
-				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					s.decls[fn] = fd
-				}
-			}
-		}
-	}
-	return s
-}
-
-// acquired returns the class-keyed locks fn acquires, directly or through
-// same-package callees. Unknown or out-of-package functions summarize
-// empty.
-func (s *lockSummaries) acquired(fn *types.Func) map[string]string {
-	if got, ok := s.memo[fn]; ok {
-		return got
-	}
-	if s.stack[fn] {
-		return nil // recursion: the cycle's other frames contribute the locks
-	}
-	decl, ok := s.decls[fn]
-	if !ok || decl.Body == nil {
-		s.memo[fn] = nil
-		return nil
-	}
-	s.stack[fn] = true
-	defer delete(s.stack, fn)
-
-	out := make(map[string]string)
-	roots := TypeRoots(s.pass.Pkg.Info, decl)
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if site, tracked := s.pass.Site(call); tracked {
-			if site.Op == OpAcquire || site.Op == OpLock {
-				subject := site.Recv
-				if site.Op == OpLock {
-					subject = site.MutexArg
-				}
-				if key, disp, ok := RefKey(s.pass.Pkg.Info, s.pass.Fset, subject, roots); ok {
-					out[key] = disp
-				}
-			}
-			return true
-		}
-		if callee, ok := Callee(s.pass.Pkg.Info, call).(*types.Func); ok {
-			for k, d := range s.acquired(callee) {
-				out[k] = d
-			}
-		}
-		return true
-	})
-	if len(out) == 0 {
-		out = nil
-	}
-	s.memo[fn] = out
-	return out
 }

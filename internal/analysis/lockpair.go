@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // LockPair enforces the Acquire/Release bracketing discipline the mutex
@@ -18,6 +19,12 @@ import (
 //     the LOCK … DO … END construct, threads.Lock here);
 //   - Release of a mutex not held on the current path;
 //   - a straight-line second Acquire of a held mutex (self-deadlock).
+//
+// The walk is interprocedural via the Program's function summaries: a call
+// to a helper that returns holding a mutex (mon.Enter()) makes the mutex
+// held here — and leaks here if no path releases it — and a helper that
+// releases on the caller's behalf (mon.Exit(), wrapped unlocks in another
+// package) discharges the hold.
 //
 // Locks that degrade to "maybe held" at a path join are never reported:
 // the analysis trades false negatives for zero path-insensitive noise.
@@ -39,6 +46,9 @@ func runLockPair(pass *Pass) error {
 				continue
 			}
 			w := &seqWalker{pass: pass}
+			if pass.Prog != nil {
+				w.sums = pass.Prog.Summaries()
+			}
 			w.client = seqClient{
 				call: func(site *CallSite, ref lockRef, st *holds) {
 					if !ref.ok {
@@ -56,7 +66,7 @@ func runLockPair(pass *Pass) error {
 					case OpRelease:
 						_, held := st.def[ref.key]
 						_, maybeHeld := st.maybe[ref.key]
-						if !held && !maybeHeld {
+						if !held && !maybeHeld && !hasClassHeld(st, ref.uniKey) {
 							pass.Reportf(site.Call.Pos(),
 								"Release of %s which this path has not acquired: "+
 									"Release REQUIRES m = SELF (paper, Mutexes); "+
@@ -67,7 +77,7 @@ func runLockPair(pass *Pass) error {
 				},
 				exit: func(pos token.Pos, st *holds) {
 					for _, h := range st.def {
-						if h.deferred || h.site.Op != OpAcquire {
+						if h.deferred || (h.site.Op != OpAcquire && h.site.Op != OpTryAcquire) {
 							continue
 						}
 						acqPos := h.site.Call.Pos()
@@ -75,6 +85,26 @@ func runLockPair(pass *Pass) error {
 							continue
 						}
 						reportedLeak[acqPos] = true
+						if h.site.Op == OpTryAcquire {
+							// The walker injects this hold only on the branch
+							// where TryAcquire reported success.
+							pass.Reportf(acqPos,
+								"TryAcquire of %s succeeded on this path but no Release matches "+
+									"before the function returns at %s: the mutex stays held "+
+									"forever (paper, Mutexes: bracket critical sections)",
+								h.ref.display, pass.Fset.Position(pos))
+							continue
+						}
+						if strings.HasPrefix(h.ref.key, "eff:") {
+							// Synthetic hold: a callee's summary says this call
+							// returns holding the mutex.
+							pass.Reportf(acqPos,
+								"this call returns holding %s, which no path leaving the "+
+									"function at %s releases: the mutex stays held forever "+
+									"(paper, Mutexes: bracket critical sections)",
+								h.ref.display, pass.Fset.Position(pos))
+							continue
+						}
 						pass.Reportf(acqPos,
 							"%s.Acquire() is not matched by a Release on the path leaving the "+
 								"function at %s: the mutex stays held forever (paper, Mutexes: "+

@@ -25,8 +25,9 @@ import (
 //     concatenation;
 //   - indirect calls through function values (callbacks: arbitrary code
 //     under the Nub lock);
-//   - calls to same-package functions that transitively do any of the
-//     above (summaries are propagated over the package call graph).
+//   - calls to functions declared anywhere in the analyzed program that
+//     transitively do any of the above (summaries are propagated over the
+//     cross-package call graph by the Program's summary engine).
 //
 // The analyzer runs only on packages that import internal/spinlock, and
 // not on internal/spinlock itself.
@@ -53,17 +54,26 @@ func runNubDiscipline(pass *Pass) error {
 		return nil
 	}
 
-	sums := newBadOpSummaries(pass)
+	lookup := pass.Prog.Summaries().badOf
 	reported := make(map[token.Pos]bool)
-	report := func(pos token.Pos, lock string, format string, args ...any) {
+	report := func(pos, origin token.Pos, lock string, format string, args ...any) {
 		if reported[pos] {
 			return
 		}
 		reported[pos] = true
 		msg := fmt.Sprintf(format, args...)
-		pass.Reportf(pos, "%s while spin lock %s is held: the Nub invariant permits no "+
-			"blocking, allocation or callbacks inside spin-locked sections "+
-			"(DESIGN.md; paper, Implementation)", msg, lock)
+		d := Diagnostic{
+			Pos: pos,
+			Message: fmt.Sprintf("%s while spin lock %s is held: the Nub invariant permits no "+
+				"blocking, allocation or callbacks inside spin-locked sections "+
+				"(DESIGN.md; paper, Implementation)", msg, lock),
+		}
+		if origin.IsValid() {
+			// The transitive origin of the violation: an ignore directive
+			// there covers every call site that reaches it.
+			d.Related = []token.Position{pass.Fset.Position(origin)}
+		}
+		pass.Report(d)
 	}
 
 	for _, file := range pass.Files {
@@ -80,7 +90,7 @@ func runNubDiscipline(pass *Pass) error {
 						return
 					}
 					if site.Op.Blocking() {
-						report(site.Call.Pos(), lock, "blocking call %s(…)", callLabel(site))
+						report(site.Call.Pos(), token.NoPos, lock, "blocking call %s(…)", callLabel(site))
 					}
 				},
 				node: func(n ast.Node, st *holds) bool {
@@ -88,8 +98,8 @@ func runNubDiscipline(pass *Pass) error {
 					if !held {
 						return true
 					}
-					if kind, what := classifyBadOp(pass, sums, n); kind != badNone {
-						report(n.Pos(), lock, "%s", what)
+					if kind, what, origin := classifyBadOp(pass, lookup, n); kind != badNone {
+						report(n.Pos(), origin, lock, "%s", what)
 						return false
 					}
 					return true
@@ -120,170 +130,110 @@ const (
 )
 
 // classifyBadOp decides whether a single node violates the Nub discipline,
-// consulting call-graph summaries for same-package static calls.
-func classifyBadOp(pass *Pass, sums *badOpSummaries, n ast.Node) (badKind, string) {
+// consulting lookup (the Program's cross-package badOf summary) for static
+// calls to functions declared anywhere in the program. The returned
+// position, when valid, is the transitive origin of the violation in a
+// callee (possibly in another package); findings attach it as a related
+// position so one ignore directive at the origin covers every caller.
+func classifyBadOp(pass *Pass, lookup func(*types.Func) *badOp, n ast.Node) (badKind, string, token.Pos) {
 	info := pass.Pkg.Info
 	switch n := n.(type) {
 	case *ast.SendStmt:
-		return badBlock, "channel send"
+		return badBlock, "channel send", token.NoPos
 	case *ast.SelectStmt:
-		return badBlock, "select"
+		return badBlock, "select", token.NoPos
 	case *ast.GoStmt:
-		return badAlloc, "go statement (spawns a goroutine)"
+		return badAlloc, "go statement (spawns a goroutine)", token.NoPos
 	case *ast.RangeStmt:
 		if t, ok := info.Types[n.X]; ok {
 			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
-				return badBlock, "range over channel"
+				return badBlock, "range over channel", token.NoPos
 			}
 		}
 	case *ast.UnaryExpr:
 		switch n.Op {
 		case token.ARROW:
-			return badBlock, "channel receive"
+			return badBlock, "channel receive", token.NoPos
 		case token.AND:
 			if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
-				return badAlloc, "allocation (&composite literal)"
+				return badAlloc, "allocation (&composite literal)", token.NoPos
 			}
 		}
 	case *ast.FuncLit:
-		return badAlloc, "allocation (closure)"
+		return badAlloc, "allocation (closure)", token.NoPos
 	case *ast.BinaryExpr:
 		if n.Op == token.ADD {
 			if t, ok := info.Types[n.X]; ok {
 				if b, isBasic := t.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
-					return badAlloc, "allocation (string concatenation)"
+					return badAlloc, "allocation (string concatenation)", token.NoPos
 				}
 			}
 		}
 	case *ast.CallExpr:
-		return classifyBadCall(pass, sums, n)
+		return classifyBadCall(pass, lookup, n)
 	}
-	return badNone, ""
+	return badNone, "", token.NoPos
 }
 
-func classifyBadCall(pass *Pass, sums *badOpSummaries, call *ast.CallExpr) (badKind, string) {
+func classifyBadCall(pass *Pass, lookup func(*types.Func) *badOp, call *ast.CallExpr) (badKind, string, token.Pos) {
 	info := pass.Pkg.Info
 	// Type conversions are not calls.
 	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
-		return badNone, ""
+		return badNone, "", token.NoPos
 	}
 	switch obj := Callee(info, call).(type) {
 	case *types.Builtin:
 		switch obj.Name() {
 		case "make", "new":
-			return badAlloc, fmt.Sprintf("allocation (%s)", obj.Name())
+			return badAlloc, fmt.Sprintf("allocation (%s)", obj.Name()), token.NoPos
 		case "append":
-			return badAlloc, "allocation (append may grow)"
+			return badAlloc, "allocation (append may grow)", token.NoPos
 		}
-		return badNone, ""
+		return badNone, "", token.NoPos
 	case *types.Func:
 		pkg := obj.Pkg()
 		if pkg == nil {
-			return badNone, ""
+			return badNone, "", token.NoPos
 		}
 		switch pkg.Path() {
 		case "sync/atomic", pkgSpinlock, "unsafe":
-			return badNone, ""
+			return badNone, "", token.NoPos
 		case "sync":
-			return badBlock, fmt.Sprintf("sync.%s call (may block or schedule)", obj.Name())
+			return badBlock, fmt.Sprintf("sync.%s call (may block or schedule)", obj.Name()), token.NoPos
 		case "time":
 			if obj.Name() == "Sleep" || obj.Name() == "After" || obj.Name() == "Tick" {
-				return badBlock, "time." + obj.Name() + " call"
+				return badBlock, "time." + obj.Name() + " call", token.NoPos
 			}
 		case "runtime":
 			if obj.Name() == "Gosched" {
-				return badBlock, "runtime.Gosched call (yields the processor)"
+				return badBlock, "runtime.Gosched call (yields the processor)", token.NoPos
 			}
 		case "fmt", "os", "log", "io":
-			return badBlock, fmt.Sprintf("%s.%s call (I/O)", pkg.Path(), obj.Name())
+			return badBlock, fmt.Sprintf("%s.%s call (I/O)", pkg.Path(), obj.Name()), token.NoPos
 		}
-		if pkg.Path() == pass.Pkg.ImportPath {
-			if bad := sums.lookup(obj); bad != nil {
+		if lookup != nil {
+			if bad := lookup(obj); bad != nil {
 				return bad.kind, fmt.Sprintf("call to %s, which performs %s at %s",
-					obj.Name(), bad.what, pass.Fset.Position(bad.pos))
+					obj.Name(), bad.what, pass.Fset.Position(bad.pos)), bad.origin
 			}
 		}
-		return badNone, ""
+		return badNone, "", token.NoPos
 	default:
 		// No static *types.Func callee: a call through a function value,
 		// field or parameter (Callee yields nil or the *types.Var) —
 		// arbitrary code under the spin lock.
-		return badIndirect, "indirect call through a function value (callback)"
+		return badIndirect, "indirect call through a function value (callback)", token.NoPos
 	}
 }
 
 // badOp is the first discipline violation found in a function body,
-// described for interprocedural reporting.
+// described for interprocedural reporting. Computed per program function by
+// Summaries.badOf; functions without a body (assembly, linkname) summarize
+// clean: the runtime-facing helpers they bind are the mechanism the Nub is
+// built on.
 type badOp struct {
-	kind badKind
-	what string
-	pos  token.Pos
-}
-
-// badOpSummaries lazily computes, per same-package function, whether its
-// body (transitively) violates the discipline.
-type badOpSummaries struct {
-	pass  *Pass
-	decls map[*types.Func]*ast.FuncDecl
-	memo  map[*types.Func]*badOp
-	stack map[*types.Func]bool
-}
-
-func newBadOpSummaries(pass *Pass) *badOpSummaries {
-	s := &badOpSummaries{
-		pass:  pass,
-		decls: make(map[*types.Func]*ast.FuncDecl),
-		memo:  make(map[*types.Func]*badOp),
-		stack: make(map[*types.Func]bool),
-	}
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name != nil {
-				if fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
-					s.decls[fn] = fd
-				}
-			}
-		}
-	}
-	return s
-}
-
-// lookup returns the first transitive violation in fn's body, or nil.
-// Functions without a body (assembly, linkname) summarize clean: the
-// runtime-facing helpers they bind are the mechanism the Nub is built on.
-func (s *badOpSummaries) lookup(fn *types.Func) *badOp {
-	if got, ok := s.memo[fn]; ok {
-		return got
-	}
-	if s.stack[fn] {
-		return nil
-	}
-	decl, ok := s.decls[fn]
-	if !ok || decl.Body == nil {
-		s.memo[fn] = nil
-		return nil
-	}
-	s.stack[fn] = true
-	defer delete(s.stack, fn)
-
-	var found *badOp
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		if found != nil {
-			return false
-		}
-		// A function that locks a spin lock itself is analyzed at its own
-		// sites; nested spin sections do not make the *caller* bad. Only
-		// operations that would run under the caller's lock count, which
-		// conservatively is the whole body (paths are not tracked here).
-		if kind, what := classifyBadOp(s.pass, s, n); kind != badNone {
-			found = &badOp{kind: kind, what: what, pos: n.Pos()}
-			return false
-		}
-		if _, isLit := n.(*ast.FuncLit); isLit {
-			return false // closures already flagged as allocation
-		}
-		return true
-	})
-	s.memo[fn] = found
-	return found
+	kind   badKind
+	what   string
+	pos    token.Pos // the violating node in the summarized function
+	origin token.Pos // the transitive origin, through further callees
 }

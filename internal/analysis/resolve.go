@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // Face says which implementation surface a call site belongs to: the real
@@ -415,10 +414,10 @@ func TypeRoots(info *types.Info, fn ast.Node) map[*types.Var]bool {
 func rootKey(v *types.Var, fset *token.FileSet, typeRoots map[*types.Var]bool) string {
 	if typeRoots[v] {
 		// Receiver or parameter: key by type, folding pointer and value
-		// receivers together, so the same field chain unifies across
-		// functions on the same type.
-		t := strings.TrimPrefix(types.TypeString(v.Type(), nil), "*")
-		return "(" + t + ")"
+		// receivers together (and generic instantiations onto the generic
+		// declaration), so the same field chain unifies across functions on
+		// the same type.
+		return "(" + normalizedTypeName(v.Type()) + ")"
 	}
 	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
 		return v.Pkg().Path() + "." + v.Name()

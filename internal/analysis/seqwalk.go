@@ -20,7 +20,8 @@ import (
 // operates on.
 type lockRef struct {
 	key      string // object-identity key (RefKey with nil typeRoots)
-	classKey string // type-rooted key for cross-function matching
+	classKey string // type-rooted key (receiver/params) for same-class matching
+	uniKey   string // fully type-rooted key (universalKey) for cross-package matching
 	display  string // source-like rendering for diagnostics
 	ok       bool
 }
@@ -36,6 +37,12 @@ type holdInfo struct {
 type holds struct {
 	def   map[string]holdInfo // definitely held
 	maybe map[string]holdInfo // held on some, not all, joined paths
+	// ext is opaque per-path client state (the guardedby analyzer tracks
+	// values loaded from guarded fields here, the summary engine tracks
+	// releases of locks the function never acquired). Cloned on path fork;
+	// joined by intersection — an entry survives a join only when both
+	// sides carry the same (comparable) value, the def-like degradation.
+	ext map[string]any
 }
 
 func newHolds() *holds {
@@ -50,7 +57,21 @@ func (h *holds) clone() *holds {
 	for k, v := range h.maybe {
 		c.maybe[k] = v
 	}
+	if h.ext != nil {
+		c.ext = make(map[string]any, len(h.ext))
+		for k, v := range h.ext {
+			c.ext[k] = v
+		}
+	}
 	return c
+}
+
+// setExt records client state on the current path.
+func (h *holds) setExt(key string, v any) {
+	if h.ext == nil {
+		h.ext = make(map[string]any)
+	}
+	h.ext[key] = v
 }
 
 // join merges two path states: definite stays definite only when held on
@@ -80,7 +101,47 @@ func join(a, b *holds) *holds {
 	for k := range j.def {
 		delete(j.maybe, k)
 	}
+	if a.ext != nil && b.ext != nil {
+		for k, v := range a.ext {
+			bv, ok := b.ext[k]
+			if !ok {
+				continue
+			}
+			if bv == v {
+				j.setExt(k, v)
+				continue
+			}
+			// A guarded load that went stale on either branch is stale at
+			// the join: staleness is a may-property of the Wait window
+			// (a loop around Wait joins its zero-iteration path here).
+			if av, aok := v.(loadVal); aok {
+				if blv, bok := bv.(loadVal); bok && av.sameSource(blv) {
+					if av.stale == 0 {
+						av.stale = blv.stale
+					}
+					j.setExt(k, av)
+				}
+			}
+		}
+	}
 	return j
+}
+
+// absorbStale carries loadVal staleness out of a loop body whose lock
+// state is otherwise discarded (loops are walked as may-execute): a Wait
+// inside the body released and re-acquired the guard, so a local loaded
+// before the loop may be stale after it even on the path that iterated.
+func absorbStale(st, body *holds) {
+	for k, v := range body.ext {
+		blv, ok := v.(loadVal)
+		if !ok || blv.stale == 0 {
+			continue
+		}
+		if av, ok := st.ext[k].(loadVal); ok && av.sameSource(blv) && av.stale == 0 {
+			av.stale = blv.stale
+			st.setExt(k, av)
+		}
+	}
 }
 
 // seqClient receives walk events. All hooks are optional (may be nil).
@@ -95,21 +156,40 @@ type seqClient struct {
 	// walked as independent functions). Returning false skips children.
 	node func(n ast.Node, st *holds) bool
 	// exit fires once per path leaving the function: at each return, and at
-	// the end of the body if it is reachable.
+	// the end of the body if it is reachable. Nested function literals have
+	// their own exits; clients that want per-declaration exits track depth
+	// with enterFunc/leaveFunc.
 	exit func(pos token.Pos, st *holds)
+	// enterFunc/leaveFunc bracket each function walked: the declaration
+	// itself and every nested literal. fresh reports that the literal runs
+	// on another thread (go statement, Fork argument) and so starts with no
+	// inherited lock state; other literals inherit the creation site's
+	// locks as maybe-held.
+	enterFunc func(fn ast.Node, fresh bool)
+	leaveFunc func(fn ast.Node)
 }
 
-// seqWalker drives seqClient over one function at a time.
+// seqWalker drives seqClient over one function at a time. With sums set,
+// calls to module-local functions outside the tracked API apply that
+// callee's summary effects (locks held at return appear, locks it releases
+// on behalf of the caller disappear) — this is what makes the lockpair,
+// nubdiscipline and guardedby walks interprocedural.
 type seqWalker struct {
 	pass   *Pass
 	client seqClient
+	sums   *Summaries
 
 	typeRoots map[*types.Var]bool // of the function being walked
+	freshLits bool                // literals in scope run on another thread
 }
 
 // walkFunc analyzes fn (a *ast.FuncDecl or *ast.FuncLit) as an independent
 // function: fresh lock state, own exits. Nested function literals recurse.
 func (w *seqWalker) walkFunc(fn ast.Node) {
+	w.walkFuncState(fn, newHolds(), true)
+}
+
+func (w *seqWalker) walkFuncState(fn ast.Node, st *holds, fresh bool) {
 	var body *ast.BlockStmt
 	switch d := fn.(type) {
 	case *ast.FuncDecl:
@@ -120,16 +200,42 @@ func (w *seqWalker) walkFunc(fn ast.Node) {
 	if body == nil {
 		return
 	}
-	saved := w.typeRoots
+	saved, savedFresh := w.typeRoots, w.freshLits
 	w.typeRoots = TypeRoots(w.pass.Pkg.Info, fn)
-	defer func() { w.typeRoots = saved }()
+	w.freshLits = false
+	defer func() { w.typeRoots, w.freshLits = saved, savedFresh }()
 
-	st := newHolds()
+	if w.client.enterFunc != nil {
+		w.client.enterFunc(fn, fresh)
+	}
+	if w.client.leaveFunc != nil {
+		defer w.client.leaveFunc(fn)
+	}
 	if !w.walkStmts(body.List, st) {
 		if w.client.exit != nil {
 			w.client.exit(body.Rbrace, st)
 		}
 	}
+}
+
+// litSeed is the lock state a function literal starts from: empty when it
+// runs on another thread, otherwise the creation site's locks degraded to
+// maybe-held (the literal may run later, when they are no longer held — but
+// an immediate call under the lock is common enough that dropping them
+// entirely would flag correct code in the guardedby analyzer).
+func (w *seqWalker) litSeed(st *holds) *holds {
+	if w.freshLits {
+		return newHolds()
+	}
+	seed := newHolds()
+	for k, v := range st.def {
+		v.deferred = false
+		seed.maybe[k] = v
+	}
+	for k, v := range st.maybe {
+		seed.maybe[k] = v
+	}
+	return seed
 }
 
 func (w *seqWalker) walkStmts(list []ast.Stmt, st *holds) (terminated bool) {
@@ -174,8 +280,13 @@ func (w *seqWalker) walkStmt(s ast.Stmt, st *holds) (terminated bool) {
 		w.walkDefer(s, st)
 
 	case *ast.GoStmt:
+		// The spawned goroutine holds none of this thread's locks: literals
+		// here start from empty state.
+		savedFresh := w.freshLits
+		w.freshLits = true
 		w.exprs(st, s.Call.Fun)
 		w.exprs(st, s.Call.Args...)
+		w.freshLits = savedFresh
 
 	case *ast.ReturnStmt:
 		w.exprs(st, s.Results...)
@@ -211,11 +322,13 @@ func (w *seqWalker) walkStmt(s ast.Stmt, st *holds) (terminated bool) {
 		if s.Post != nil {
 			w.walkStmt(s.Post, body)
 		}
+		absorbStale(st, body)
 
 	case *ast.RangeStmt:
 		w.exprs(st, s.X)
 		body := st.clone()
 		w.walkStmts(s.Body.List, body)
+		absorbStale(st, body)
 
 	case *ast.SwitchStmt:
 		if s.Init != nil {
@@ -352,6 +465,12 @@ func (w *seqWalker) walkExprStmt(s *ast.ExprStmt, st *holds) bool {
 			if ref := w.refOf(site); ref.ok {
 				delete(st.def, ref.key)
 				delete(st.maybe, ref.key)
+				// A direct release also discharges a hold acquired through a
+				// callee (summary effects key by lock class).
+				if ref.uniKey != "" {
+					delete(st.def, effKey(ref.uniKey))
+					delete(st.maybe, effKey(ref.uniKey))
+				}
 			}
 			return false
 		case OpLock:
@@ -380,14 +499,32 @@ func (w *seqWalker) walkExprStmt(s *ast.ExprStmt, st *holds) bool {
 	return terminatesPath(w.pass.Pkg.Info, call)
 }
 
-// walkDefer records deferred releases: `defer m.Release()` directly, or
-// releases inside a deferred closure.
+// walkDefer records deferred releases: `defer m.Release()` directly,
+// releases inside a deferred closure, or a deferred call to a module-local
+// function whose summary says it releases the lock (defer mon.Exit()).
 func (w *seqWalker) walkDefer(s *ast.DeferStmt, st *holds) {
 	markDeferred := func(site *CallSite) {
 		if ref := w.refOf(site); ref.ok {
 			if h, ok := st.def[ref.key]; ok {
 				h.deferred = true
 				st.def[ref.key] = h
+			}
+			if ref.uniKey != "" {
+				markDeferredClass(st, ref.uniKey)
+			}
+		}
+	}
+	markSummaryReleases := func(call *ast.CallExpr) {
+		if w.sums == nil {
+			return
+		}
+		fn, ok := Callee(w.pass.Pkg.Info, call).(*types.Func)
+		if !ok {
+			return
+		}
+		if sum := w.sums.effects(fn); sum != nil {
+			for ck := range sum.Releases {
+				markDeferredClass(st, ck)
 			}
 		}
 	}
@@ -405,15 +542,105 @@ func (w *seqWalker) walkDefer(s *ast.DeferStmt, st *holds) {
 		// so scan it for releases rather than walking it as a fresh path.
 		ast.Inspect(lit.Body, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
-				if site, ok := w.pass.Site(call); ok && (site.Op == OpRelease || site.Op == OpSpinUnlock) {
-					markDeferred(site)
+				if site, ok := w.pass.Site(call); ok {
+					if site.Op == OpRelease || site.Op == OpSpinUnlock {
+						markDeferred(site)
+					}
+				} else {
+					markSummaryReleases(call)
 				}
 			}
 			return true
 		})
 		return
 	}
+	markSummaryReleases(s.Call)
 	w.exprs(st, s.Call.Args...)
+}
+
+// effKey keys a hold acquired through a callee's summary rather than a
+// direct tracked call: there is no object-identity key at the caller, only
+// the lock class (summaries speak universal keys).
+func effKey(uniKey string) string { return "eff:" + uniKey }
+
+// hasClassHeld reports whether any held entry (def or maybe) is of the
+// given lock class (universal key).
+func hasClassHeld(st *holds, uniKey string) bool {
+	if uniKey == "" {
+		return false
+	}
+	for _, h := range st.def {
+		if h.ref.uniKey == uniKey {
+			return true
+		}
+	}
+	for _, h := range st.maybe {
+		if h.ref.uniKey == uniKey {
+			return true
+		}
+	}
+	return false
+}
+
+func releaseClass(st *holds, uniKey string) {
+	for k, h := range st.def {
+		if h.ref.uniKey == uniKey {
+			delete(st.def, k)
+		}
+	}
+	for k, h := range st.maybe {
+		if h.ref.uniKey == uniKey {
+			delete(st.maybe, k)
+		}
+	}
+}
+
+func markDeferredClass(st *holds, uniKey string) {
+	for k, h := range st.def {
+		if h.ref.uniKey == uniKey {
+			h.deferred = true
+			st.def[k] = h
+		}
+	}
+}
+
+// applyCallEffects applies the lock-state effects of an untracked call to a
+// module-local function, per its interprocedural summary: locks the callee
+// still holds at return join the caller's definitely-held set (keyed by
+// class, reported against this call site), and locks the callee releases
+// on the caller's behalf leave it. A release of a lock the caller does not
+// hold is remembered in ext so the caller's own summary propagates it
+// further up.
+func (w *seqWalker) applyCallEffects(call *ast.CallExpr, st *holds) {
+	if w.sums == nil {
+		return
+	}
+	fn, ok := Callee(w.pass.Pkg.Info, call).(*types.Func)
+	if !ok {
+		return
+	}
+	sum := w.sums.effects(fn)
+	if sum == nil {
+		return
+	}
+	for ck, ri := range sum.Releases {
+		if hasClassHeld(st, ck) {
+			releaseClass(st, ck)
+		} else {
+			st.setExt(extRelease+ck, ri)
+		}
+	}
+	for ck, ri := range sum.NetHeld {
+		if hasClassHeld(st, ck) {
+			continue
+		}
+		key := effKey(ck)
+		st.def[key] = holdInfo{
+			site: &CallSite{Call: call, Op: ri.Op, Face: ri.Face},
+			ref:  lockRef{key: key, classKey: ck, uniKey: ck, display: ri.Display, ok: true},
+		}
+		delete(st.maybe, key)
+	}
 }
 
 // exprs fires client events over expression trees: call events for tracked
@@ -430,7 +657,7 @@ func (w *seqWalker) exprs(st *holds, list ...ast.Expr) {
 				if w.client.node != nil {
 					w.client.node(n, st)
 				}
-				w.walkFunc(n)
+				w.walkFuncState(n, w.litSeed(st), w.freshLits)
 				return false
 			case *ast.CallExpr:
 				if site, ok := w.pass.Site(n); ok {
@@ -449,11 +676,33 @@ func (w *seqWalker) exprs(st *holds, list ...ast.Expr) {
 							}
 						}
 					}
+					if site.Op == OpFork {
+						// Fork's function argument runs on the new thread:
+						// literal arguments start from empty lock state.
+						keep := true
+						if w.client.node != nil {
+							keep = w.client.node(n, st)
+						}
+						if keep {
+							savedFresh := w.freshLits
+							w.freshLits = true
+							w.exprs(st, n.Fun)
+							w.exprs(st, n.Args...)
+							w.freshLits = savedFresh
+						}
+						return false
+					}
+					if w.client.node != nil {
+						return w.client.node(n, st)
+					}
+					return true
 				}
+				keep := true
 				if w.client.node != nil {
-					return w.client.node(n, st)
+					keep = w.client.node(n, st)
 				}
-				return true
+				w.applyCallEffects(n, st)
+				return keep
 			default:
 				if n != nil && w.client.node != nil {
 					return w.client.node(n, st)
@@ -482,7 +731,8 @@ func (w *seqWalker) refOf(site *CallSite) lockRef {
 		return lockRef{}
 	}
 	classKey, _, _ := RefKey(info, fset, subject, w.typeRoots)
-	return lockRef{key: key, classKey: classKey, display: display, ok: true}
+	uniKey, _ := universalKey(info, subject)
+	return lockRef{key: key, classKey: classKey, uniKey: uniKey, display: display, ok: true}
 }
 
 // terminatesPath reports whether a call never returns: panic, os.Exit,

@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		LockOrder,
 		NubDiscipline,
 		PriorityDiscipline,
+		GuardedBy,
 	}
 }
 

@@ -1,0 +1,124 @@
+// Fixture for the guardedby analyzer's annotated mode: //threads:guardedby
+// on fields and package variables, //threads:guards on locks, TryAcquire
+// path sensitivity, deferred Release, fresh allocations, and the
+// stale-across-Wait window.
+package guardedbyfix
+
+import "threads"
+
+// counter annotates the data field.
+type counter struct {
+	mu threads.Mutex
+	n  int //threads:guardedby mu
+}
+
+func (c *counter) inc() {
+	c.mu.Acquire()
+	c.n++
+	c.mu.Release()
+}
+
+// deferred Release keeps the guard held to every exit.
+func (c *counter) incDefer() {
+	c.mu.Acquire()
+	defer c.mu.Release()
+	c.n++
+}
+
+func (c *counter) badRead() int {
+	return c.n // want "read of c.n without mu held"
+}
+
+// TryAcquire: the lock is held only on the success branch.
+func (c *counter) tryInc() bool {
+	if c.mu.TryAcquire() {
+		c.n++
+		c.mu.Release()
+		return true
+	}
+	return false
+}
+
+// On the failure branch the guard is not held.
+func (c *counter) badTryInc() {
+	if !c.mu.TryAcquire() {
+		c.n = 0 // want "write of c.n without mu held"
+		return
+	}
+	c.n++
+	c.mu.Release()
+}
+
+// A brand-new object is unshared: initialization needs no lock.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// gauge annotates from the lock side.
+type gauge struct {
+	mu    threads.Mutex //threads:guards level
+	low   threads.Condition
+	level int
+}
+
+func (g *gauge) set(v int) {
+	g.mu.Acquire()
+	g.level = v
+	g.mu.Release()
+}
+
+func (g *gauge) badPeek() int {
+	return g.level // want "read of g.level without mu held"
+}
+
+// cell exercises the Wait window: a local loaded from a guarded field
+// before Wait may be stale after Wait returns.
+type cell struct {
+	mu    threads.Mutex
+	ready threads.Condition
+	val   int //threads:guardedby mu
+}
+
+func (c *cell) waitStale() int {
+	c.mu.Acquire()
+	v := c.val
+	for v == 0 {
+		c.ready.Wait(&c.mu)
+	}
+	c.mu.Release()
+	return v // want "use of v, loaded from c.val before Wait released mu"
+}
+
+// The correct shape: re-examine the field itself after Wait.
+func (c *cell) waitFresh() int {
+	c.mu.Acquire()
+	for c.val == 0 {
+		c.ready.Wait(&c.mu)
+	}
+	v := c.val
+	c.mu.Release()
+	return v
+}
+
+// Wait on a mutex that guards annotated data, without holding it.
+func (c *cell) badWait() {
+	c.ready.Wait(&c.mu) // want "Wait with mutex c.mu not held"
+}
+
+// Package-level variables bind to a package-level lock.
+var (
+	gmu  threads.Mutex
+	hits int //threads:guardedby gmu
+)
+
+func bump() {
+	gmu.Acquire()
+	hits++
+	gmu.Release()
+}
+
+func badBump() {
+	hits++ // want "write of hits without gmu held"
+}

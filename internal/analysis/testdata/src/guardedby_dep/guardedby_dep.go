@@ -1,0 +1,20 @@
+// Dependency fixture for cross-package guardedby checking: the annotation
+// lives here; violations are reported in the importing package.
+package guardedbydepfix
+
+import "threads"
+
+// Box exports both the lock and the guarded field.
+type Box struct {
+	Mu threads.Mutex
+	N  int //threads:guardedby Mu
+}
+
+// New returns an empty box.
+func New() *Box { return &Box{} }
+
+// Lock acquires the box's mutex on behalf of the caller, who must
+// eventually release it.
+func Lock(b *Box) {
+	b.Mu.Acquire()
+}

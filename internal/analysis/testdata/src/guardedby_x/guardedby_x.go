@@ -1,0 +1,37 @@
+// Fixture for cross-package guardedby checking: the guarded field and its
+// annotation are declared in guardedby_dep; this package's accesses are
+// checked against it. Coverage is interprocedural in both directions — a
+// callee that returns holding the guard covers accesses after the call,
+// and a helper whose every caller holds the guard is covered at entry.
+package guardedbyxfix
+
+import dep "threads/internal/analysis/testdata/src/guardedby_dep"
+
+func good(b *dep.Box) {
+	b.Mu.Acquire()
+	b.N++
+	b.Mu.Release()
+}
+
+func bad(b *dep.Box) int {
+	return b.N // want "read of b.N without Mu held"
+}
+
+// viaHelper is covered by dep.Lock's summary: the call returns holding Mu.
+func viaHelper(b *dep.Box) {
+	dep.Lock(b)
+	b.N = 7
+	b.Mu.Release()
+}
+
+// addLocked's only caller holds Mu at the call site, so the entry-held
+// fixpoint covers the unlocked-looking access.
+func addLocked(b *dep.Box) {
+	b.N++
+}
+
+func caller(b *dep.Box) {
+	b.Mu.Acquire()
+	addLocked(b)
+	b.Mu.Release()
+}

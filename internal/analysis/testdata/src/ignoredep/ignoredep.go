@@ -1,0 +1,13 @@
+// Dependency fixture for the cross-package ignore-directive regression:
+// the directive below justifies a violation that is only ever reported in
+// the importing package (this package holds no spin lock itself). The
+// driver must count it as used — not stale — because the finding it
+// suppresses carries this origin as a related position.
+package ignoredepfix
+
+// Grow appends, which may allocate; callers run it under a spin lock on
+// purpose in this fixture.
+func Grow(s []int) []int {
+	//threadsvet:ignore nubdiscipline: fixture justification; the append is deliberate
+	return append(s, 1)
+}

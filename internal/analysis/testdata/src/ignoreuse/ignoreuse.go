@@ -1,0 +1,20 @@
+// Fixture for the cross-package ignore-directive regression: the
+// spin-locked call reaches ignoredep.Grow's append, and the origin-side
+// directive there suppresses the finding reported here.
+package ignoreusefix
+
+import (
+	dep "threads/internal/analysis/testdata/src/ignoredep"
+	"threads/internal/spinlock"
+)
+
+var (
+	lk  spinlock.Lock
+	buf []int
+)
+
+func covered() {
+	lk.Lock()
+	buf = dep.Grow(buf)
+	lk.Unlock()
+}

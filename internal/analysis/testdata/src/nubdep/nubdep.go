@@ -1,0 +1,10 @@
+// Dependency fixture for cross-package nubdiscipline checking: Grow
+// allocates, which is only a violation when a spin-locked caller in
+// another package reaches it. This package does not import the spin lock,
+// so nothing is reported here.
+package nubdepfix
+
+// Grow appends, which may allocate.
+func Grow(s []int) []int {
+	return append(s, 1)
+}

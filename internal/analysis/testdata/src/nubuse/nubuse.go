@@ -1,0 +1,28 @@
+// Fixture for cross-package nubdiscipline checking: the allocation is
+// inside nubdep.Grow, reachable only through its summary. A same-package
+// run of this package alone reports nothing (nubdiscipline_test.go pins
+// that miss).
+package nubusefix
+
+import (
+	dep "threads/internal/analysis/testdata/src/nubdep"
+	"threads/internal/spinlock"
+)
+
+var (
+	lk  spinlock.Lock
+	buf []int
+)
+
+func bad() {
+	lk.Lock()
+	buf = dep.Grow(buf) // want "call to Grow, which performs allocation"
+	lk.Unlock()
+}
+
+func good() {
+	lk.Lock()
+	buf[0] = 1
+	lk.Unlock()
+	buf = dep.Grow(buf)
+}

@@ -1,0 +1,21 @@
+// Dependency fixture for cross-package lockorder checking: the locks and
+// the helper that acquires one of them live here; the inconsistent
+// acquisition orders live in the importing package.
+package orderdepfix
+
+import "threads"
+
+var (
+	A threads.Mutex
+	B threads.Mutex
+)
+
+// LockB acquires B; paired with UnlockB by callers.
+func LockB() {
+	B.Acquire()
+}
+
+// UnlockB undoes LockB.
+func UnlockB() {
+	B.Release()
+}

@@ -1,0 +1,21 @@
+// Fixture for cross-package lockorder checking: the A → B edge is closed
+// only through orderdep.LockB, so the cycle is invisible both to the
+// intraprocedural analysis and to a same-package interprocedural run of
+// this package alone (lockorder_test.go pins both misses).
+package orderusefix
+
+import dep "threads/internal/analysis/testdata/src/orderdep"
+
+func aThenB() {
+	dep.A.Acquire()
+	dep.LockB() // want "potential deadlock: lock-acquisition cycle"
+	dep.UnlockB()
+	dep.A.Release()
+}
+
+func bThenA() {
+	dep.B.Acquire()
+	dep.A.Acquire()
+	dep.A.Release()
+	dep.B.Release()
+}

@@ -1,0 +1,18 @@
+// Dependency fixture for cross-package lockpair checking: Grab returns
+// holding Mu and Drop releases it, so the bracket can only be judged at
+// call sites in other packages via this package's summaries.
+package pairdepfix
+
+import "threads"
+
+var Mu threads.Mutex
+
+// Grab acquires Mu on behalf of the caller.
+func Grab() {
+	Mu.Acquire() // want "not matched by a Release on the path leaving the function"
+}
+
+// Drop releases the caller's hold on Mu.
+func Drop() {
+	Mu.Release() // want "Release of Mu which this path has not acquired"
+}

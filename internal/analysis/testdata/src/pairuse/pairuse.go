@@ -1,0 +1,16 @@
+// Fixture for cross-package lockpair checking: the acquire and release
+// happen inside pairdep helpers, so only their summaries reveal that leak
+// returns holding Mu. A same-package run of this package alone reports
+// nothing (lockpair_test.go pins that miss).
+package pairusefix
+
+import dep "threads/internal/analysis/testdata/src/pairdep"
+
+func leak() {
+	dep.Grab() // want "this call returns holding Mu, which no path leaving the function"
+}
+
+func ok() {
+	dep.Grab()
+	dep.Drop()
+}

@@ -1,0 +1,66 @@
+// Fixture pinning seqwalk corner cases for lockpair: defer-Release inside
+// loops, early return after TryAcquire failure, and method-value call
+// sites crossing package boundaries.
+package seqcornerfix
+
+import (
+	"threads"
+
+	dep "threads/internal/analysis/testdata/src/seqcornerdep"
+)
+
+// Deferred releases inside a loop run at function exit, one per
+// iteration: every acquire is covered, so the walker (which treats loop
+// bodies as may-execute) reports nothing.
+func deferInLoop(ms []*threads.Mutex) {
+	for _, m := range ms {
+		m.Acquire()
+		defer m.Release()
+	}
+}
+
+// A deferred Release covers early returns.
+func deferEarly(m *threads.Mutex, c bool) {
+	m.Acquire()
+	defer m.Release()
+	if c {
+		return
+	}
+}
+
+// TryAcquire failure exits without the lock: clean.
+func tryEarly(m *threads.Mutex) bool {
+	if !m.TryAcquire() {
+		return false
+	}
+	m.Release()
+	return true
+}
+
+// TryAcquire success that never releases leaks on the success path only.
+func tryLeak(m *threads.Mutex) {
+	if m.TryAcquire() { // want "TryAcquire of m succeeded on this path but no Release matches"
+		return
+	}
+}
+
+// A direct cross-package call applies the callee's summary: Enter returns
+// holding the guard's mutex, and nothing here releases it.
+func directLeak(g *dep.Guard) {
+	g.Enter() // want "this call returns holding"
+}
+
+// Bracketed helpers are clean through their summaries.
+func directBracket(g *dep.Guard) {
+	g.Enter()
+	g.Exit()
+}
+
+// A method value erases the callee: the call is opaque to the summary
+// engine (the resolver tracks method values of the threads API only), so
+// neither the leak nor the bracket is modeled. Pinned as the documented
+// approximation.
+func methodValueOpaque(g *dep.Guard) {
+	enter := g.Enter
+	enter()
+}

@@ -1,0 +1,21 @@
+// Dependency fixture for the seqwalk corner cases: a type whose methods
+// acquire and release on the caller's behalf, referenced from seqcorner
+// both as direct calls (summaries apply) and as method values (opaque).
+package seqcornerdepfix
+
+import "threads"
+
+// Guard wraps a mutex behind enter/exit methods.
+type Guard struct {
+	Mu threads.Mutex
+}
+
+// Enter acquires the guard's mutex on behalf of the caller.
+func (g *Guard) Enter() {
+	g.Mu.Acquire() // want "not matched by a Release on the path leaving the function"
+}
+
+// Exit releases the caller's hold.
+func (g *Guard) Exit() {
+	g.Mu.Release() // want "Release of g.Mu which this path has not acquired"
+}

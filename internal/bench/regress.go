@@ -260,6 +260,22 @@ func CollectRegressionMetrics(quick bool) Baseline {
 	// or the workload no longer creates the hazard).
 	add("e19.hi_p99_ratio_off_over_on", float64(piOff.P99)/float64(piOn.P99), "higher", true, 0)
 
+	// E20: the static-analysis gate itself — full-repo threadsvet, all
+	// analyzers over one cross-package program (summaries, entry-held
+	// fixpoint, guard inference). Wall-clock, so enforced only with
+	// -timed; the metric keeps the vet step cheap enough for the
+	// per-commit CI path as the analysis and the repo both grow. A clean
+	// repo is a precondition for collecting a baseline at all.
+	vetStart := time.Now()
+	vetPkgs, vetFindings, err := RunThreadsvetRepo()
+	if err != nil {
+		panic(err)
+	}
+	if vetFindings != 0 {
+		panic(fmt.Sprintf("threadsvet reported %d findings over %d packages during baseline collection; fix or justify them first", vetFindings, vetPkgs))
+	}
+	add("e20.vet_ms", time.Since(vetStart).Seconds()*1e3, "lower", false, 0)
+
 	return b
 }
 

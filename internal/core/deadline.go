@@ -119,6 +119,7 @@ func (m *Mutex) AcquireDeadline(deadline time.Time) error {
 		panic("threads: recursive AcquireDeadline would deadlock: " + t.name + " already holds the mutex")
 	}
 	if !time.Now().Before(deadline) {
+		//threadsvet:ignore lockpair: returning as holder is AcquireDeadline's contract (nil means acquired); the caller Releases
 		if m.TryAcquire() {
 			return nil
 		}

@@ -36,7 +36,7 @@ type gate struct {
 	// by nub; nil when the holder is unknown (anonymous acquisition before
 	// priorities were in use) — donors then skip, a heuristic miss.
 	pi       atomic.Bool
-	piHolder *Thread
+	piHolder *Thread //threads:guardedby nub
 }
 
 // gateLockedBit is bit 0 of the gate word.

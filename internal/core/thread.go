@@ -31,7 +31,7 @@ type Thread struct {
 	// blocked alertable waiter to wake; AlertWait/AlertP register and
 	// unregister their waiter under it.
 	alertLock spinlock.Lock
-	alertW    *waiter
+	alertW    *waiter //threads:guardedby alertLock
 
 	// parkW is the thread's cached waiter, reused by every blocking
 	// episode so the slow paths allocate nothing per park. Only threads
@@ -61,7 +61,7 @@ type Thread struct {
 	// Lock order: a gate's nub spin lock may be held when donLock is
 	// taken (gate.piDonate); donLock acquires nothing, so no cycle.
 	donLock   spinlock.Lock
-	donations [maxDonations]donation
+	donations [maxDonations]donation //threads:guardedby donLock
 }
 
 // donation records one priority-inheritance boost: while this thread holds

